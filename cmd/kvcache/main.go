@@ -1,0 +1,99 @@
+// Command kvcache drives the memcached-style store (internal/kvstore)
+// under any lock-elision policy with a mixed get/set/delete workload and
+// reports cache and TM statistics.
+//
+// Example:
+//
+//	kvcache -policy stm-cv-noq -threads 4 -ops 20000 -keyspace 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gotle/internal/htm"
+	"gotle/internal/kvstore"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kvcache: ")
+	var (
+		policyName = flag.String("policy", "pthread", "execution policy: pthread|stm-spin|stm-cv|stm-cv-noq|htm-cv")
+		threads    = flag.Int("threads", 4, "client threads")
+		ops        = flag.Int("ops", 20_000, "operations per thread")
+		keyspace   = flag.Int("keyspace", 1024, "distinct keys")
+		shards     = flag.Int("shards", 8, "hash shards")
+		capacity   = flag.Int("capacity", 256, "max items per shard (LRU eviction)")
+		setPct     = flag.Int("set", 20, "percent of operations that are sets")
+		delPct     = flag.Int("del", 5, "percent of operations that are deletes")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		memWords   = flag.Int("mem", 1<<22, "simulated TM heap size in words")
+	)
+	flag.Parse()
+
+	policy, err := tle.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *setPct+*delPct > 100 {
+		log.Fatal("set% + del% exceeds 100")
+	}
+	r := tle.New(policy, tle.Config{MemWords: *memWords, HTM: htm.Config{EventAbortPerMillion: 5}})
+	store := kvstore.New(r, kvstore.Config{Shards: *shards, MaxItemsPerShard: *capacity})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *threads; w++ {
+		th := r.NewThread()
+		rng := rand.New(rand.NewSource(*seed + int64(w)))
+		wg.Add(1)
+		go func(th *tm.Thread, rng *rand.Rand) {
+			defer wg.Done()
+			for i := 0; i < *ops; i++ {
+				key := []byte(fmt.Sprintf("key:%d", rng.Intn(*keyspace)))
+				roll := rng.Intn(100)
+				switch {
+				case roll < *setPct:
+					if err := store.Set(th, key, key); err != nil {
+						log.Fatalf("set: %v", err)
+					}
+				case roll < *setPct+*delPct:
+					if _, err := store.Delete(th, key); err != nil {
+						log.Fatalf("delete: %v", err)
+					}
+				default:
+					if _, _, err := store.Get(th, key); err != nil {
+						log.Fatalf("get: %v", err)
+					}
+				}
+			}
+		}(th, rng)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	th := r.NewThread()
+	cs, err := store.Stats(th)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := store.Len(th)
+	ts := r.Engine().Snapshot()
+	total := *threads * *ops
+	fmt.Printf("policy=%s threads=%d ops=%d elapsed=%.3fs throughput=%.0f ops/sec\n",
+		policy, *threads, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	hitPct := 0.0
+	if cs.Gets > 0 {
+		hitPct = 100 * float64(cs.Hits) / float64(cs.Gets)
+	}
+	fmt.Printf("cache: items=%d gets=%d hits=%.1f%% sets=%d deletes=%d evictions=%d\n",
+		n, cs.Gets, hitPct, cs.Sets, cs.Deletes, cs.Evictions)
+	fmt.Printf("tm: %s\n", ts)
+}

@@ -1,0 +1,82 @@
+// Command pbzip2sim runs the PBZip2-analogue parallel compressor under any
+// of the paper's five lock-elision policies and reports timing and
+// transaction statistics.
+//
+// Example:
+//
+//	pbzip2sim -policy htm-cv -workers 4 -block 300000 -size 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gotle/internal/htm"
+	"gotle/internal/pbzip"
+	"gotle/internal/tle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pbzip2sim: ")
+	var (
+		policyName = flag.String("policy", "pthread", "execution policy: pthread|stm-spin|stm-cv|stm-cv-noq|htm-cv")
+		workers    = flag.Int("workers", 4, "consumer threads")
+		blockSize  = flag.Int("block", 900_000, "block size in bytes (paper: 100K/300K/900K)")
+		fileSize   = flag.Int("size", 4<<20, "synthetic input size in bytes")
+		seed       = flag.Int64("seed", 1, "input generator seed")
+		trials     = flag.Int("trials", 1, "trials to run (times averaged)")
+		decompress = flag.Bool("decompress", false, "measure decompression instead of compression")
+		memWords   = flag.Int("mem", 1<<22, "simulated TM heap size in words")
+	)
+	flag.Parse()
+
+	policy, err := tle.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := pbzip.SyntheticFile(*fileSize, *seed)
+	cfg := pbzip.Config{Workers: *workers, BlockSize: *blockSize}
+
+	var compressed []byte
+	if *decompress {
+		r := tle.New(tle.PolicyPthread, tle.Config{MemWords: *memWords})
+		res, err := pbzip.Compress(r, input, cfg)
+		if err != nil {
+			log.Fatalf("pre-compress: %v", err)
+		}
+		compressed = res.Output
+	}
+
+	var totalSec float64
+	var lastBlocks, outBytes int
+	r := tle.New(policy, tle.Config{MemWords: *memWords, HTM: htm.Config{EventAbortPerMillion: 5}})
+	before := r.Engine().Snapshot()
+	for trial := 0; trial < *trials; trial++ {
+		var res pbzip.Result
+		var err error
+		if *decompress {
+			res, err = pbzip.Decompress(r, compressed, cfg)
+		} else {
+			res, err = pbzip.Compress(r, input, cfg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalSec += res.Elapsed.Seconds()
+		lastBlocks, outBytes = res.Blocks, len(res.Output)
+	}
+	s := r.Engine().Snapshot().Sub(before)
+
+	op := "compress"
+	if *decompress {
+		op = "decompress"
+	}
+	fmt.Printf("policy=%s op=%s workers=%d block=%d input=%dB output=%dB blocks=%d\n",
+		policy, op, *workers, *blockSize, *fileSize, outBytes, lastBlocks)
+	fmt.Printf("time=%.3fs (avg of %d)\n", totalSec/float64(*trials), *trials)
+	fmt.Printf("tm: %s\n", s)
+	os.Exit(0)
+}

@@ -1,0 +1,66 @@
+// Command tlebench runs the Figure-5 quiescence microbenchmarks: the
+// list/hash/tree sets under the STM, NoQ and SelectNoQ configurations.
+//
+// Example:
+//
+//	tlebench -threads 1,2,4,8,12 -duration 500ms -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gotle/internal/harness"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tlebench: ")
+	var (
+		threads  = flag.String("threads", "1,2,4,8,12", "comma-separated thread counts")
+		duration = flag.Duration("duration", 200*time.Millisecond, "per-trial duration (paper: 10s)")
+		trials   = flag.Int("trials", 1, "trials to average (paper: 3)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		memWords = flag.Int("mem", 1<<22, "simulated TM heap size in words")
+	)
+	flag.Parse()
+
+	ts, err := parseInts(*threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := harness.Fig5(harness.Fig5Config{
+		Threads:  ts,
+		Duration: *duration,
+		Trials:   *trials,
+		MemWords: *memWords,
+	})
+	for _, t := range tables {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,2, 8,12")
+	if err != nil || len(got) != 4 || got[0] != 1 || got[3] != 12 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	got, err = parseInts("4,,")
+	if err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("empty segments: %v, %v", got, err)
+	}
+}

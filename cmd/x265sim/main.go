@@ -1,0 +1,56 @@
+// Command x265sim runs the wavefront video-encoder analogue under any of
+// the paper's five lock-elision policies and reports timing, encoded cost
+// and transaction statistics.
+//
+// Example:
+//
+//	x265sim -policy stm-cv-noq -workers 8 -frame-threads 3 -frames 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gotle/internal/htm"
+	"gotle/internal/tle"
+	"gotle/internal/video"
+	"gotle/internal/x265sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("x265sim: ")
+	var (
+		policyName   = flag.String("policy", "pthread", "execution policy: pthread|stm-spin|stm-cv|stm-cv-noq|htm-cv")
+		workers      = flag.Int("workers", 4, "worker-pool threads (paper sweeps 1-8)")
+		frameThreads = flag.Int("frame-threads", 3, "concurrent frames (x265 default: 3)")
+		width        = flag.Int("width", 160, "frame width")
+		height       = flag.Int("height", 96, "frame height")
+		frames       = flag.Int("frames", 6, "frame count")
+		seed         = flag.Int64("seed", 1, "video generator seed")
+		memWords     = flag.Int("mem", 1<<22, "simulated TM heap size in words")
+	)
+	flag.Parse()
+
+	policy, err := tle.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := video.Generate(*width, *height, *frames, *seed)
+	r := tle.New(policy, tle.Config{MemWords: *memWords, HTM: htm.Config{EventAbortPerMillion: 5}})
+	before := r.Engine().Snapshot()
+	res, err := x265sim.Encode(r, input, x265sim.Config{
+		Workers: *workers, FrameThreads: *frameThreads,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := r.Engine().Snapshot().Sub(before)
+	fmt.Printf("policy=%s workers=%d frameThreads=%d video=%dx%dx%d\n",
+		policy, *workers, *frameThreads, *width, *height, *frames)
+	fmt.Printf("time=%.3fs totalCost=%d outputOrder=%v\n",
+		res.Elapsed.Seconds(), res.TotalCost, res.OutputOrder)
+	fmt.Printf("frameCosts=%v\n", res.FrameCosts)
+	fmt.Printf("tm: %s\n", s)
+}

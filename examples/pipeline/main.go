@@ -1,0 +1,54 @@
+// Pipeline: the PBZip2 scenario. Compress and decompress a synthetic file
+// through the producer → workers → ordered-writer pipeline under each
+// policy, verify every policy produces byte-identical output, and compare
+// times and quiescence behaviour.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"gotle/internal/pbzip"
+	"gotle/internal/tle"
+)
+
+func main() {
+	log.SetFlags(0)
+	const fileSize = 1 << 20
+	input := pbzip.SyntheticFile(fileSize, 42)
+	cfg := pbzip.Config{Workers: 4, BlockSize: 100_000}
+
+	fmt.Printf("input: %d bytes synthetic text, %d-byte blocks, %d workers\n\n",
+		fileSize, cfg.BlockSize, cfg.Workers)
+	var reference []byte
+	for _, policy := range tle.Policies {
+		r := tle.New(policy, tle.Config{MemWords: 1 << 21})
+		before := r.Engine().Snapshot()
+		c, err := pbzip.Compress(r, input, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		d, err := pbzip.Decompress(r, c.Output, cfg)
+		if err != nil {
+			log.Fatalf("%s decompress: %v", policy, err)
+		}
+		if !bytes.Equal(d.Output, input) {
+			log.Fatalf("%s: round trip mismatch!", policy)
+		}
+		if reference == nil {
+			reference = c.Output
+		} else if !bytes.Equal(c.Output, reference) {
+			log.Fatalf("%s: compressed bytes differ across policies!", policy)
+		}
+		s := r.Engine().Snapshot().Sub(before)
+		fmt.Printf("%-11s compress=%.3fs decompress=%.3fs ratio=%.2fx\n",
+			policy, c.Elapsed.Seconds(), d.Elapsed.Seconds(),
+			float64(fileSize)/float64(len(c.Output)))
+		fmt.Printf("            txns=%d aborts=%.2f%% serial=%.2f%% quiesces=%d noquiesce=%d\n\n",
+			s.Starts, 100*s.AbortRate(), 100*s.SerialRate(), s.Quiesces, s.NoQuiesce)
+	}
+	fmt.Println("all five policies produced byte-identical compressed output ✓")
+}

@@ -1,0 +1,56 @@
+// Wavefront: the x265 scenario. Encode a synthetic video with wavefront-
+// parallel CTU processing (Figure 1 of the paper) under each policy and
+// verify the encoded cost is identical everywhere. Also prints the
+// wavefront schedule for one frame to visualise the diagonal dependency
+// pattern.
+//
+//	go run ./examples/wavefront
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gotle/internal/tle"
+	"gotle/internal/video"
+	"gotle/internal/x265sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	frames := video.Generate(160, 96, 5, 7)
+	cfg := x265sim.Config{Workers: 4, FrameThreads: 3}
+
+	// Figure 1 analogue: the wavefront order for a 6x10 CTU frame — CTU
+	// (r,c) can start once (r-1,c+1) and (r,c-1) are done, so anti-
+	// diagonals proceed in parallel.
+	fmt.Println("wavefront schedule (numbers = earliest parallel step per CTU):")
+	rows, cols := 96/16, 160/16
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			fmt.Printf("%3d", 2*r+c)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	var ref int64
+	for _, policy := range tle.Policies {
+		r := tle.New(policy, tle.Config{MemWords: 1 << 21})
+		before := r.Engine().Snapshot()
+		res, err := x265sim.Encode(r, frames, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			log.Fatalf("%s: total cost %d differs from reference %d!", policy, res.TotalCost, ref)
+		}
+		s := r.Engine().Snapshot().Sub(before)
+		fmt.Printf("%-11s time=%.3fs cost=%d order=%v\n", policy, res.Elapsed.Seconds(), res.TotalCost, res.OutputOrder)
+		fmt.Printf("            txns=%d aborts=%.2f%% serial=%.2f%% quiesces=%d\n\n",
+			s.Starts, 100*s.AbortRate(), 100*s.SerialRate(), s.Quiesces)
+	}
+	fmt.Println("all five policies produced identical encodings ✓")
+}

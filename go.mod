@@ -1,0 +1,3 @@
+module gotle
+
+go 1.23

@@ -1,0 +1,84 @@
+// Package gotle is a Go reproduction of the system studied in "Practical
+// Experience with Transactional Lock Elision" (Zhou, Zardoshti, Spear —
+// ICPP 2017): transactional lock elision with a GCC-style software TM
+// (ml_wt with commit-time quiescence and the paper's proposed TM.NoQuiesce
+// API), a simulated best-effort hardware TM, transaction-friendly condition
+// variables with timed waits, and a dynamic two-phase-locking checker.
+//
+// Because Go exposes neither hardware TM nor compiler-instrumented STM,
+// the whole stack operates over a simulated word-addressable heap; see
+// DESIGN.md for the substitution argument and EXPERIMENTS.md for the
+// reproduced evaluation.
+//
+// The root package re-exports the surface a downstream user needs; the
+// implementation lives in internal/ packages.
+//
+// Quickstart:
+//
+//	r := gotle.New(gotle.PolicySTMCondVar, gotle.Config{})
+//	th := r.NewThread()
+//	m := r.NewMutex("counter")
+//	ctr := r.Engine().Alloc(1)
+//	_ = m.Do(th, func(tx gotle.Tx) error {
+//	    tx.Store(ctr, tx.Load(ctr)+1)
+//	    return nil
+//	})
+package gotle
+
+import (
+	"gotle/internal/condvar"
+	"gotle/internal/lockcheck"
+	"gotle/internal/memseg"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Core type surface.
+type (
+	// Runtime is an application-wide elision context (policy + engine).
+	Runtime = tle.Runtime
+	// Config parameterises a Runtime.
+	Config = tle.Config
+	// Policy selects how critical sections execute.
+	Policy = tle.Policy
+	// Mutex is an elidable lock.
+	Mutex = tle.Mutex
+	// Cond is a transaction-friendly condition variable.
+	Cond = condvar.Cond
+	// Tx is the transactional access interface inside critical sections.
+	Tx = tm.Tx
+	// Thread is a per-goroutine transactional context.
+	Thread = tm.Thread
+	// Engine is the underlying TM engine.
+	Engine = tm.Engine
+	// Addr is a word address in the simulated heap.
+	Addr = memseg.Addr
+	// LockChecker is the dynamic two-phase-locking checker; pass it as
+	// Config.Tracer to audit a workload's critical-section structure.
+	LockChecker = lockcheck.Checker
+)
+
+// The five execution policies of the paper's evaluation (Section VII).
+const (
+	PolicyPthread       = tle.PolicyPthread
+	PolicySTMSpin       = tle.PolicySTMSpin
+	PolicySTMCondVar    = tle.PolicySTMCondVar
+	PolicySTMCondVarNoQ = tle.PolicySTMCondVarNoQ
+	PolicyHTMCondVar    = tle.PolicyHTMCondVar
+)
+
+// Policies lists all five in the paper's presentation order.
+var Policies = tle.Policies
+
+// ErrRetry is returned by Mutex.Do when the body called Tx.Retry.
+var ErrRetry = tm.ErrRetry
+
+// New constructs a runtime for the given policy.
+func New(policy Policy, cfg Config) *Runtime { return tle.New(policy, cfg) }
+
+// ParsePolicy converts a policy name ("pthread", "stm-spin", "stm-cv",
+// "stm-cv-noq", "htm-cv") to a Policy.
+func ParsePolicy(s string) (Policy, error) { return tle.ParsePolicy(s) }
+
+// NewLockChecker returns an empty two-phase-locking checker.
+func NewLockChecker() *LockChecker { return lockcheck.New() }

@@ -1,0 +1,188 @@
+package gotle_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gotle"
+)
+
+// These tests exercise the module's public surface the way a downstream
+// user would: only the root package is imported.
+
+func TestPublicCounterAllPolicies(t *testing.T) {
+	for _, p := range gotle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := gotle.New(p, gotle.Config{MemWords: 1 << 16})
+			m := r.NewMutex("counter")
+			ctr := r.Engine().Alloc(1)
+			const threads, per = 4, 500
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				th := r.NewThread()
+				wg.Add(1)
+				go func(th *gotle.Thread) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := m.Do(th, func(tx gotle.Tx) error {
+							tx.Store(ctr, tx.Load(ctr)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("Do: %v", err)
+							return
+						}
+					}
+				}(th)
+			}
+			wg.Wait()
+			if got := r.Engine().Load(ctr); got != threads*per {
+				t.Fatalf("counter = %d, want %d", got, threads*per)
+			}
+		})
+	}
+}
+
+func TestPublicRetryAndAwait(t *testing.T) {
+	r := gotle.New(gotle.PolicySTMCondVar, gotle.Config{MemWords: 1 << 16})
+	m := r.NewMutex("gate")
+	cv := r.NewCond()
+	gate := r.Engine().Alloc(1)
+
+	opened := make(chan error, 1)
+	waiter := r.NewThread()
+	go func() {
+		opened <- m.Await(waiter, cv, 50*time.Millisecond, func(tx gotle.Tx) error {
+			if tx.Load(gate) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	opener := r.NewThread()
+	time.Sleep(5 * time.Millisecond)
+	if err := m.Do(opener, func(tx gotle.Tx) error {
+		tx.Store(gate, 1)
+		cv.SignalTx(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-opened:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await never woke")
+	}
+}
+
+func TestPublicErrRetrySurfacesFromDo(t *testing.T) {
+	r := gotle.New(gotle.PolicyHTMCondVar, gotle.Config{MemWords: 1 << 16})
+	th := r.NewThread()
+	m := r.NewMutex("x")
+	a := r.Engine().Alloc(1)
+	err := m.Do(th, func(tx gotle.Tx) error {
+		if tx.Load(a) == 0 {
+			tx.Retry()
+		}
+		return nil
+	})
+	if !errors.Is(err, gotle.ErrRetry) {
+		t.Fatalf("err = %v, want ErrRetry", err)
+	}
+}
+
+func TestPublicParsePolicy(t *testing.T) {
+	for _, p := range gotle.Policies {
+		got, err := gotle.ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := gotle.ParsePolicy("no-such"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestPublicLockChecker(t *testing.T) {
+	c := gotle.NewLockChecker()
+	r := gotle.New(gotle.PolicyPthread, gotle.Config{MemWords: 1 << 14, Tracer: c})
+	th := r.NewThread()
+	a := r.NewMutex("a")
+	b := r.NewMutex("b")
+	// Non-2PL: release b, then acquire b again while holding a.
+	a.Do(th, func(tx gotle.Tx) error {
+		b.Do(th, func(gotle.Tx) error { return nil })
+		return b.Do(th, func(gotle.Tx) error { return nil })
+	})
+	if c.Clean() {
+		t.Fatal("checker missed the violation")
+	}
+}
+
+func TestPublicDeferAndAlloc(t *testing.T) {
+	r := gotle.New(gotle.PolicySTMCondVarNoQ, gotle.Config{MemWords: 1 << 16})
+	th := r.NewThread()
+	m := r.NewMutex("alloc")
+	var blk gotle.Addr
+	ran := false
+	if err := m.Do(th, func(tx gotle.Tx) error {
+		blk = tx.Alloc(8)
+		tx.Store(blk, 77)
+		tx.NoQuiesce()
+		tx.Defer(func() { ran = true })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || r.Engine().Load(blk) != 77 {
+		t.Fatalf("ran=%v val=%d", ran, r.Engine().Load(blk))
+	}
+	if err := m.Do(th, func(tx gotle.Tx) error {
+		tx.Free(blk)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lw := r.Engine().Memory().LiveWords(); lw != 0 {
+		t.Fatalf("LiveWords = %d after free", lw)
+	}
+}
+
+// The README quickstart must compile and behave as documented.
+func TestReadmeQuickstart(t *testing.T) {
+	r := gotle.New(gotle.PolicySTMCondVar, gotle.Config{})
+	th := r.NewThread()
+	m := r.NewMutex("counter")
+	ctr := r.Engine().Alloc(1)
+	if err := m.Do(th, func(tx gotle.Tx) error {
+		tx.Store(ctr, tx.Load(ctr)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine().Load(ctr) != 1 {
+		t.Fatal("quickstart broken")
+	}
+}
+
+func TestPublicStatsVisibility(t *testing.T) {
+	r := gotle.New(gotle.PolicySTMCondVar, gotle.Config{MemWords: 1 << 14})
+	th := r.NewThread()
+	m := r.NewMutex("s")
+	a := r.Engine().Alloc(1)
+	for i := 0; i < 10; i++ {
+		m.Do(th, func(tx gotle.Tx) error {
+			tx.Store(a, uint64(i))
+			return nil
+		})
+	}
+	s := r.Engine().Snapshot()
+	if s.Commits != 10 || s.Quiesces != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

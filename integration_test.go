@@ -1,0 +1,125 @@
+package gotle_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gotle/internal/kvstore"
+	"gotle/internal/pbzip"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+	"gotle/internal/video"
+	"gotle/internal/x265sim"
+)
+
+// Lock erasure across applications (Section IV.A): when two unrelated
+// subsystems share one elision runtime, their formerly-disjoint locks all
+// become transactions over one TM — any serialization or quiescence in one
+// affects the other. Both must still be correct.
+func TestCrossApplicationLockErasure(t *testing.T) {
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := tle.New(p, tle.Config{MemWords: 1 << 21})
+			input := pbzip.SyntheticFile(120_000, 4)
+			store := kvstore.New(r, kvstore.Config{Shards: 2, MaxItemsPerShard: 64})
+
+			var wg sync.WaitGroup
+			var compressed []byte
+			var pipeErr error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := pbzip.Compress(r, input, pbzip.Config{Workers: 2, BlockSize: 30_000})
+				compressed, pipeErr = res.Output, err
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := r.NewThread()
+				defer th.Release()
+				for i := 0; i < 800; i++ {
+					key := []byte(fmt.Sprintf("k%d", i%50))
+					if err := store.Set(th, key, key); err != nil {
+						t.Errorf("kv set: %v", err)
+						return
+					}
+					if v, ok, err := store.Get(th, key); err != nil || !ok || !bytes.Equal(v, key) {
+						t.Errorf("kv get: %q %v %v", v, ok, err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			if pipeErr != nil {
+				t.Fatal(pipeErr)
+			}
+			d, err := pbzip.Decompress(r, compressed, pbzip.Config{Workers: 2})
+			if err != nil || !bytes.Equal(d.Output, input) {
+				t.Fatalf("pipeline corrupted under shared TM: %v", err)
+			}
+		})
+	}
+}
+
+// A tall, narrow frame maximizes wavefront depth (rows ≫ cols) — the
+// worst case for row parking and the slice scheduler.
+func TestTallNarrowWavefront(t *testing.T) {
+	frames := video.Generate(32, 256, 3, 13) // 2 cols × 16 rows of CTUs
+	var ref int64
+	for _, cfg := range []x265sim.Config{
+		{Workers: 1, FrameThreads: 2},
+		{Workers: 4, FrameThreads: 2},
+		{Workers: 4, FrameThreads: 2, Slices: 4},
+	} {
+		r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 21})
+		res, err := x265sim.Encode(r, frames, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			t.Fatalf("%+v diverged: %d vs %d", cfg, res.TotalCost, ref)
+		}
+	}
+}
+
+// Await must stay live on pure timeouts when no one ever signals the
+// condvar (the poll degrades to the paper's small-transaction polling).
+func TestAwaitProgressesOnTimeoutsAlone(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 14})
+	m := r.NewMutex("silent")
+	cv := r.NewCond() // never signalled
+	flag := r.Engine().Alloc(1)
+	waiter := r.NewThread()
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Await(waiter, cv, 2*time.Millisecond, func(tx tm.Tx) error {
+			if tx.Load(flag) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// Set the flag WITHOUT a signal: only the timeout re-poll can see it.
+	setter := r.NewThread()
+	if err := m.Do(setter, func(tx tm.Tx) error {
+		tx.Store(flag, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Await starved without signals despite timeout polling")
+	}
+}

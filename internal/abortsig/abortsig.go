@@ -1,0 +1,33 @@
+// Package abortsig defines the panic value used to unwind an aborted
+// transaction attempt.
+//
+// A hardware transaction abort restores the register checkpoint and resumes
+// at the begin instruction; an STM abort longjmps to the retry loop after
+// undoing its writes. Go's equivalent of that non-local control transfer is
+// panic/recover with a sentinel type. Every TM layer (STM, simulated HTM,
+// the engine) throws and catches the same Signal so that user code composes:
+// a conflict detected three calls deep unwinds cleanly to the engine's retry
+// loop without user-visible error plumbing.
+package abortsig
+
+import "gotle/internal/stats"
+
+// Signal is the panic value carried by an aborting transaction attempt.
+type Signal struct {
+	Cause stats.AbortCause
+}
+
+// Throw aborts the current attempt by panicking with a Signal. The engine's
+// recover filter turns it into a retry; any other panic value propagates.
+func Throw(cause stats.AbortCause) {
+	panic(&Signal{Cause: cause})
+}
+
+// From extracts the Signal from a recovered panic value, or nil if the panic
+// was not a transaction abort.
+func From(r any) *Signal {
+	if s, ok := r.(*Signal); ok {
+		return s
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package bzlike
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bitWriter packs MSB-first bit strings into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits buffered in cur
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n > 57 {
+		w.writeBits(v>>32, n-32)
+		v &= 0xFFFFFFFF
+		n = 32
+	}
+	w.cur = w.cur<<n | (v & (1<<n - 1))
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
+	}
+}
+
+// finish flushes the final partial byte (zero-padded) and returns the data.
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bit strings.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  uint64
+	nCur uint
+}
+
+var errBitUnderflow = errors.New("bzlike: bitstream underflow")
+
+// readBits returns the next n bits (n <= 32).
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	for r.nCur < n {
+		if r.pos >= len(r.buf) {
+			return 0, errBitUnderflow
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nCur += 8
+	}
+	r.nCur -= n
+	v := (r.cur >> r.nCur) & (1<<n - 1)
+	return v, nil
+}
+
+// readBit returns one bit.
+func (r *bitReader) readBit() (uint64, error) { return r.readBits(1) }
+
+// putUvarint appends a variable-length unsigned integer (LEB128).
+func putUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// getUvarint decodes a varint, returning the value and the bytes consumed.
+func getUvarint(buf []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if i > 9 {
+			break
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, fmt.Errorf("bzlike: truncated varint")
+}

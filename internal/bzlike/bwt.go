@@ -1,0 +1,142 @@
+package bzlike
+
+// Burrows-Wheeler transform over cyclic rotations, using prefix doubling
+// with counting sort: O(n log n) time, O(n) extra space per round. This is
+// the transform at the heart of BZip2-family compressors; PBZip2's
+// parallelism comes from running it independently per block (Section III).
+
+// bwtForward returns the last column of the sorted rotation matrix and the
+// row index of the original string.
+func bwtForward(s []byte) (out []byte, index int) {
+	n := len(s)
+	if n == 0 {
+		return nil, 0
+	}
+	if n == 1 {
+		return []byte{s[0]}, 0
+	}
+	p := make([]int32, n)   // p[i] = start of the i-th smallest rotation
+	c := make([]int32, n)   // c[i] = equivalence class of rotation starting at i
+	cnt := make([]int32, n) // counting-sort buckets (≥256 needed; n≥2 handled below)
+
+	// Round 0: sort by first character.
+	if n < 256 {
+		cnt = make([]int32, 256)
+	}
+	for _, b := range s {
+		cnt[b]++
+	}
+	for i := 1; i < 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		cnt[s[i]]--
+		p[cnt[s[i]]] = int32(i)
+	}
+	classes := int32(1)
+	c[p[0]] = 0
+	for i := 1; i < n; i++ {
+		if s[p[i]] != s[p[i-1]] {
+			classes++
+		}
+		c[p[i]] = classes - 1
+	}
+
+	pn := make([]int32, n)
+	cn := make([]int32, n)
+	for k := 1; k < n && classes < int32(n); k <<= 1 {
+		// Sort by second half first: shifting p left by k gives an order
+		// already sorted on the second component.
+		for i := 0; i < n; i++ {
+			pn[i] = p[i] - int32(k)
+			if pn[i] < 0 {
+				pn[i] += int32(n)
+			}
+		}
+		// Stable counting sort on the first component's class.
+		cnt = cnt[:0]
+		if cap(cnt) < int(classes) {
+			cnt = make([]int32, classes)
+		} else {
+			cnt = cnt[:classes]
+			for i := range cnt {
+				cnt[i] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			cnt[c[pn[i]]]++
+		}
+		for i := int32(1); i < classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			cls := c[pn[i]]
+			cnt[cls]--
+			p[cnt[cls]] = pn[i]
+		}
+		// Recompute classes from (first, second) pairs.
+		cn[p[0]] = 0
+		classes = 1
+		for i := 1; i < n; i++ {
+			a1, a2 := c[p[i]], c[(p[i]+int32(k))%int32(n)]
+			b1, b2 := c[p[i-1]], c[(p[i-1]+int32(k))%int32(n)]
+			if a1 != b1 || a2 != b2 {
+				classes++
+			}
+			cn[p[i]] = classes - 1
+		}
+		c, cn = cn, c
+	}
+
+	out = make([]byte, n)
+	for i := 0; i < n; i++ {
+		prev := p[i] - 1
+		if prev < 0 {
+			prev += int32(n)
+		}
+		out[i] = s[prev]
+		if p[i] == 0 {
+			index = i
+		}
+	}
+	return out, index
+}
+
+// bwtInverse reconstructs the original string from the last column and the
+// original row index, via the T-vector of Burrows and Wheeler's paper.
+func bwtInverse(last []byte, index int) []byte {
+	n := len(last)
+	if n == 0 {
+		return nil
+	}
+	if index < 0 || index >= n {
+		return nil
+	}
+	// first[b] = number of symbols < b in last (start of b's run in the
+	// first column).
+	var counts [256]int
+	for _, b := range last {
+		counts[b]++
+	}
+	var first [256]int
+	sum := 0
+	for b := 0; b < 256; b++ {
+		first[b] = sum
+		sum += counts[b]
+	}
+	// T maps a first-column row to the last-column row holding the same
+	// occurrence of the symbol.
+	T := make([]int32, n)
+	var seen [256]int
+	for i, b := range last {
+		T[first[b]+seen[b]] = int32(i)
+		seen[b]++
+	}
+	out := make([]byte, n)
+	row := T[index]
+	for i := 0; i < n; i++ {
+		out[i] = last[row]
+		row = T[row]
+	}
+	return out
+}

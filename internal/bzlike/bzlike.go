@@ -1,0 +1,144 @@
+// Package bzlike is a from-scratch BZip2-style block compressor: BWT,
+// move-to-front, zero-run coding and canonical Huffman, with a CRC-checked
+// block container.
+//
+// PBZip2 — one of the paper's two study applications — parallelises BZip2
+// by splitting the input into independent blocks, compressing them on
+// worker threads, and reassembling the output in order (Section III). The
+// compression itself happens entirely outside critical sections, so what
+// the TLE experiments need from this package is exactly what BZip2 provides
+// the real PBZip2: substantial, block-local CPU work with realistic data-
+// dependent cost. The stdlib has only a bzip2 *decompressor*, so this
+// package implements both directions.
+//
+// Format of a compressed block:
+//
+//	magic "bZ" | uvarint origLen | uvarint bwtIndex | crc32(IEEE) of the
+//	original data (4 bytes, big-endian) | 258 Huffman code lengths (bytes)
+//	| Huffman bitstream of the run-coded symbols, EOB-terminated
+//
+// Empty blocks compress to the 2-byte magic plus a zero length.
+package bzlike
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+var (
+	// ErrCorrupt reports a malformed or corrupted block.
+	ErrCorrupt = errors.New("bzlike: corrupt block")
+	// ErrChecksum reports a CRC mismatch after decompression.
+	ErrChecksum = errors.New("bzlike: checksum mismatch")
+)
+
+const (
+	magic0 = 'b'
+	magic1 = 'Z'
+	// MaxBlock bounds a single block (the real BZip2's maximum is 900 KiB,
+	// the paper's default PBZip2 block size).
+	MaxBlock = 1 << 21
+)
+
+// Compress encodes one block. It never fails; incompressible data simply
+// expands slightly.
+func Compress(block []byte) ([]byte, error) {
+	if len(block) > MaxBlock {
+		return nil, fmt.Errorf("bzlike: block of %d bytes exceeds MaxBlock", len(block))
+	}
+	out := []byte{magic0, magic1}
+	out = putUvarint(out, uint64(len(block)))
+	if len(block) == 0 {
+		return out, nil
+	}
+	bwt, idx := bwtForward(block)
+	out = putUvarint(out, uint64(idx))
+	crc := crc32.ChecksumIEEE(block)
+	out = append(out, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+
+	syms := rle0Encode(mtfEncode(bwt))
+	syms = append(syms, symEOB)
+
+	freqs := make([]uint64, alphabetSz)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lens := buildLengths(freqs)
+	codes := canonicalCodes(lens)
+	for _, l := range lens {
+		out = append(out, l)
+	}
+	w := &bitWriter{buf: out}
+	for _, s := range syms {
+		w.writeBits(uint64(codes[s]), uint(lens[s]))
+	}
+	return w.finish(), nil
+}
+
+// Decompress decodes one block produced by Compress and verifies its CRC.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 3 || data[0] != magic0 || data[1] != magic1 {
+		return nil, ErrCorrupt
+	}
+	rest := data[2:]
+	origLen, n, err := getUvarint(rest)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	if origLen == 0 {
+		return []byte{}, nil
+	}
+	if origLen > MaxBlock {
+		return nil, ErrCorrupt
+	}
+	idx, n, err := getUvarint(rest)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	if len(rest) < 4+alphabetSz {
+		return nil, ErrCorrupt
+	}
+	crc := uint32(rest[0])<<24 | uint32(rest[1])<<16 | uint32(rest[2])<<8 | uint32(rest[3])
+	rest = rest[4:]
+	lens := make([]uint8, alphabetSz)
+	copy(lens, rest[:alphabetSz])
+	rest = rest[alphabetSz:]
+
+	dec, err := newHuffDecoder(lens)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	r := &bitReader{buf: rest}
+	syms := make([]uint16, 0, origLen/2+16)
+	for {
+		s, err := dec.decode(r)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		syms = append(syms, s)
+		if s == symEOB {
+			break
+		}
+		if uint64(len(syms)) > 2*origLen+64 {
+			return nil, ErrCorrupt // runaway stream
+		}
+	}
+	mtf, _, ok := rle0Decode(syms)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	if uint64(len(mtf)) != origLen {
+		return nil, ErrCorrupt
+	}
+	block := bwtInverse(mtfDecode(mtf), int(idx))
+	if block == nil {
+		return nil, ErrCorrupt
+	}
+	if crc32.ChecksumIEEE(block) != crc {
+		return nil, ErrChecksum
+	}
+	return block, nil
+}

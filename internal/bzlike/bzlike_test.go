@@ -1,0 +1,354 @@
+package bzlike
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBWTKnownVector(t *testing.T) {
+	// The classic example: BWT("banana") = "nnbaaa" with index 3.
+	out, idx := bwtForward([]byte("banana"))
+	if string(out) != "nnbaaa" || idx != 3 {
+		t.Fatalf("BWT(banana) = %q, %d; want nnbaaa, 3", out, idx)
+	}
+	if got := bwtInverse(out, idx); string(got) != "banana" {
+		t.Fatalf("inverse = %q", got)
+	}
+}
+
+func TestBWTRoundTripEdgeCases(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{255},
+		[]byte("a"),
+		[]byte("ab"),
+		[]byte("aaaa"),         // all-equal rotations
+		[]byte("abababab"),     // periodic: duplicate rotations
+		[]byte("abcabcabcabc"), // period 3
+		bytes.Repeat([]byte{7}, 1000),
+		[]byte(strings.Repeat("the quick brown fox ", 50)),
+	}
+	for _, c := range cases {
+		out, idx := bwtForward(c)
+		got := bwtInverse(out, idx)
+		if len(c) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty round trip = %q", got)
+			}
+			continue
+		}
+		if !bytes.Equal(got, c) {
+			t.Fatalf("round trip failed for %q: got %q", c, got)
+		}
+	}
+}
+
+func TestBWTRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		out, idx := bwtForward(data)
+		got := bwtInverse(out, idx)
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBWTInverseBadIndex(t *testing.T) {
+	if bwtInverse([]byte("abc"), -1) != nil || bwtInverse([]byte("abc"), 3) != nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(mtfDecode(mtfEncode(data)), data) ||
+			(len(data) == 0 && len(mtfDecode(mtfEncode(data))) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTFKnown(t *testing.T) {
+	// "aaa" → first 'a' at index 97, then index 0 twice.
+	got := mtfEncode([]byte("aaa"))
+	if got[0] != 97 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("mtf(aaa) = %v", got)
+	}
+}
+
+func TestRLE0RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		syms := rle0Encode(data)
+		syms = append(syms, symEOB)
+		got, consumed, ok := rle0Decode(syms)
+		return ok && consumed == len(syms) && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLE0LongZeroRuns(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 255, 256, 100000} {
+		data := make([]byte, n)
+		syms := append(rle0Encode(data), symEOB)
+		got, _, ok := rle0Decode(syms)
+		if !ok || len(got) != n {
+			t.Fatalf("run of %d zeros: ok=%v len=%d", n, ok, len(got))
+		}
+		// Bijective base-2 is logarithmic in the run length.
+		if n == 100000 && len(syms) > 20 {
+			t.Fatalf("run of 100000 encoded in %d symbols", len(syms))
+		}
+	}
+}
+
+func TestRLE0MissingEOB(t *testing.T) {
+	if _, _, ok := rle0Decode(rle0Encode([]byte{1, 2, 3})); ok {
+		t.Fatal("decode without EOB succeeded")
+	}
+}
+
+func TestHuffmanRoundTripSkewed(t *testing.T) {
+	freqs := make([]uint64, alphabetSz)
+	freqs[0] = 1_000_000
+	freqs[1] = 1
+	freqs[57] = 3
+	freqs[symEOB] = 1
+	lens := buildLengths(freqs)
+	for s, f := range freqs {
+		if f > 0 && lens[s] == 0 {
+			t.Fatalf("symbol %d has frequency but no code", s)
+		}
+		if f == 0 && lens[s] != 0 {
+			t.Fatalf("symbol %d has code but no frequency", s)
+		}
+		if lens[s] > maxCodeLen {
+			t.Fatalf("symbol %d length %d over cap", s, lens[s])
+		}
+	}
+	codes := canonicalCodes(lens)
+	dec, err := newHuffDecoder(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []uint16{0, 1, 57, 0, 0, symEOB}
+	w := &bitWriter{}
+	for _, s := range msg {
+		w.writeBits(uint64(codes[s]), uint(lens[s]))
+	}
+	r := &bitReader{buf: w.finish()}
+	for i, want := range msg {
+		got, err := dec.decode(r)
+		if err != nil || got != want {
+			t.Fatalf("symbol %d: got %d, %v; want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestHuffmanExtremeSkewRescales(t *testing.T) {
+	// Fibonacci-like frequencies force depth > maxCodeLen without rescaling.
+	freqs := make([]uint64, alphabetSz)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < 40; i++ {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	lens := buildLengths(freqs)
+	for s, l := range lens {
+		if l > maxCodeLen {
+			t.Fatalf("symbol %d got length %d", s, l)
+		}
+		if freqs[s] > 0 && l == 0 {
+			t.Fatalf("symbol %d lost its code", s)
+		}
+	}
+}
+
+func TestBitIORoundTrip(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0b101, 3)
+	w.writeBits(0xFFFF, 16)
+	w.writeBits(0, 1)
+	w.writeBits(0xDEADBEEF, 32)
+	r := &bitReader{buf: w.finish()}
+	if v, _ := r.readBits(3); v != 0b101 {
+		t.Fatalf("3 bits = %b", v)
+	}
+	if v, _ := r.readBits(16); v != 0xFFFF {
+		t.Fatalf("16 bits = %x", v)
+	}
+	if v, _ := r.readBits(1); v != 0 {
+		t.Fatalf("1 bit = %d", v)
+	}
+	if v, _ := r.readBits(32); v != 0xDEADBEEF {
+		t.Fatalf("32 bits = %x", v)
+	}
+}
+
+func TestBitReaderUnderflow(t *testing.T) {
+	r := &bitReader{buf: []byte{0xAB}}
+	if _, err := r.readBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.readBits(1); err == nil {
+		t.Fatal("underflow not reported")
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := putUvarint(nil, v)
+		got, n, err := getUvarint(buf)
+		return err == nil && n == len(buf) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressRoundTripText(t *testing.T) {
+	data := []byte(strings.Repeat("To be, or not to be, that is the question. ", 2000))
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data)/3 {
+		t.Fatalf("text compressed to %d of %d bytes — worse than 3:1", len(c), len(data))
+	}
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCompressRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 50000)
+	rng.Read(data)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch on random data")
+	}
+}
+
+func TestCompressRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		c, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(c)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	c, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(c)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestCompressRejectsOversize(t *testing.T) {
+	if _, err := Compress(make([]byte, MaxBlock+1)); err == nil {
+		t.Fatal("oversize block accepted")
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {1}, {'b'}, {'x', 'Z', 0}, {'b', 'Z'}}
+	for _, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Fatalf("garbage %v accepted", c)
+		}
+	}
+}
+
+func TestDecompressDetectsCorruption(t *testing.T) {
+	data := []byte(strings.Repeat("corruption test payload ", 500))
+	c, _ := Compress(data)
+	flipped := 0
+	for pos := 10; pos < len(c); pos += len(c) / 20 {
+		bad := make([]byte, len(c))
+		copy(bad, c)
+		bad[pos] ^= 0x40
+		got, err := Decompress(bad)
+		if err == nil && bytes.Equal(got, data) {
+			continue // flip in padding bits can be harmless
+		}
+		if err == nil {
+			t.Fatalf("bit flip at %d produced wrong data without error", pos)
+		}
+		flipped++
+	}
+	if flipped == 0 {
+		t.Fatal("no corruption was ever detected")
+	}
+}
+
+func BenchmarkCompress100K(b *testing.B) {
+	data := makeCompressible(100_000, 3)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress100K(b *testing.B) {
+	data := makeCompressible(100_000, 3)
+	c, _ := Compress(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// makeCompressible builds pseudo-text with tunable redundancy.
+func makeCompressible(n int, order int) []byte {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"the", "lock", "elision", "transaction", "commit", "abort", "quiesce", "thread"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		b.WriteByte(' ')
+		if rng.Intn(10) < order {
+			b.WriteString(words[rng.Intn(2)])
+			b.WriteByte(' ')
+		}
+	}
+	return b.Bytes()[:n]
+}

@@ -1,0 +1,69 @@
+package bzlike
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress: arbitrary input must never panic; valid frames must
+// round-trip. Run the stored corpus in normal test runs, or explore with
+// `go test -fuzz=FuzzDecompress ./internal/bzlike`.
+func FuzzDecompress(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		{magic0, magic1},
+		{magic0, magic1, 0},
+		{magic0, magic1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		mustCompress([]byte("seed corpus payload")),
+		mustCompress(bytes.Repeat([]byte{0}, 500)),
+		mustCompress([]byte{1}),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(data) // must not panic
+		if err == nil {
+			// Whatever decoded must re-encode and decode to itself.
+			c, cerr := Compress(out)
+			if cerr != nil {
+				t.Fatalf("re-compress of valid output failed: %v", cerr)
+			}
+			back, derr := Decompress(c)
+			if derr != nil || !bytes.Equal(back, out) {
+				t.Fatalf("round trip of accepted payload failed: %v", derr)
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip: every input must survive compress→decompress.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte("ab"), 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > MaxBlock {
+			data = data[:MaxBlock]
+		}
+		c, err := Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func mustCompress(b []byte) []byte {
+	c, err := Compress(b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,212 @@
+package bzlike
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Canonical Huffman coding over the run-coded symbol alphabet.
+
+// maxCodeLen caps code lengths so the decoder's canonical tables stay
+// small; frequencies are rescaled until the cap holds (the same loop BZip2
+// uses).
+const maxCodeLen = 20
+
+type huffNode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right int // node indices
+}
+
+type huffHeap struct {
+	nodes []huffNode
+	order []int
+}
+
+func (h *huffHeap) Len() int { return len(h.order) }
+func (h *huffHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.order[i]], h.nodes[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return h.order[i] < h.order[j] // deterministic tie-break
+}
+func (h *huffHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *huffHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *huffHeap) Pop() any {
+	old := h.order
+	n := len(old)
+	v := old[n-1]
+	h.order = old[:n-1]
+	return v
+}
+
+// buildLengths computes per-symbol code lengths from frequencies. Symbols
+// with zero frequency get length 0 (no code).
+func buildLengths(freqs []uint64) []uint8 {
+	lens := make([]uint8, len(freqs))
+	scaled := make([]uint64, len(freqs))
+	copy(scaled, freqs)
+	for {
+		if try := buildOnce(scaled, lens); try {
+			return lens
+		}
+		// Rescale and retry: halving flattens the distribution, shortening
+		// the deepest codes.
+		for i, f := range scaled {
+			if f > 0 {
+				scaled[i] = f/2 + 1
+			}
+		}
+	}
+}
+
+// buildOnce attempts one Huffman construction; it reports false if a code
+// exceeded maxCodeLen.
+func buildOnce(freqs []uint64, lens []uint8) bool {
+	h := &huffHeap{}
+	for sym, f := range freqs {
+		if f > 0 {
+			h.nodes = append(h.nodes, huffNode{freq: f, sym: sym, left: -1, right: -1})
+		}
+	}
+	live := len(h.nodes)
+	switch live {
+	case 0:
+		for i := range lens {
+			lens[i] = 0
+		}
+		return true
+	case 1:
+		for i := range lens {
+			lens[i] = 0
+		}
+		lens[h.nodes[0].sym] = 1
+		return true
+	}
+	h.order = make([]int, live)
+	for i := range h.order {
+		h.order[i] = i
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.nodes = append(h.nodes, huffNode{
+			freq: h.nodes[a].freq + h.nodes[b].freq,
+			sym:  -1, left: a, right: b,
+		})
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.order[0]
+	for i := range lens {
+		lens[i] = 0
+	}
+	// Iterative depth-first traversal assigning depths.
+	type frame struct {
+		node  int
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.nodes[f.node]
+		if n.sym >= 0 {
+			if f.depth > maxCodeLen {
+				return false
+			}
+			if f.depth == 0 {
+				f.depth = 1 // lone symbol
+			}
+			lens[n.sym] = f.depth
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return true
+}
+
+// canonicalCodes assigns canonical codes (numerically increasing within a
+// length, lengths ascending) from code lengths.
+func canonicalCodes(lens []uint8) []uint32 {
+	var countPerLen [maxCodeLen + 1]uint32
+	for _, l := range lens {
+		countPerLen[l]++
+	}
+	countPerLen[0] = 0
+	var nextCode [maxCodeLen + 2]uint32
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + countPerLen[l-1]) << 1
+		nextCode[l] = code
+	}
+	codes := make([]uint32, len(lens))
+	for sym, l := range lens {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = nextCode[l]
+		nextCode[l]++
+	}
+	return codes
+}
+
+// huffDecoder decodes a canonical code bit by bit using first-code tables.
+type huffDecoder struct {
+	// firstCode[l] is the smallest code of length l; firstSym[l] indexes
+	// into syms for that code.
+	firstCode [maxCodeLen + 1]uint32
+	firstSym  [maxCodeLen + 1]int32
+	counts    [maxCodeLen + 1]uint32
+	syms      []uint16 // symbols ordered by (length, symbol)
+}
+
+var errBadCode = errors.New("bzlike: invalid Huffman code")
+
+func newHuffDecoder(lens []uint8) (*huffDecoder, error) {
+	d := &huffDecoder{}
+	var countPerLen [maxCodeLen + 1]uint32
+	for _, l := range lens {
+		if int(l) > maxCodeLen {
+			return nil, fmt.Errorf("bzlike: code length %d exceeds cap", l)
+		}
+		countPerLen[l]++
+	}
+	countPerLen[0] = 0
+	code := uint32(0)
+	symBase := int32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + countPerLen[l-1]) << 1
+		d.firstCode[l] = code
+		d.firstSym[l] = symBase
+		d.counts[l] = countPerLen[l]
+		symBase += int32(countPerLen[l])
+	}
+	d.syms = make([]uint16, 0, symBase)
+	for l := 1; l <= maxCodeLen; l++ {
+		for sym, sl := range lens {
+			if int(sl) == l {
+				d.syms = append(d.syms, uint16(sym))
+			}
+		}
+	}
+	return d, nil
+}
+
+// decode reads one symbol from the bit reader.
+func (d *huffDecoder) decode(r *bitReader) (uint16, error) {
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(bit)
+		if d.counts[l] > 0 && code-d.firstCode[l] < d.counts[l] {
+			return d.syms[uint32(d.firstSym[l])+(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, errBadCode
+}

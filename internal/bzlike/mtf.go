@@ -1,0 +1,40 @@
+package bzlike
+
+// Move-to-front coding. After the BWT, equal symbols cluster; MTF turns
+// that clustering into a stream dominated by small values (mostly zeros),
+// which the zero-run coder and Huffman stage then exploit.
+
+// mtfEncode replaces each byte with its index in a recency list.
+func mtfEncode(s []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(s))
+	for i, b := range s {
+		var j int
+		for table[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(table[1:j+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(s []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(s))
+	for i, j := range s {
+		b := table[j]
+		out[i] = b
+		copy(table[1:int(j)+1], table[:j])
+		table[0] = b
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package bzlike
+
+// Zero-run coding in the BZip2 style: the MTF output is dominated by zero
+// runs, which are re-encoded in bijective base 2 over two run symbols.
+//
+// Symbol alphabet after this stage:
+//
+//	0 (runA), 1 (runB)  — zero-run digits
+//	2..256              — MTF values 1..255, shifted by one
+//	257 (eob)           — end of block
+const (
+	symRunA    = 0
+	symRunB    = 1
+	symShift   = 1 // MTF value v>0 encodes as v+symShift
+	symEOB     = 257
+	alphabetSz = 258
+)
+
+// rle0Encode converts MTF output to the run-coded symbol stream
+// (without the EOB terminator).
+func rle0Encode(mtf []byte) []uint16 {
+	out := make([]uint16, 0, len(mtf)/2+16)
+	run := 0
+	flush := func() {
+		// Bijective base 2: digits runA=1, runB=2, least significant first.
+		for run > 0 {
+			if run&1 == 1 {
+				out = append(out, symRunA)
+				run = (run - 1) / 2
+			} else {
+				out = append(out, symRunB)
+				run = (run - 2) / 2
+			}
+		}
+	}
+	for _, v := range mtf {
+		if v == 0 {
+			run++
+			continue
+		}
+		flush()
+		out = append(out, uint16(v)+symShift)
+	}
+	flush()
+	return out
+}
+
+// rle0Decode inverts rle0Encode, stopping at (and consuming) symEOB.
+// It returns the MTF byte stream and the number of symbols consumed.
+func rle0Decode(syms []uint16) (mtf []byte, consumed int, ok bool) {
+	out := make([]byte, 0, len(syms)*2)
+	run := 0
+	mult := 1
+	flush := func() {
+		for i := 0; i < run; i++ {
+			out = append(out, 0)
+		}
+		run, mult = 0, 1
+	}
+	for i, s := range syms {
+		switch {
+		case s == symRunA:
+			run += mult
+			mult *= 2
+		case s == symRunB:
+			run += 2 * mult
+			mult *= 2
+		case s == symEOB:
+			flush()
+			return out, i + 1, true
+		case s >= symShift+1 && s <= symShift+255:
+			flush()
+			out = append(out, byte(s-symShift))
+		default:
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false // missing EOB
+}

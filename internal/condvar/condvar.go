@@ -1,0 +1,95 @@
+// Package condvar provides transaction-friendly condition variables with
+// timed waits.
+//
+// Lock-based code waits on condition variables inside critical sections; a
+// transaction cannot block inside its own atomic block (the wait would hold
+// the transaction's speculative state forever). The paper adopts Wang's
+// transaction-safe condition variables, restructured so that "a waiting
+// transaction always performs its wait as its last instruction"
+// (Section VII), and extends them with timed waits via semaphores so x265's
+// soft real-time timeouts keep working (Section VI.d).
+//
+// This package implements that protocol with wakeup tickets:
+//
+//   - A transaction that finds its predicate false calls Tx.Retry; the
+//     enclosing Await loop (package tle) then blocks on the condition's
+//     ticket semaphore — the wait is the post-commit "last instruction".
+//   - A transaction that changes the predicate calls SignalTx/BroadcastTx,
+//     which defer the semaphore release to commit time: a signal from an
+//     aborted transaction never wakes anyone.
+//
+// Tickets make wakeups at-least-once: a release with no waiter is consumed
+// by the next waiter as a spurious wakeup, and every waiter re-checks its
+// predicate in a loop, so wakeups are never lost. Timed waits simply bound
+// the block; expiry degrades to a poll.
+package condvar
+
+import (
+	"time"
+
+	"gotle/internal/sema"
+	"gotle/internal/tm"
+)
+
+// maxTickets bounds stored wakeups; beyond this, releases coalesce.
+const maxTickets = 1 << 16
+
+// Cond is a transaction-friendly condition variable. The zero value is not
+// usable; call New.
+type Cond struct {
+	tickets *sema.Semaphore
+}
+
+// New returns a condition variable.
+func New() *Cond {
+	return &Cond{tickets: sema.New(0, maxTickets)}
+}
+
+// SignalTx schedules one wakeup when tx commits. Safe to call multiple
+// times in one transaction (each schedules a wakeup).
+func (c *Cond) SignalTx(tx tm.Tx) {
+	tx.Defer(c.tickets.Release)
+}
+
+// BroadcastTx schedules wakeups for all current waiters when tx commits.
+// n is the caller's (transactional) upper bound on the number of waiters;
+// waking more than are waiting is harmless (spurious wakeups).
+func (c *Cond) BroadcastTx(tx tm.Tx, n int) {
+	if n < 1 {
+		n = 1
+	}
+	tx.Defer(func() {
+		for i := 0; i < n; i++ {
+			c.tickets.Release()
+		}
+	})
+}
+
+// Signal wakes one waiter immediately (non-transactional contexts: pipeline
+// shutdown paths, the pthread baseline outside critical sections).
+func (c *Cond) Signal() { c.tickets.Release() }
+
+// Broadcast wakes up to n waiters immediately.
+func (c *Cond) Broadcast(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		c.tickets.Release()
+	}
+}
+
+// Wait blocks until a wakeup ticket arrives or the timeout expires; it
+// reports whether a ticket was consumed. A zero or negative timeout waits
+// indefinitely. Wait must be called outside any atomic block — the Await
+// helper in package tle enforces the protocol.
+func (c *Cond) Wait(timeout time.Duration) bool {
+	if timeout <= 0 {
+		c.tickets.Acquire()
+		return true
+	}
+	return c.tickets.AcquireTimeout(timeout)
+}
+
+// TryWait consumes a pending ticket without blocking.
+func (c *Cond) TryWait() bool { return c.tickets.TryAcquire() }

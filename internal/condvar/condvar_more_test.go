@@ -1,0 +1,63 @@
+package condvar
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitUntimedBlocksUntilSignal(t *testing.T) {
+	c := New()
+	done := make(chan bool, 1)
+	go func() { done <- c.Wait(0) }() // non-positive timeout: wait forever
+	select {
+	case <-done:
+		t.Fatal("untimed Wait returned without a signal")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Signal()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("untimed Wait reported failure")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("untimed Wait never woke")
+	}
+}
+
+func TestBroadcastNonTx(t *testing.T) {
+	c := New()
+	const waiters = 5
+	var wg sync.WaitGroup
+	woke := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.Wait(5 * time.Second) {
+				woke <- struct{}{}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Broadcast(waiters)
+	wg.Wait()
+	if len(woke) != waiters {
+		t.Fatalf("woke %d of %d waiters", len(woke), waiters)
+	}
+}
+
+func TestManySignalsCoalesceAtCapacity(t *testing.T) {
+	c := New()
+	for i := 0; i < maxTickets+100; i++ {
+		c.Signal()
+	}
+	drained := 0
+	for c.TryWait() {
+		drained++
+	}
+	if drained != maxTickets {
+		t.Fatalf("drained %d tickets, want capacity %d", drained, maxTickets)
+	}
+}

@@ -1,0 +1,138 @@
+package condvar
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gotle/internal/tm"
+)
+
+func TestSignalBeforeWaitIsStored(t *testing.T) {
+	c := New()
+	c.Signal()
+	if !c.Wait(time.Second) {
+		t.Fatal("stored ticket not consumed")
+	}
+}
+
+func TestWaitTimesOut(t *testing.T) {
+	c := New()
+	start := time.Now()
+	if c.Wait(20 * time.Millisecond) {
+		t.Fatal("wait succeeded with no ticket")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("timeout returned early")
+	}
+}
+
+func TestTryWait(t *testing.T) {
+	c := New()
+	if c.TryWait() {
+		t.Fatal("TryWait on empty cond succeeded")
+	}
+	c.Signal()
+	if !c.TryWait() {
+		t.Fatal("TryWait missed a ticket")
+	}
+}
+
+func TestBroadcastWakesN(t *testing.T) {
+	c := New()
+	c.Broadcast(3)
+	for i := 0; i < 3; i++ {
+		if !c.TryWait() {
+			t.Fatalf("ticket %d missing after Broadcast(3)", i)
+		}
+	}
+	if c.TryWait() {
+		t.Fatal("extra ticket after Broadcast(3)")
+	}
+}
+
+func TestBroadcastMinimumOne(t *testing.T) {
+	c := New()
+	c.Broadcast(0)
+	if !c.TryWait() {
+		t.Fatal("Broadcast(0) released no ticket")
+	}
+}
+
+func TestSignalTxFiresOnCommit(t *testing.T) {
+	e := tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 14})
+	th := e.NewThread()
+	c := New()
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		c.SignalTx(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.TryWait() {
+		t.Fatal("committed SignalTx produced no ticket")
+	}
+}
+
+func TestSignalTxSuppressedOnCancel(t *testing.T) {
+	e := tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 14})
+	th := e.NewThread()
+	c := New()
+	boom := errors.New("boom")
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		c.SignalTx(tx)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatal("cancel not propagated")
+	}
+	if c.TryWait() {
+		t.Fatal("cancelled SignalTx woke a waiter")
+	}
+}
+
+func TestSignalTxSuppressedOnRetry(t *testing.T) {
+	e := tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 14})
+	th := e.NewThread()
+	c := New()
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		c.SignalTx(tx)
+		tx.Retry()
+		return nil
+	}); !errors.Is(err, tm.ErrRetry) {
+		t.Fatal("retry not propagated")
+	}
+	if c.TryWait() {
+		t.Fatal("retried SignalTx woke a waiter")
+	}
+}
+
+func TestBroadcastTx(t *testing.T) {
+	e := tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 14})
+	th := e.NewThread()
+	c := New()
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		c.BroadcastTx(tx, 2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.TryWait() || !c.TryWait() {
+		t.Fatal("BroadcastTx(2) released fewer than 2 tickets")
+	}
+}
+
+func TestWakeupNotLostAcrossThreads(t *testing.T) {
+	c := New()
+	done := make(chan bool)
+	go func() { done <- c.Wait(5 * time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	c.Signal()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter timed out despite signal")
+		}
+	case <-time.After(6 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}

@@ -1,0 +1,127 @@
+// Package epoch implements the quiescence mechanism used by the STM.
+//
+// GCC's libitm has no built-in privatization safety, so a committing
+// transaction runs "code similar in spirit to a user-space RCU Epoch"
+// (paper, Section IV): it snapshots which threads are inside transactions
+// and waits for each of them to commit or abort and finish cleanup. Only
+// then may the committer run non-transactional code on data its transaction
+// privatized.
+//
+// Each registered thread owns a sequence slot: even = outside any
+// transaction, odd = inside one. Quiesce loads every slot once (the "cache
+// misses linear in the number of threads" of Section IV.C) and waits for the
+// odd ones to move.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gotle/internal/spinwait"
+)
+
+// Slot is one thread's participation record. Exactly one goroutine may call
+// Enter/Exit on a slot; any goroutine may observe it.
+type Slot struct {
+	seq atomic.Uint64
+	_   [56]byte // keep slots on separate cache lines
+}
+
+// Enter marks the owning thread as inside a transaction.
+func (s *Slot) Enter() {
+	// Odd = active. A plain increment suffices: only the owner writes.
+	s.seq.Add(1)
+}
+
+// Exit marks the owning thread as outside any transaction. It must balance a
+// previous Enter; the transaction's undo/cleanup must be complete before
+// Exit, since observers treat Exit as "no longer able to race".
+func (s *Slot) Exit() {
+	s.seq.Add(1)
+}
+
+// Active reports whether the slot is currently inside a transaction.
+func (s *Slot) Active() bool { return s.seq.Load()%2 == 1 }
+
+// Manager tracks the registered slots of one TM engine.
+type Manager struct {
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*Slot]
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	m := &Manager{}
+	empty := make([]*Slot, 0)
+	m.slots.Store(&empty)
+	return m
+}
+
+// Register adds a slot for a new thread. Registration is copy-on-write so
+// Quiesce can scan without locks.
+func (m *Manager) Register() *Slot {
+	s := &Slot{}
+	m.mu.Lock()
+	old := *m.slots.Load()
+	next := make([]*Slot, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	m.slots.Store(&next)
+	m.mu.Unlock()
+	return s
+}
+
+// Unregister removes a slot. The owning thread must be outside any
+// transaction.
+func (m *Manager) Unregister(s *Slot) {
+	if s.Active() {
+		panic("epoch: Unregister of active slot")
+	}
+	m.mu.Lock()
+	old := *m.slots.Load()
+	next := make([]*Slot, 0, len(old))
+	for _, o := range old {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	m.slots.Store(&next)
+	m.mu.Unlock()
+}
+
+// Threads reports the number of registered slots.
+func (m *Manager) Threads() int { return len(*m.slots.Load()) }
+
+// Quiesce waits until every transaction that was active when Quiesce was
+// called has finished (committed or aborted and cleaned up). self, if
+// non-nil, is skipped: the caller has already committed and its slot may
+// still read as active. The returned duration is the time spent waiting,
+// for the stats registry.
+func (m *Manager) Quiesce(self *Slot) time.Duration {
+	slots := *m.slots.Load()
+	// Snapshot pass: record the sequence of every active slot.
+	var pending []*Slot
+	var pendingSeq []uint64
+	for _, s := range slots {
+		if s == self {
+			continue
+		}
+		v := s.seq.Load()
+		if v%2 == 1 {
+			pending = append(pending, s)
+			pendingSeq = append(pendingSeq, v)
+		}
+	}
+	if len(pending) == 0 {
+		return 0
+	}
+	start := time.Now()
+	var b spinwait.Backoff
+	for i, s := range pending {
+		for s.seq.Load() == pendingSeq[i] {
+			b.Wait()
+		}
+	}
+	return time.Since(start)
+}

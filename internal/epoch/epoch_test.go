@@ -1,0 +1,177 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEnterExitParity(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	if s.Active() {
+		t.Fatal("fresh slot active")
+	}
+	s.Enter()
+	if !s.Active() {
+		t.Fatal("slot not active after Enter")
+	}
+	s.Exit()
+	if s.Active() {
+		t.Fatal("slot active after Exit")
+	}
+}
+
+func TestQuiesceNoActiveReturnsImmediately(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 4; i++ {
+		m.Register()
+	}
+	if d := m.Quiesce(nil); d != 0 {
+		t.Fatalf("Quiesce with no active slots waited %v", d)
+	}
+}
+
+func TestQuiesceSkipsSelf(t *testing.T) {
+	m := NewManager()
+	s := m.Register()
+	s.Enter()
+	done := make(chan time.Duration)
+	go func() { done <- m.Quiesce(s) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Quiesce(self) blocked on the caller's own slot")
+	}
+	s.Exit()
+}
+
+func TestQuiesceWaitsForActive(t *testing.T) {
+	m := NewManager()
+	a := m.Register()
+	b := m.Register()
+	a.Enter()
+	var released atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		m.Quiesce(b)
+		if !released.Load() {
+			t.Error("Quiesce returned before active transaction exited")
+		}
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	released.Store(true)
+	a.Exit()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Quiesce never returned")
+	}
+}
+
+// A quiescer must wait only for transactions active at snapshot time: a slot
+// that exits and re-enters satisfies the wait even though it is active again.
+func TestQuiesceGrandfatherClause(t *testing.T) {
+	m := NewManager()
+	a := m.Register()
+	a.Enter()
+	done := make(chan struct{})
+	go func() {
+		m.Quiesce(nil)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Exit()
+	a.Enter() // new transaction; quiescer must not wait for this one
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Quiesce waited for a transaction that began after the snapshot")
+	}
+	a.Exit()
+}
+
+func TestUnregister(t *testing.T) {
+	m := NewManager()
+	a := m.Register()
+	if m.Threads() != 1 {
+		t.Fatalf("Threads = %d, want 1", m.Threads())
+	}
+	m.Unregister(a)
+	if m.Threads() != 0 {
+		t.Fatalf("Threads = %d after Unregister, want 0", m.Threads())
+	}
+}
+
+func TestUnregisterActivePanics(t *testing.T) {
+	m := NewManager()
+	a := m.Register()
+	a.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unregister of active slot did not panic")
+		}
+	}()
+	m.Unregister(a)
+}
+
+// Stress: many threads running transactions while others quiesce; every
+// quiescence must observe the snapshot rule without deadlock.
+func TestQuiesceStress(t *testing.T) {
+	m := NewManager()
+	const threads = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		s := m.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Enter()
+				s.Exit()
+				m.Quiesce(s)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentRegister(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := m.Register()
+			s.Enter()
+			s.Exit()
+		}()
+	}
+	wg.Wait()
+	if m.Threads() != 16 {
+		t.Fatalf("Threads = %d, want 16", m.Threads())
+	}
+}
+
+func BenchmarkQuiesceIdle(b *testing.B) {
+	m := NewManager()
+	self := m.Register()
+	for i := 0; i < 12; i++ {
+		m.Register()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Quiesce(self)
+	}
+}

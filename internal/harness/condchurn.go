@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gotle/internal/histo"
+	"gotle/internal/htm"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Condition-variable churn: the paper observes that "condition variables
+// did present a common source of serialization, especially for HTM" and
+// leaves its exploration as future work (Section VI.d). This experiment
+// isolates that behaviour: pairs of threads ping-pong a token through an
+// elided critical section plus condvar handoff, the worst case for
+// wait/signal machinery. Reported: handoffs/sec and handoff-latency
+// percentiles per policy.
+
+// CondChurnConfig parameterises the experiment.
+type CondChurnConfig struct {
+	// Pairs of ping-pong threads (default 2).
+	Pairs int
+	// Handoffs per pair (default 2000).
+	Handoffs int
+	// WaitTimeout for the condvar waits (default 1ms).
+	WaitTimeout time.Duration
+	MemWords    int
+}
+
+func (c CondChurnConfig) withDefaults() CondChurnConfig {
+	if c.Pairs < 1 {
+		c.Pairs = 2
+	}
+	if c.Handoffs == 0 {
+		c.Handoffs = 2000
+	}
+	if c.WaitTimeout == 0 {
+		c.WaitTimeout = time.Millisecond
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 18
+	}
+	return c
+}
+
+// CondChurn runs the ping-pong under every policy.
+func CondChurn(cfg CondChurnConfig) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("Condvar churn: %d pairs × %d handoffs (Section VI.d)",
+			cfg.Pairs, cfg.Handoffs),
+		Header: []string{"policy", "handoffs/sec", "p50", "p99", "serial%"},
+	}
+	for _, p := range tle.Policies {
+		rate, lat, serial := runCondChurn(p, cfg)
+		t.AddRow(p.String(),
+			fmt.Sprintf("%.0f", rate),
+			lat.Quantile(0.50).String(),
+			lat.Quantile(0.99).String(),
+			fmt.Sprintf("%.2f", 100*serial))
+	}
+	return t
+}
+
+// runCondChurn measures one policy; returns handoffs/sec, the handoff
+// latency histogram and the serial-fallback rate.
+func runCondChurn(p tle.Policy, cfg CondChurnConfig) (float64, *histo.Histogram, float64) {
+	r := tle.New(p, tle.Config{
+		MemWords: cfg.MemWords,
+		HTM:      htm.Config{EventAbortPerMillion: 5},
+	})
+	lat := &histo.Histogram{}
+	before := r.Engine().Snapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for pair := 0; pair < cfg.Pairs; pair++ {
+		m := r.NewMutex(fmt.Sprintf("pingpong-%d", pair))
+		cvPing := r.NewCond()
+		cvPong := r.NewCond()
+		token := r.Engine().Alloc(2)
+		for side := uint64(0); side < 2; side++ {
+			th := r.NewThread()
+			myCv, otherCv := cvPing, cvPong
+			if side == 1 {
+				myCv, otherCv = cvPong, cvPing
+			}
+			wg.Add(1)
+			go func(side uint64, th *tm.Thread) {
+				defer wg.Done()
+				for i := 0; i < cfg.Handoffs; i++ {
+					opStart := time.Now()
+					err := m.Await(th, myCv, cfg.WaitTimeout, func(tx tm.Tx) error {
+						if tx.Load(token)%2 != side {
+							tx.NoQuiesce()
+							tx.Retry()
+						}
+						tx.Store(token, tx.Load(token)+1)
+						otherCv.SignalTx(tx)
+						return nil
+					})
+					if err != nil {
+						panic(fmt.Sprintf("condchurn %s: %v", p, err))
+					}
+					lat.Record(time.Since(opStart))
+				}
+			}(side, th)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	s := r.Engine().Snapshot().Sub(before)
+	total := float64(2 * cfg.Pairs * cfg.Handoffs)
+	return total / elapsed, lat, s.SerialRate()
+}

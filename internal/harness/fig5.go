@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gotle/internal/stats"
+	"gotle/internal/tm"
+	"gotle/internal/tmds"
+)
+
+// Figure 5: data-structure microbenchmarks comparing three quiescence
+// configurations (Section VII.C):
+//
+//   - STM        — quiescence after every transaction (GCC ≥ 2016);
+//   - NoQ        — no quiescence at all (unsafe in general; transactions
+//     that free memory still quiesce, as GCC's allocator requires);
+//   - SelectNoQ  — the paper's TM.NoQuiesce, applied with the Listing-2
+//     discipline: operations that privatize nothing skip quiescence.
+//
+// Panels: {list (6-bit keys), hash (8-bit), tree (8-bit)} ×
+// {50/50 insert/remove, 50% lookup + 25/25}.
+
+// QuiesceVariant names one Figure 5 STM configuration.
+type QuiesceVariant struct {
+	Name string
+	Cfg  tm.Config
+}
+
+// Fig5Variants returns the three configurations in paper order.
+func Fig5Variants(memWords int) []QuiesceVariant {
+	base := func(q tm.QuiescePolicy, honor bool) tm.Config {
+		return tm.Config{Mode: tm.ModeSTM, MemWords: memWords, Quiesce: q, HonorNoQuiesce: honor}
+	}
+	return []QuiesceVariant{
+		{"STM", base(tm.QuiesceAll, false)},
+		{"NoQ", base(tm.QuiesceNone, false)},
+		{"SelectNoQ", base(tm.QuiesceAll, true)},
+	}
+}
+
+// Fig5Config parameterises the microbenchmark sweep.
+type Fig5Config struct {
+	// Threads lists the thread counts to sweep (paper: 1–12 on 2×6 cores).
+	Threads []int
+	// Duration per trial (paper: 10 s; default 50 ms for quick runs).
+	Duration time.Duration
+	// Trials to average (paper: 3).
+	Trials int
+	// MemWords sizes each trial's heap.
+	MemWords int
+	Seed     int64
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8, 12}
+	}
+	if c.Duration == 0 {
+		c.Duration = 50 * time.Millisecond
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 22
+	}
+	return c
+}
+
+// fig5Structure describes one panel's data structure.
+type fig5Structure struct {
+	name     string
+	keyRange int64
+	build    func(e *tm.Engine, keyRange int64) fig5Set
+}
+
+type fig5Set interface {
+	Insert(tx tm.Tx, key int64) bool
+	Remove(tx tm.Tx, key int64) bool
+	Contains(tx tm.Tx, key int64) bool
+}
+
+func fig5Structures() []fig5Structure {
+	return []fig5Structure{
+		{"list", 64, func(e *tm.Engine, _ int64) fig5Set { return tmds.NewList(e) }},
+		{"hash", 256, func(e *tm.Engine, _ int64) fig5Set { return tmds.NewHash(e, 256) }},
+		{"tree", 256, func(e *tm.Engine, _ int64) fig5Set { return tmds.NewTree(e) }},
+	}
+}
+
+// fig5Mix describes an operation mix.
+type fig5Mix struct {
+	name          string
+	lookupPercent int
+}
+
+func fig5Mixes() []fig5Mix {
+	return []fig5Mix{
+		{"ins50/rem50", 0},
+		{"lookup50/ins25/rem25", 50},
+	}
+}
+
+// runFig5Cell measures one (variant, structure, mix, threads) cell and
+// returns throughput in operations/second plus the engine's statistics.
+func runFig5Cell(v QuiesceVariant, st fig5Structure, mix fig5Mix, threads int, cfg Fig5Config) (float64, stats.Snapshot) {
+	e := tm.New(v.Cfg)
+	set := st.build(e, st.keyRange)
+	// Pre-fill to 50% ("the list is initially 50% full", Section VII.C).
+	init := e.NewThread()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for filled := int64(0); filled < st.keyRange/2; {
+		k := rng.Int63n(st.keyRange)
+		var ins bool
+		if err := e.Atomic(init, func(tx tm.Tx) error {
+			ins = set.Insert(tx, k)
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+		if ins {
+			filled++
+		}
+	}
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		th := e.NewThread()
+		tRng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+		wg.Add(1)
+		go func(th *tm.Thread, rng *rand.Rand) {
+			defer wg.Done()
+			local := int64(0)
+			for !stop.Load() {
+				k := rng.Int63n(st.keyRange)
+				roll := rng.Intn(100)
+				err := e.Atomic(th, func(tx tm.Tx) error {
+					privatized := false
+					switch {
+					case roll < mix.lookupPercent:
+						set.Contains(tx, k)
+					case roll < mix.lookupPercent+(100-mix.lookupPercent)/2:
+						set.Insert(tx, k)
+					default:
+						privatized = set.Remove(tx, k)
+					}
+					if !privatized {
+						// Listing-2 discipline: nothing privatized, so the
+						// commit may skip quiescence. (Successful removes
+						// free a node, which forces quiescence anyway.)
+						tx.NoQuiesce()
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+				local++
+			}
+			ops.Add(local)
+		}(th, tRng)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(ops.Load()) / elapsed, e.Snapshot()
+}
+
+// Fig5 runs the full sweep and returns one table per (structure, mix)
+// panel, matching the paper's six subfigures.
+func Fig5(cfg Fig5Config) []*Table {
+	cfg = cfg.withDefaults()
+	variants := Fig5Variants(cfg.MemWords)
+	var tables []*Table
+	for _, st := range fig5Structures() {
+		for _, mix := range fig5Mixes() {
+			t := &Table{
+				Title:  fmt.Sprintf("Figure 5: %s set, %s (ops/sec)", st.name, mix.name),
+				Header: append([]string{"threads"}, variantNames(variants)...),
+			}
+			for _, threads := range cfg.Threads {
+				row := []string{fmt.Sprintf("%d", threads)}
+				for _, v := range variants {
+					var sum float64
+					for trial := 0; trial < cfg.Trials; trial++ {
+						opsSec, _ := runFig5Cell(v, st, mix, threads, cfg)
+						sum += opsSec
+					}
+					row = append(row, fmt.Sprintf("%.0f", sum/float64(cfg.Trials)))
+				}
+				t.AddRow(row...)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+func variantNames(vs []QuiesceVariant) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}

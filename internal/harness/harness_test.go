@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gotle/internal/tle"
+)
+
+func TestTableFprintAligned(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"threads", "x"}}
+	tab.AddRow("1", "100")
+	tab.AddRow("12", "5")
+	tab.Notes = append(tab.Notes, "a note")
+	var b bytes.Buffer
+	tab.Fprint(&b)
+	out := b.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "note: a note") {
+		t.Fatalf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "t,1", Header: []string{"a", "b"}}
+	tab.AddRow(`va"l`, "2")
+	var b bytes.Buffer
+	tab.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"# t,1"`) || !strings.Contains(out, `"va""l",2`) {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+// A minimal Figure 5 run: all cells produce positive throughput.
+func TestFig5Tiny(t *testing.T) {
+	tabs := Fig5(Fig5Config{
+		Threads:  []int{1, 2},
+		Duration: 10 * time.Millisecond,
+		Trials:   1,
+		MemWords: 1 << 18,
+	})
+	if len(tabs) != 6 {
+		t.Fatalf("panels = %d, want 6", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s: rows = %d", tab.Title, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			for i, cell := range row[1:] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil || v <= 0 {
+					t.Fatalf("%s: cell %d = %q", tab.Title, i, cell)
+				}
+			}
+		}
+	}
+}
+
+// A minimal Figure 2 run: one block size, two thread counts, two policies.
+func TestFig2Tiny(t *testing.T) {
+	tabs := Fig2(Fig2Config{
+		FileSize:   60_000,
+		BlockSizes: []int{20_000},
+		Threads:    []int{1, 2},
+		Policies:   []tle.Policy{tle.PolicyPthread, tle.PolicySTMCondVar},
+		MemWords:   1 << 19,
+	})
+	if len(tabs) != 2 { // compress + decompress
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if v, err := strconv.ParseFloat(cell, 64); err != nil || v <= 0 {
+					t.Fatalf("%s: bad cell %q", tab.Title, cell)
+				}
+			}
+		}
+	}
+}
+
+// A minimal Figure 3/4 run.
+func TestFig3And4Tiny(t *testing.T) {
+	cfg := Fig3Config{
+		Sizes:    []VideoSize{{"tiny", 64, 48, 2}},
+		Threads:  []int{1, 2},
+		Policies: []tle.Policy{tle.PolicyPthread, tle.PolicyHTMCondVar},
+		MemWords: 1 << 19,
+	}
+	tabs := Fig3(cfg)
+	if len(tabs) != 1 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	for _, row := range tabs[0].Rows {
+		for _, cell := range row[1:] {
+			if v, err := strconv.ParseFloat(cell, 64); err != nil || v <= 0 {
+				t.Fatalf("bad speedup cell %q", cell)
+			}
+		}
+	}
+	f4 := Fig4(cfg)
+	if len(f4.Rows) != 2 {
+		t.Fatalf("fig4 rows = %d", len(f4.Rows))
+	}
+}
+
+func TestTextTablesTiny(t *testing.T) {
+	pb := TextPBZip(Fig2Config{FileSize: 50_000, MemWords: 1 << 19})
+	if len(pb.Rows) != 4 {
+		t.Fatalf("pbzip text rows = %d", len(pb.Rows))
+	}
+	x := TextX265(Fig3Config{
+		Sizes:    []VideoSize{{"tiny", 64, 48, 2}},
+		Threads:  []int{1, 2},
+		MemWords: 1 << 19,
+	})
+	if len(x.Rows) != 2 {
+		t.Fatalf("x265 text rows = %d", len(x.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	r := AblationRetry(Fig3Config{
+		Sizes:    []VideoSize{{"tiny", 64, 48, 2}},
+		MemWords: 1 << 19,
+	}, []int{1, 2})
+	if len(r.Rows) != 2 {
+		t.Fatalf("retry ablation rows = %d", len(r.Rows))
+	}
+	s := AblationStripe(2, 10*time.Millisecond, []int{0, 4})
+	if len(s.Rows) != 2 {
+		t.Fatalf("stripe ablation rows = %d", len(s.Rows))
+	}
+	q := AblationQuiesceWriters(2, 10*time.Millisecond)
+	if len(q.Rows) != 3 {
+		t.Fatalf("quiesce ablation rows = %d", len(q.Rows))
+	}
+}
+
+func TestCondChurnTiny(t *testing.T) {
+	tab := CondChurn(CondChurnConfig{Pairs: 1, Handoffs: 50})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			t.Fatalf("policy %s made no progress", row[0])
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty meanStd nonzero")
+	}
+	m, s = meanStd([]float64{5})
+	if m != 5 || s != 0 {
+		t.Fatalf("single: %v %v", m, s)
+	}
+	m, s = meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s < 2.1 || s > 2.2 { // sample stddev ≈ 2.138
+		t.Fatalf("std = %v", s)
+	}
+	if got := fmtTrials([]float64{1.5}, 2); got != "1.50" {
+		t.Fatalf("fmtTrials single = %q", got)
+	}
+	if got := fmtTrials([]float64{1, 3}, 1); got != "2.0±1.4" {
+		t.Fatalf("fmtTrials pair = %q", got)
+	}
+}
+
+func TestKVThroughputTiny(t *testing.T) {
+	tab := KVThroughput(KVConfig{Threads: []int{1, 2}, Ops: 100, Keyspace: 32, MemWords: 1 << 19})
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 6 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if cell == "0" {
+				t.Fatalf("zero throughput cell in %v", row)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package harness runs the paper's experiments and renders their data
+// series: Figure 2 (PBZip2), Figures 3 and 4 (x265), Figure 5 (the
+// quiescence microbenchmarks), the in-text statistics of Section VII, and
+// the ablations called out in DESIGN.md.
+//
+// Absolute numbers depend on the host (the paper used a 4-core Haswell
+// with TSX and a 2×6-core Westmere; this reproduction runs wherever the Go
+// runtime lands, including single-core containers where speedup-vs-threads
+// curves flatten). What the harness preserves is the comparison structure:
+// the same policies, the same sweeps, the same metrics.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is one rendered experiment panel.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	row([]string{"# " + t.Title})
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// meanStd returns the mean and sample standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// fmtTrials renders mean (±std when more than one trial) with the given
+// precision.
+func fmtTrials(xs []float64, prec int) string {
+	mean, std := meanStd(xs)
+	if len(xs) < 2 {
+		return strconv.FormatFloat(mean, 'f', prec, 64)
+	}
+	return fmt.Sprintf("%.*f±%.*f", prec, mean, prec, std)
+}

@@ -1,0 +1,126 @@
+// Package histo provides a lock-free log-bucketed latency histogram.
+//
+// The harness uses it to report critical-section latency percentiles: mean
+// throughput hides exactly the behaviour the paper cares about (quiescence
+// stalls, serial-mode convoys, condvar handoff delays), which live in the
+// tail.
+package histo
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// buckets: bucket i covers [2^i, 2^(i+1)) nanoseconds; bucket 0 covers
+// [0, 2).
+const numBuckets = 48
+
+// Histogram accumulates durations. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	b := bits.Len64(ns)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d))
+	for {
+		cur := h.maxNs.Load()
+		if uint64(d) <= cur || h.maxNs.CompareAndSwap(cur, uint64(d)) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean reports the average duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// upper edge of the bucket containing it. Resolution is a factor of two.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return time.Duration(1)
+			}
+			return time.Duration(uint64(1) << uint(i)) // upper bucket edge
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's observations into h (not atomic as a whole; intended
+// for post-run aggregation).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		if v := other.buckets[i].Load(); v > 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sumNs.Add(other.sumNs.Load())
+	for {
+		cur := h.maxNs.Load()
+		o := other.maxNs.Load()
+		if o <= cur || h.maxNs.CompareAndSwap(cur, o) {
+			break
+		}
+	}
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package histo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestMeanAndCount(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 300*time.Nanosecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestQuantileBucketBounds(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Record(100 * time.Nanosecond) // bucket [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1 * time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100*time.Nanosecond || p50 > 256*time.Nanosecond {
+		t.Fatalf("p50 = %v, expected near 128ns", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Microsecond {
+		t.Fatalf("p99 = %v, expected >= 0.5ms", p99)
+	}
+	if q0 := h.Quantile(0); q0 == 0 {
+		t.Fatalf("q0 = %v, want first-bucket bound", q0)
+	}
+	if h.Quantile(1) < p99 {
+		t.Fatal("q1 < p99")
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Fatal("out-of-range quantiles mishandled")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 {
+		t.Fatal("negative duration dropped")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() < 2*time.Millisecond {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const threads, per = 8, 10000
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Record(time.Duration(j) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != threads*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

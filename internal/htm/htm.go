@@ -1,0 +1,481 @@
+// Package htm simulates a best-effort hardware transactional memory in the
+// style of Intel TSX, which the paper's HTM results use via GCC's hardware
+// path.
+//
+// The simulation preserves the properties the paper depends on:
+//
+//   - Low per-access latency: no version clock, no validation loops; an
+//     access touches one line record and (for writes) a small buffer.
+//   - Eager, cache-line-granular conflict detection: an access that
+//     conflicts with another transaction's line dooms that transaction,
+//     mirroring how a coherence request aborts the TSX transaction holding
+//     the line ("requester wins"); a transaction that has begun committing
+//     cannot be doomed ("committing wins"), so the requester aborts instead.
+//   - Capacity aborts: the write set is bounded by an L1-sized line budget
+//     and the read set by an L2-sized budget. "Hardware transactions cannot
+//     access more data than fits in the cache" (Section II.A).
+//   - Event aborts: a seeded per-access probability models interrupts and
+//     other transient causes that make best-effort HTM fail independently of
+//     data conflicts.
+//   - Strong isolation: non-transactional accesses participate in conflict
+//     detection and doom conflicting transactions, which is why HTM needs no
+//     quiescence (Section IV: "In HTM, such accesses are not possible").
+//
+// Writes are buffered (lazy versioning, like TSX's L1 write buffering) and
+// flushed at commit; doomed transactions may observe inconsistent values
+// but can never commit them, so committed transactions are serializable.
+//
+// Retry policy and the serial fallback lock live in the engine (package tm).
+package htm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"gotle/internal/abortsig"
+	"gotle/internal/memseg"
+	"gotle/internal/spinwait"
+	"gotle/internal/stats"
+)
+
+// MaxThreads bounds concurrent hardware transactions; reader sets are
+// per-line 64-bit thread bitmasks.
+const MaxThreads = 64
+
+// Transaction status values (per thread, in shared state so attackers can
+// doom victims).
+const (
+	stInactive uint32 = iota
+	stActive
+	stCommitting
+	stDoomed
+)
+
+// Config holds HTM construction parameters. Zero values select defaults.
+type Config struct {
+	// WriteCapacityLines bounds the write set; default 512 lines
+	// (a 32 KB, 64 B/line L1).
+	WriteCapacityLines int
+	// ReadCapacityLines bounds the read set; default 4096 lines
+	// (a 256 KB L2 tracking read sets, as on Haswell).
+	ReadCapacityLines int
+	// Associativity, when positive, additionally models the write buffer
+	// as a set-associative cache: writes are tracked per cache set
+	// (line index modulo WriteCapacityLines/Associativity sets) and a
+	// transaction aborts when a set overflows its ways — the reason real
+	// TSX transactions can capacity-abort far below the total L1 size
+	// when their write set aliases. 0 disables the set model (flat cap).
+	Associativity int
+	// EventAbortPerMillion is the per-access probability (×1e-6) of a
+	// transient abort (interrupt, TLB miss...). Default 5.
+	EventAbortPerMillion int
+	// Seed seeds the per-transaction event RNGs.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.WriteCapacityLines == 0 {
+		out.WriteCapacityLines = 512
+	}
+	if out.ReadCapacityLines == 0 {
+		out.ReadCapacityLines = 4096
+	}
+	if out.EventAbortPerMillion == 0 {
+		out.EventAbortPerMillion = 5
+	}
+	return out
+}
+
+// numSets returns the number of cache sets under the associative model,
+// or 0 when the model is disabled.
+func (c Config) numSets() int {
+	if c.Associativity <= 0 {
+		return 0
+	}
+	sets := c.WriteCapacityLines / c.Associativity
+	if sets < 1 {
+		sets = 1
+	}
+	return sets
+}
+
+// lineRec tracks conflict state for one 64-byte line. readers is a bitmask
+// of thread ids with the line in their read set; writer is id+1 of the
+// transaction with the line in its write set, or 0.
+type lineRec struct {
+	readers atomic.Uint64
+	writer  atomic.Uint32
+}
+
+// HTM is the shared state of one simulated HTM instance.
+type HTM struct {
+	mem    *memseg.Memory
+	lines  []lineRec
+	status [MaxThreads]atomic.Uint32
+	cause  [MaxThreads]atomic.Uint32 // abort cause set by the attacker
+	cfg    Config
+}
+
+// New creates an HTM simulator over the given heap.
+func New(mem *memseg.Memory, cfg Config) *HTM {
+	nLines := mem.Size()/memseg.WordsPerLine + 1
+	return &HTM{
+		mem:   mem,
+		lines: make([]lineRec, nLines),
+		cfg:   cfg.withDefaults(),
+	}
+}
+
+// Memory returns the heap this HTM operates on.
+func (h *HTM) Memory() *memseg.Memory { return h.mem }
+
+// Tx is a per-thread hardware transaction descriptor, reused across
+// attempts. Not safe for concurrent use.
+type Tx struct {
+	h    *HTM
+	id   uint32
+	bit  uint64
+	rng  *rand.Rand
+	live bool
+
+	writeBuf   map[memseg.Addr]uint64
+	writeLines map[uint32]struct{}
+	readLines  map[uint32]struct{}
+	// setOccupancy counts distinct write lines per cache set under the
+	// associative model (nil when disabled).
+	setOccupancy []uint8
+}
+
+// NewTx returns a descriptor for thread id (must be < MaxThreads).
+func (h *HTM) NewTx(id uint64) *Tx {
+	if id >= MaxThreads {
+		panic(fmt.Sprintf("htm: thread id %d exceeds MaxThreads %d", id, MaxThreads))
+	}
+	t := &Tx{
+		h:          h,
+		id:         uint32(id),
+		bit:        1 << id,
+		rng:        rand.New(rand.NewSource(h.cfg.Seed ^ int64(id*2654435761+1))),
+		writeBuf:   make(map[memseg.Addr]uint64),
+		writeLines: make(map[uint32]struct{}),
+		readLines:  make(map[uint32]struct{}),
+	}
+	if sets := h.cfg.numSets(); sets > 0 {
+		t.setOccupancy = make([]uint8, sets)
+	}
+	return t
+}
+
+// Begin starts an attempt.
+func (t *Tx) Begin() {
+	if t.live {
+		panic("htm: Begin on live transaction")
+	}
+	if !t.h.status[t.id].CompareAndSwap(stInactive, stActive) {
+		// A stale doom can linger if an attacker doomed us between cleanup
+		// and now; reset unconditionally.
+		t.h.status[t.id].Store(stActive)
+	}
+	clear(t.writeBuf)
+	clear(t.writeLines)
+	clear(t.readLines)
+	clear(t.setOccupancy)
+	t.live = true
+}
+
+// Live reports whether an attempt is in progress.
+func (t *Tx) Live() bool { return t.live }
+
+// ReadOnly reports whether the attempt has performed no writes.
+func (t *Tx) ReadOnly() bool { return len(t.writeBuf) == 0 }
+
+func (t *Tx) abort(cause stats.AbortCause) {
+	abortsig.Throw(cause)
+}
+
+// checkDoom aborts the attempt if an attacker doomed it.
+func (t *Tx) checkDoom() {
+	if t.h.status[t.id].Load() == stDoomed {
+		cause := stats.AbortCause(t.h.cause[t.id].Load())
+		t.abort(cause)
+	}
+}
+
+// maybeEvent rolls for a transient abort.
+func (t *Tx) maybeEvent() {
+	if t.rng.Intn(1_000_000) < t.h.cfg.EventAbortPerMillion {
+		t.abort(stats.Event)
+	}
+}
+
+// doom tries to abort the transaction with the given id (caller has observed
+// a conflict with it). It reports false when the victim is committing and
+// thus cannot be doomed — the caller must abort itself.
+func (h *HTM) doom(victim uint32, cause stats.AbortCause) bool {
+	for {
+		s := h.status[victim].Load()
+		switch s {
+		case stActive:
+			h.cause[victim].Store(uint32(cause))
+			if h.status[victim].CompareAndSwap(stActive, stDoomed) {
+				return true
+			}
+		case stCommitting:
+			return false
+		default: // inactive or already doomed: nothing to do
+			return true
+		}
+	}
+}
+
+// DoomAll dooms every active transaction. The engine calls this when a
+// thread acquires the serial fallback lock: on real hardware the lock
+// acquisition writes a word in every transaction's read set, aborting them
+// all at once.
+func (h *HTM) DoomAll(cause stats.AbortCause) {
+	for id := uint32(0); id < MaxThreads; id++ {
+		h.doom(id, cause)
+	}
+}
+
+// Load performs a transactional read of the word at a.
+func (t *Tx) Load(a memseg.Addr) uint64 {
+	t.checkDoom()
+	t.maybeEvent()
+	if v, ok := t.writeBuf[a]; ok {
+		return v
+	}
+	line := a.Line()
+	rec := &t.h.lines[line]
+	if _, tracked := t.readLines[line]; !tracked {
+		if len(t.readLines) >= t.h.cfg.ReadCapacityLines {
+			t.abort(stats.Capacity)
+		}
+		// Record the line before touching the shared record so that an
+		// abort anywhere below still releases the reader bit in OnAbort
+		// (clearing an unset bit is harmless).
+		t.readLines[line] = struct{}{}
+		// Resolve against a concurrent writer, register, then re-check: the
+		// re-check closes the race where a writer registers between our
+		// check and our registration.
+		for {
+			if w := rec.writer.Load(); w != 0 && w != t.id+1 {
+				if !t.h.doom(w-1, stats.Conflict) {
+					t.abort(stats.Conflict) // writer is committing
+				}
+				// The victim is doomed and can never flush; revoke its
+				// claim immediately (hardware aborts the victim instantly,
+				// our victims abort lazily at their next access). The
+				// victim's own cleanup uses a conditional release, so the
+				// steal is safe.
+				rec.writer.CompareAndSwap(w, 0)
+				continue
+			}
+			rec.readers.Or(t.bit)
+			if w := rec.writer.Load(); w != 0 && w != t.id+1 {
+				rec.readers.And(^t.bit)
+				continue
+			}
+			break
+		}
+	}
+	t.checkDoom()
+	return t.h.mem.Load(a)
+}
+
+// Store performs a transactional (buffered) write of the word at a.
+func (t *Tx) Store(a memseg.Addr, v uint64) {
+	t.checkDoom()
+	t.maybeEvent()
+	line := a.Line()
+	if _, tracked := t.writeLines[line]; !tracked {
+		if len(t.writeLines) >= t.h.cfg.WriteCapacityLines {
+			t.abort(stats.Capacity)
+		}
+		if t.setOccupancy != nil {
+			set := line % uint32(len(t.setOccupancy))
+			if int(t.setOccupancy[set]) >= t.h.cfg.Associativity {
+				t.abort(stats.Capacity) // set conflict: ways exhausted
+			}
+			t.setOccupancy[set]++
+		}
+		// Record before claiming: if claimLine aborts mid-way, OnAbort's
+		// conditional release (CAS id+1 → 0) cleans up whatever was taken.
+		t.writeLines[line] = struct{}{}
+		t.claimLine(line)
+	}
+	t.writeBuf[a] = v
+	t.checkDoom()
+}
+
+// claimLine takes exclusive write ownership of a line, dooming conflicting
+// readers and writers.
+func (t *Tx) claimLine(line uint32) {
+	rec := &t.h.lines[line]
+	// Evict a conflicting writer, stealing its claim once it is doomed.
+	for {
+		w := rec.writer.Load()
+		if w == t.id+1 {
+			break
+		}
+		if w != 0 {
+			if !t.h.doom(w-1, stats.Conflict) {
+				t.abort(stats.Conflict)
+			}
+			rec.writer.CompareAndSwap(w, t.id+1)
+			continue
+		}
+		if rec.writer.CompareAndSwap(0, t.id+1) {
+			break
+		}
+	}
+	// Doom all other readers of the line.
+	mask := rec.readers.Load() &^ t.bit
+	for id := uint32(0); mask != 0 && id < MaxThreads; id++ {
+		if mask&(1<<id) != 0 {
+			if !t.h.doom(id, stats.Conflict) {
+				t.abort(stats.Conflict)
+			}
+			mask &^= 1 << id
+		}
+	}
+}
+
+// Commit atomically publishes the write buffer. Returns true when the
+// transaction was read-only.
+func (t *Tx) Commit() (readOnly bool) {
+	if !t.live {
+		panic("htm: Commit without Begin")
+	}
+	if len(t.writeBuf) == 0 {
+		t.finish()
+		return true
+	}
+	if !t.h.status[t.id].CompareAndSwap(stActive, stCommitting) {
+		t.abort(stats.AbortCause(t.h.cause[t.id].Load()))
+	}
+	// From here we cannot be doomed; flush the buffer. Readers that raced
+	// with us were doomed when we claimed their lines.
+	for a, v := range t.writeBuf {
+		t.h.mem.Store(a, v)
+	}
+	t.finish()
+	return false
+}
+
+// finish releases all line claims and resets status.
+func (t *Tx) finish() {
+	t.releaseLines()
+	t.h.status[t.id].Store(stInactive)
+	t.live = false
+}
+
+// OnAbort discards the write buffer and releases line claims. The engine
+// calls this from its recover handler.
+func (t *Tx) OnAbort() {
+	t.releaseLines()
+	t.h.status[t.id].Store(stInactive)
+	clear(t.writeBuf)
+	clear(t.writeLines)
+	clear(t.readLines)
+	t.live = false
+}
+
+func (t *Tx) releaseLines() {
+	for line := range t.writeLines {
+		t.h.lines[line].writer.CompareAndSwap(t.id+1, 0)
+	}
+	for line := range t.readLines {
+		t.h.lines[line].readers.And(^t.bit)
+	}
+}
+
+// InvalidateBlock dooms every transaction with any line of the block
+// [a, a+words) in its read or write set. The engine calls this before
+// returning a block to the allocator: on hardware, the recycled lines would
+// be invalidated by the next owner's writes, aborting stale readers — which
+// is why HTM needs no pre-free quiescence.
+func (h *HTM) InvalidateBlock(a memseg.Addr, words int) {
+	first := a.Line()
+	last := (a + memseg.Addr(words) - 1).Line()
+	for line := first; line <= last; line++ {
+		rec := &h.lines[line]
+		if w := rec.writer.Load(); w != 0 {
+			if h.doom(w-1, stats.Conflict) {
+				rec.writer.CompareAndSwap(w, 0)
+			}
+		}
+		mask := rec.readers.Load()
+		for id := uint32(0); mask != 0 && id < MaxThreads; id++ {
+			if mask&(1<<id) != 0 {
+				h.doom(id, stats.Conflict)
+				mask &^= 1 << id
+			}
+		}
+	}
+}
+
+// NontxLoad is a strongly isolated non-transactional read: it dooms any
+// transaction writing the line, then reads committed memory.
+func (h *HTM) NontxLoad(a memseg.Addr) uint64 {
+	rec := &h.lines[a.Line()]
+	var b spinwait.Backoff
+	for {
+		w := rec.writer.Load()
+		if w == 0 {
+			break
+		}
+		if h.doom(w-1, stats.Conflict) {
+			rec.writer.CompareAndSwap(w, 0)
+			break
+		}
+		// Writer is committing: its flush is running on a live goroutine
+		// and bounded, so wait it out.
+		b.Wait()
+	}
+	v := h.mem.Load(a)
+	// A writer may have claimed the line between the check and the read; on
+	// hardware our read would invalidate its line, so doom it (best effort:
+	// if it already reached Committing its flush wins and our caller sees
+	// either value, both of which are legal outcomes of the race).
+	if w := rec.writer.Load(); w != 0 {
+		h.doom(w-1, stats.Conflict)
+	}
+	return v
+}
+
+// NontxStore is a strongly isolated non-transactional write: it dooms any
+// transaction reading or writing the line, then writes memory.
+func (h *HTM) NontxStore(a memseg.Addr, v uint64) {
+	rec := &h.lines[a.Line()]
+	var b spinwait.Backoff
+	for {
+		w := rec.writer.Load()
+		if w == 0 {
+			break
+		}
+		if h.doom(w-1, stats.Conflict) {
+			rec.writer.CompareAndSwap(w, 0)
+			break
+		}
+		b.Wait()
+	}
+	mask := rec.readers.Load()
+	for id := uint32(0); mask != 0 && id < MaxThreads; id++ {
+		if mask&(1<<id) != 0 {
+			// Readers that are committing are read-only on this line’s
+			// value flow; their commit does not depend on future values,
+			// so it is safe to proceed without dooming them.
+			h.doom(id, stats.Conflict)
+			mask &^= 1 << id
+		}
+	}
+	h.mem.Store(a, v)
+	// Doom any transaction that claimed the line while we were writing, so
+	// its buffered value cannot silently overwrite ours at flush time.
+	if w := rec.writer.Load(); w != 0 {
+		h.doom(w-1, stats.Conflict)
+	}
+}

@@ -1,0 +1,445 @@
+// Package kvstore is a memcached-style in-memory cache built on the lock-
+// elision layer: a sharded hash table with per-shard LRU eviction and
+// global statistics counters.
+//
+// The paper repeatedly leans on the authors' earlier transactional
+// memcached port (Sections V and VI): critical sections there obeyed
+// two-phase locking, atomic statistics counters had to be folded into
+// transactions, and log output had to be deferred. This package recreates
+// that workload shape on this repository's TM stack:
+//
+//   - each shard's operations are one critical section (per-shard elidable
+//     mutex), with lookup, LRU maintenance and eviction inside;
+//   - the global statistics counters live behind their own elided lock and
+//     are updated as nested (flattened) transactions — the memcached
+//     "mini-transaction" treatment of its C++ atomics;
+//   - eviction and deletion privatize item memory, so the quiescence
+//     machinery (and the Listing-2 NoQuiesce discipline) is exercised by
+//     every miss-heavy workload.
+//
+// Keys and values are byte strings packed into heap words. All operations
+// are 2PL-clean (verified by test against lockcheck) and therefore
+// elidable under every policy.
+package kvstore
+
+import (
+	"fmt"
+
+	"gotle/internal/condvar"
+	"gotle/internal/memseg"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Item block layout (word offsets).
+const (
+	itMeta  = 0 // keyLen<<32 | valLen
+	itChain = 1 // next item in bucket chain
+	itPrev  = 2 // LRU: towards most-recent
+	itNext  = 3 // LRU: towards least-recent
+	itData  = 4 // key bytes, then value bytes, word-packed
+)
+
+// Shard block layout.
+const (
+	shCount   = 0
+	shLRUHead = 1 // most recently used
+	shLRUTail = 2 // least recently used
+	shBuckets = 3
+)
+
+// Stats block layout (guarded by the stats lock).
+const (
+	stGets = iota
+	stHits
+	stSets
+	stDeletes
+	stEvictions
+	stWords
+)
+
+// MaxKeyLen and MaxValLen bound entry sizes.
+const (
+	MaxKeyLen = 250 // memcached's limit
+	MaxValLen = 8192
+)
+
+// Config parameterises a Store.
+type Config struct {
+	// Shards is rounded up to a power of two (default 8).
+	Shards int
+	// BucketsPerShard is rounded up to a power of two (default 64).
+	BucketsPerShard int
+	// MaxItemsPerShard triggers LRU eviction (default 1024).
+	MaxItemsPerShard int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 8
+	}
+	if c.BucketsPerShard < 1 {
+		c.BucketsPerShard = 64
+	}
+	if c.MaxItemsPerShard < 1 {
+		c.MaxItemsPerShard = 1024
+	}
+	return c
+}
+
+// Store is the cache.
+type Store struct {
+	r       *tle.Runtime
+	cfg     Config
+	shards  []shard
+	statsMu *tle.Mutex
+	stats   memseg.Addr
+	// notFull supports blocking Set when a shard is saturated with
+	// in-flight evictions (not used by default paths; exposed for apps).
+	notFull *condvar.Cond
+}
+
+type shard struct {
+	mu   *tle.Mutex
+	base memseg.Addr
+	mask uint64
+}
+
+// New creates a store on the runtime's engine.
+func New(r *tle.Runtime, cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	nsh := ceilPow2(cfg.Shards)
+	nbk := ceilPow2(cfg.BucketsPerShard)
+	cfg.Shards, cfg.BucketsPerShard = nsh, nbk
+	s := &Store{
+		r:       r,
+		cfg:     cfg,
+		shards:  make([]shard, nsh),
+		statsMu: r.NewMutex("kv-stats"),
+		stats:   r.Engine().Alloc(stWords),
+		notFull: r.NewCond(),
+	}
+	for i := range s.shards {
+		s.shards[i] = shard{
+			mu:   r.NewMutex(fmt.Sprintf("kv-shard-%d", i)),
+			base: r.Engine().Alloc(shBuckets + nbk),
+			mask: uint64(nbk - 1),
+		}
+	}
+	return s
+}
+
+func ceilPow2(v int) int {
+	n := 1
+	for n < v {
+		n *= 2
+	}
+	return n
+}
+
+// fnv1a hashes a key.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) shardFor(h uint64) *shard {
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// wordsFor returns the item block size for the given key/value lengths.
+func wordsFor(keyLen, valLen int) int {
+	return itData + (keyLen+7)/8 + (valLen+7)/8
+}
+
+// packBytes writes b into consecutive words starting at a.
+func packBytes(tx tm.Tx, a memseg.Addr, b []byte) {
+	for i := 0; i < len(b); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			w |= uint64(b[i+j]) << (8 * j)
+		}
+		tx.Store(a+memseg.Addr(i/8), w)
+	}
+}
+
+// unpackBytes reads n bytes from consecutive words starting at a.
+func unpackBytes(tx tm.Tx, a memseg.Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		w := tx.Load(a + memseg.Addr(i/8))
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(w >> (8 * j))
+		}
+	}
+	return out
+}
+
+// keyMatches compares the stored key at item against key.
+func keyMatches(tx tm.Tx, item memseg.Addr, key []byte) bool {
+	meta := tx.Load(item + itMeta)
+	if int(meta>>32) != len(key) {
+		return false
+	}
+	stored := unpackBytes(tx, item+itData, len(key))
+	for i := range key {
+		if stored[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findInChain walks a bucket chain; linkAt is the word holding the pointer
+// to item (for unlinking); item is Nil when absent.
+func (s *Store) findInChain(tx tm.Tx, sh *shard, bucket memseg.Addr, key []byte) (linkAt, item memseg.Addr) {
+	linkAt = bucket
+	item = memseg.Addr(tx.Load(linkAt))
+	for item != memseg.Nil {
+		if keyMatches(tx, item, key) {
+			return linkAt, item
+		}
+		linkAt = item + itChain
+		item = memseg.Addr(tx.Load(linkAt))
+	}
+	return linkAt, memseg.Nil
+}
+
+// --- LRU list maintenance (intrusive doubly-linked, head = most recent) ---
+
+func (s *Store) lruUnlink(tx tm.Tx, sh *shard, item memseg.Addr) {
+	prev := memseg.Addr(tx.Load(item + itPrev))
+	next := memseg.Addr(tx.Load(item + itNext))
+	if prev == memseg.Nil {
+		tx.Store(sh.base+shLRUHead, uint64(next))
+	} else {
+		tx.Store(prev+itNext, uint64(next))
+	}
+	if next == memseg.Nil {
+		tx.Store(sh.base+shLRUTail, uint64(prev))
+	} else {
+		tx.Store(next+itPrev, uint64(prev))
+	}
+}
+
+func (s *Store) lruPushFront(tx tm.Tx, sh *shard, item memseg.Addr) {
+	head := memseg.Addr(tx.Load(sh.base + shLRUHead))
+	tx.Store(item+itPrev, uint64(memseg.Nil))
+	tx.Store(item+itNext, uint64(head))
+	if head != memseg.Nil {
+		tx.Store(head+itPrev, uint64(item))
+	} else {
+		tx.Store(sh.base+shLRUTail, uint64(item))
+	}
+	tx.Store(sh.base+shLRUHead, uint64(item))
+}
+
+// statDelta is one counter update.
+type statDelta struct {
+	idx   int
+	delta uint64
+}
+
+// bumpStats applies all counter updates in ONE stats critical section; the
+// stats lock is elided like any other, so under TM policies this folds
+// into the caller's transaction (memcached's atomic counters as
+// mini-transactions). Batching keeps each shard operation two-phase: the
+// stats lock is acquired at most once per critical section.
+func (s *Store) bumpStats(th *tm.Thread, deltas ...statDelta) error {
+	return s.statsMu.Do(th, func(tx tm.Tx) error {
+		tx.NoQuiesce()
+		for _, d := range deltas {
+			a := s.stats + memseg.Addr(d.idx)
+			tx.Store(a, tx.Load(a)+d.delta)
+		}
+		return nil
+	})
+}
+
+// Get returns the value for key, bumping it to most-recently-used.
+func (s *Store) Get(th *tm.Thread, key []byte) ([]byte, bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return nil, false, fmt.Errorf("kvstore: bad key length %d", len(key))
+	}
+	h := fnv1a(key)
+	sh := s.shardFor(h)
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	var val []byte
+	found := false
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
+		// A get never privatizes: safe to skip quiescence (Listing 2).
+		tx.NoQuiesce()
+		_, item := s.findInChain(tx, sh, bucket, key)
+		if item == memseg.Nil {
+			found = false
+			return s.bumpStats(th, statDelta{stGets, 1})
+		}
+		meta := tx.Load(item + itMeta)
+		keyWords := (int(meta>>32) + 7) / 8
+		val = unpackBytes(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF))
+		s.lruUnlink(tx, sh, item)
+		s.lruPushFront(tx, sh, item)
+		found = true
+		return s.bumpStats(th, statDelta{stGets, 1}, statDelta{stHits, 1})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val, found, nil
+}
+
+// Set inserts or replaces key's value, evicting LRU items past the shard
+// capacity.
+func (s *Store) Set(th *tm.Thread, key, val []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return fmt.Errorf("kvstore: bad key length %d", len(key))
+	}
+	if len(val) > MaxValLen {
+		return fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
+	}
+	h := fnv1a(key)
+	sh := s.shardFor(h)
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	return sh.mu.Do(th, func(tx tm.Tx) error {
+		privatized := false
+		linkAt, old := s.findInChain(tx, sh, bucket, key)
+		if old != memseg.Nil {
+			// Replace: unlink and free the old item.
+			tx.Store(linkAt, tx.Load(old+itChain))
+			s.lruUnlink(tx, sh, old)
+			tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
+			tx.Free(old)
+			privatized = true
+		}
+		item := tx.Alloc(wordsFor(len(key), len(val)))
+		tx.Store(item+itMeta, uint64(len(key))<<32|uint64(len(val)))
+		packBytes(tx, item+itData, key)
+		packBytes(tx, item+itData+memseg.Addr((len(key)+7)/8), val)
+		// Link into the bucket and the LRU front.
+		tx.Store(item+itChain, tx.Load(bucket))
+		tx.Store(bucket, uint64(item))
+		s.lruPushFront(tx, sh, item)
+		count := tx.Load(sh.base+shCount) + 1
+		tx.Store(sh.base+shCount, count)
+		// Evict past capacity.
+		evicted := uint64(0)
+		for count > uint64(s.cfg.MaxItemsPerShard) {
+			victim := memseg.Addr(tx.Load(sh.base + shLRUTail))
+			if victim == memseg.Nil || victim == item {
+				break
+			}
+			s.evict(tx, sh, victim)
+			count--
+			tx.Store(sh.base+shCount, count)
+			evicted++
+			privatized = true
+		}
+		if !privatized {
+			tx.NoQuiesce()
+		}
+		if evicted > 0 {
+			return s.bumpStats(th, statDelta{stSets, 1}, statDelta{stEvictions, evicted})
+		}
+		return s.bumpStats(th, statDelta{stSets, 1})
+	})
+}
+
+// evict removes victim from its bucket chain and the LRU list, freeing it.
+func (s *Store) evict(tx tm.Tx, sh *shard, victim memseg.Addr) {
+	meta := tx.Load(victim + itMeta)
+	key := unpackBytes(tx, victim+itData, int(meta>>32))
+	h := fnv1a(key)
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	linkAt, item := s.findInChain(tx, sh, bucket, key)
+	if item == victim {
+		tx.Store(linkAt, tx.Load(victim+itChain))
+	}
+	s.lruUnlink(tx, sh, victim)
+	tx.Free(victim)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false, fmt.Errorf("kvstore: bad key length %d", len(key))
+	}
+	h := fnv1a(key)
+	sh := s.shardFor(h)
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	removed := false
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
+		linkAt, item := s.findInChain(tx, sh, bucket, key)
+		if item == memseg.Nil {
+			removed = false
+			tx.NoQuiesce() // nothing privatized
+			return nil
+		}
+		tx.Store(linkAt, tx.Load(item+itChain))
+		s.lruUnlink(tx, sh, item)
+		tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
+		tx.Free(item)
+		removed = true
+		return s.bumpStats(th, statDelta{stDeletes, 1})
+	})
+	return removed, err
+}
+
+// Len reports the total item count across shards.
+func (s *Store) Len(th *tm.Thread) (int, error) {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		err := sh.mu.Do(th, func(tx tm.Tx) error {
+			tx.NoQuiesce()
+			total += int(tx.Load(sh.base + shCount))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Stats reports the global counters.
+type Stats struct {
+	Gets, Hits, Sets, Deletes, Evictions uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats(th *tm.Thread) (Stats, error) {
+	var out Stats
+	err := s.statsMu.Do(th, func(tx tm.Tx) error {
+		tx.NoQuiesce()
+		out = Stats{
+			Gets:      tx.Load(s.stats + stGets),
+			Hits:      tx.Load(s.stats + stHits),
+			Sets:      tx.Load(s.stats + stSets),
+			Deletes:   tx.Load(s.stats + stDeletes),
+			Evictions: tx.Load(s.stats + stEvictions),
+		}
+		return nil
+	})
+	return out, err
+}
+
+// LRUKeys returns a shard's keys in recency order (tests).
+func (s *Store) LRUKeys(th *tm.Thread, shardIdx int) ([]string, error) {
+	sh := &s.shards[shardIdx%len(s.shards)]
+	var keys []string
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
+		tx.NoQuiesce()
+		item := memseg.Addr(tx.Load(sh.base + shLRUHead))
+		for item != memseg.Nil {
+			meta := tx.Load(item + itMeta)
+			keys = append(keys, string(unpackBytes(tx, item+itData, int(meta>>32))))
+			item = memseg.Addr(tx.Load(item + itNext))
+		}
+		return nil
+	})
+	return keys, err
+}

@@ -1,0 +1,131 @@
+// Package lockcheck is a dynamic two-phase-locking checker.
+//
+// Section V of the paper found that x265's most important critical section
+// "did not obey two-phase locking, and was incompatible with TLE", and poses
+// as future work whether 2PL is a sufficient condition for safe naive
+// transactionalization. This checker answers the *detection* half at
+// runtime: it observes every critical-section entry and exit (via the
+// tle.Config.Tracer hook) and flags executions where a thread acquires a
+// lock after having released another lock while still holding some lock —
+// the growing-phase/shrinking-phase rule of two-phase locking.
+//
+// A program whose trace is 2PL-clean has critical sections that nest like
+// transactions and is a candidate for naive lock elision; a flagged program
+// needs refactoring first (e.g. the ready-flag transformation of
+// Listing 4, available as tmds.LinkedQueue).
+package lockcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Violation records one two-phase-locking violation.
+type Violation struct {
+	// Thread is the violating thread's id.
+	Thread uint64
+	// Acquired is the mutex acquired during the shrinking phase.
+	Acquired int
+	// Held lists the mutexes still held at the violating acquire.
+	Held []int
+	// Released lists the mutexes already released in this episode.
+	Released []int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("thread %d acquired lock %d after releasing %v while holding %v",
+		v.Thread, v.Acquired, v.Released, v.Held)
+}
+
+// threadState tracks one thread's current lock episode. An episode starts
+// when the thread goes from holding no locks to holding one, and ends when
+// it holds none again.
+type threadState struct {
+	held     map[int]int // mid -> recursive hold count
+	released map[int]bool
+}
+
+// Checker accumulates acquire/release events. It implements tle.Tracer.
+type Checker struct {
+	mu         sync.Mutex
+	threads    map[uint64]*threadState
+	violations []Violation
+	errs       []string
+}
+
+// New returns an empty checker.
+func New() *Checker {
+	return &Checker{threads: make(map[uint64]*threadState)}
+}
+
+// Acquire records that thread tid entered the critical section of mutex mid.
+func (c *Checker) Acquire(tid uint64, mid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.threads[tid]
+	if ts == nil {
+		ts = &threadState{held: make(map[int]int), released: make(map[int]bool)}
+		c.threads[tid] = ts
+	}
+	if len(ts.held) > 0 && len(ts.released) > 0 {
+		v := Violation{Thread: tid, Acquired: mid}
+		for m := range ts.held {
+			v.Held = append(v.Held, m)
+		}
+		for m := range ts.released {
+			v.Released = append(v.Released, m)
+		}
+		sort.Ints(v.Held)
+		sort.Ints(v.Released)
+		c.violations = append(c.violations, v)
+	}
+	ts.held[mid]++
+}
+
+// Release records that thread tid left the critical section of mutex mid.
+func (c *Checker) Release(tid uint64, mid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.threads[tid]
+	if ts == nil || ts.held[mid] == 0 {
+		c.errs = append(c.errs, fmt.Sprintf("thread %d released lock %d it does not hold", tid, mid))
+		return
+	}
+	ts.held[mid]--
+	if ts.held[mid] > 0 {
+		return // recursive exit: the lock is still held
+	}
+	delete(ts.held, mid)
+	if len(ts.held) == 0 {
+		// Episode over: a fresh episode may grow again.
+		ts.released = make(map[int]bool)
+		return
+	}
+	ts.released[mid] = true
+}
+
+// Violations returns the 2PL violations observed so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Errors returns protocol errors (release without acquire).
+func (c *Checker) Errors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// Clean reports whether the trace so far is two-phase-locking compliant.
+func (c *Checker) Clean() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.violations) == 0 && len(c.errs) == 0
+}

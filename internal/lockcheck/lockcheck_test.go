@@ -1,0 +1,121 @@
+package lockcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWellNestedIsClean(t *testing.T) {
+	c := New()
+	// lock A; lock B; unlock B; unlock A — classic 2PL-compatible nesting.
+	c.Acquire(1, 1)
+	c.Acquire(1, 2)
+	c.Release(1, 2)
+	c.Release(1, 1)
+	if !c.Clean() {
+		t.Fatalf("violations: %v errs: %v", c.Violations(), c.Errors())
+	}
+}
+
+func TestSequentialEpisodesAreClean(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.Acquire(1, 1)
+		c.Release(1, 1)
+		c.Acquire(1, 2)
+		c.Release(1, 2)
+	}
+	if !c.Clean() {
+		t.Fatalf("sequential critical sections flagged: %v", c.Violations())
+	}
+}
+
+// The Listing-3 pattern: hold the queue lock, and inside it repeatedly
+// acquire/release smaller locks — the second small acquire violates 2PL.
+func TestListing3PatternFlagged(t *testing.T) {
+	c := New()
+	c.Acquire(1, 10) // out_queue.lock()
+	c.Acquire(1, 20) // small critical section 1
+	c.Release(1, 20)
+	c.Acquire(1, 21) // acquire after release while holding 10: violation
+	c.Release(1, 21)
+	c.Release(1, 10)
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", vs)
+	}
+	v := vs[0]
+	if v.Acquired != 21 || len(v.Held) != 1 || v.Held[0] != 10 || len(v.Released) != 1 || v.Released[0] != 20 {
+		t.Fatalf("violation detail = %+v", v)
+	}
+	if !strings.Contains(v.String(), "acquired lock 21") {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+// The Listing-4 refactoring: each small critical section stands alone.
+func TestListing4PatternClean(t *testing.T) {
+	c := New()
+	c.Acquire(1, 10) // enqueue not-ready node
+	c.Release(1, 10)
+	c.Acquire(1, 20) // produce-stage communication
+	c.Release(1, 20)
+	c.Acquire(1, 10) // mark ready
+	c.Release(1, 10)
+	if !c.Clean() {
+		t.Fatalf("ready-flag pattern flagged: %v", c.Violations())
+	}
+}
+
+func TestRecursiveHoldCounts(t *testing.T) {
+	c := New()
+	c.Acquire(1, 1)
+	c.Acquire(1, 1) // recursive
+	c.Release(1, 1)
+	// Still held once; acquiring another lock is growing phase, fine.
+	c.Acquire(1, 2)
+	c.Release(1, 2)
+	c.Release(1, 1)
+	if !c.Clean() {
+		t.Fatalf("recursive hold misdetected: %v", c.Violations())
+	}
+}
+
+func TestReleaseUnheldIsError(t *testing.T) {
+	c := New()
+	c.Release(1, 5)
+	if c.Clean() || len(c.Errors()) != 1 {
+		t.Fatalf("errors = %v", c.Errors())
+	}
+}
+
+func TestThreadsIndependent(t *testing.T) {
+	c := New()
+	c.Acquire(1, 1)
+	c.Acquire(2, 2) // other thread's acquire is not "while holding 1"
+	c.Release(2, 2)
+	c.Release(1, 1)
+	if !c.Clean() {
+		t.Fatalf("cross-thread state leaked: %v", c.Violations())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Acquire(tid, int(tid))
+				c.Release(tid, int(tid))
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if !c.Clean() {
+		t.Fatalf("clean concurrent trace flagged: %v %v", c.Violations(), c.Errors())
+	}
+}

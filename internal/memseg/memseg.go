@@ -1,0 +1,221 @@
+// Package memseg provides the simulated transactional heap.
+//
+// Go offers no way to trap loads and stores to native memory, so everything
+// the TM engine manages lives in one word-addressable segment. Addresses are
+// dense 32-bit word indices, which gives the STM a natural ownership-record
+// hash domain and gives the simulated HTM a natural cache-line domain
+// (8 words = one 64-byte line). The segment is shared by transactional and
+// non-transactional accessors, exactly like the single heap that GCC's TM
+// operates over after lock erasure (paper, Section IV.A).
+//
+// The allocator is a lock-free size-class allocator: fresh blocks come from
+// an atomic bump pointer, freed blocks go onto per-class Treiber stacks with
+// version-counted heads. Freed blocks are poisoned so that a transaction
+// racing with a privatizing free — the bug class that quiescence exists to
+// prevent (Section IV) — reads a recognizable poison value instead of
+// silently wrong data.
+package memseg
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Addr is a word index into the segment. The zero Addr is reserved as nil:
+// word 0 is never handed out by the allocator.
+type Addr uint32
+
+// Nil is the null address.
+const Nil Addr = 0
+
+// WordsPerLine is the cache-line granularity used by the HTM simulator:
+// 8 words of 8 bytes = 64-byte lines.
+const WordsPerLine = 8
+
+// Line returns the cache line an address falls on.
+func (a Addr) Line() uint32 { return uint32(a) / WordsPerLine }
+
+// Poison is the value written over freed words. Reads that observe it after
+// an alleged privatization indicate a quiescence violation.
+const Poison uint64 = 0xDEADBEEFDEADBEEF
+
+// Size classes are powers of two from 2 to 65536 payload words. One header
+// word precedes each payload and records the class.
+const (
+	minClassShift = 1 // 2 words
+	maxClassShift = 16
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// MaxAlloc is the largest payload (in words) a single Alloc may request.
+const MaxAlloc = 1 << maxClassShift
+
+// Memory is one simulated heap segment.
+type Memory struct {
+	words []uint64
+	next  atomic.Uint64 // bump pointer (word index of next fresh block)
+	limit uint64
+	// freeHeads[c] packs (aba count << 32 | addr) for class c's free stack.
+	freeHeads [numClasses]atomic.Uint64
+	poison    bool
+	liveBytes atomic.Int64 // live payload words, advisory accounting
+}
+
+// New returns a segment of the given size in words. Sizes below 1024 words
+// are rounded up. Poisoning of freed blocks is enabled by default; see
+// SetPoison.
+func New(words int) *Memory {
+	if words < 1024 {
+		words = 1024
+	}
+	m := &Memory{
+		words:  make([]uint64, words),
+		limit:  uint64(words),
+		poison: true,
+	}
+	m.next.Store(1) // skip word 0 (Nil)
+	return m
+}
+
+// SetPoison toggles poisoning of freed blocks.
+func (m *Memory) SetPoison(on bool) { m.poison = on }
+
+// Size reports the segment size in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Load atomically reads the word at a. This is the non-instrumented access
+// path: under STM it is a plain (weakly isolated) read, which is precisely
+// why privatization needs quiescence.
+func (m *Memory) Load(a Addr) uint64 {
+	return atomic.LoadUint64(&m.words[a])
+}
+
+// Store atomically writes the word at a via the non-instrumented path.
+func (m *Memory) Store(a Addr, v uint64) {
+	atomic.StoreUint64(&m.words[a], v)
+}
+
+// CompareAndSwap performs a CAS on the word at a.
+func (m *Memory) CompareAndSwap(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&m.words[a], old, new)
+}
+
+// classFor returns the size class index for a payload of n words, and the
+// payload capacity of that class.
+func classFor(n int) (int, int) {
+	if n < 1 {
+		n = 1
+	}
+	shift := bits.Len(uint(n - 1))
+	if shift < minClassShift {
+		shift = minClassShift
+	}
+	return shift - minClassShift, 1 << shift
+}
+
+// ClassPayload reports the payload capacity, in words, of the size class
+// that Alloc would use for a request of n words.
+func ClassPayload(n int) int {
+	_, cap := classFor(n)
+	return cap
+}
+
+// Alloc returns the address of a zeroed block with room for n payload words.
+// ok is false when the segment is exhausted and no freed block of the class
+// is available.
+func (m *Memory) Alloc(n int) (Addr, bool) {
+	if n <= 0 || n > 1<<maxClassShift {
+		return Nil, false
+	}
+	class, cap := classFor(n)
+	// Try the free stack first.
+	head := &m.freeHeads[class]
+	for {
+		h := head.Load()
+		a := Addr(h & 0xFFFFFFFF)
+		if a == Nil {
+			break
+		}
+		next := atomic.LoadUint64(&m.words[a]) // next pointer stored in payload word 0
+		newHead := (h+(1<<32)) & ^uint64(0xFFFFFFFF) | (next & 0xFFFFFFFF)
+		if head.CompareAndSwap(h, newHead) {
+			m.zero(a, cap)
+			m.liveBytes.Add(int64(cap))
+			return a, true
+		}
+	}
+	// Fresh block from the bump pointer: header word + payload.
+	need := uint64(cap + 1)
+	for {
+		cur := m.next.Load()
+		if cur+need > m.limit {
+			return Nil, false
+		}
+		if m.next.CompareAndSwap(cur, cur+need) {
+			hdr := Addr(cur)
+			atomic.StoreUint64(&m.words[hdr], uint64(class))
+			a := hdr + 1
+			m.zero(a, cap)
+			m.liveBytes.Add(int64(cap))
+			return a, true
+		}
+	}
+}
+
+func (m *Memory) zero(a Addr, n int) {
+	for i := 0; i < n; i++ {
+		atomic.StoreUint64(&m.words[int(a)+i], 0)
+	}
+}
+
+// BlockSize reports the payload capacity of the block at a, which must be an
+// address previously returned by Alloc.
+func (m *Memory) BlockSize(a Addr) int {
+	class := atomic.LoadUint64(&m.words[a-1])
+	if class >= numClasses {
+		panic(fmt.Sprintf("memseg: corrupt block header at %d: %d", a, class))
+	}
+	return 1 << (class + minClassShift)
+}
+
+// Free returns the block at a to its class's free stack, poisoning its
+// payload first (except word 0, which carries the free-list link). Freeing
+// Nil is a no-op. Free is safe to call concurrently but callers must
+// guarantee — via quiescence — that no transaction still reads the block;
+// violating that is the race this package's poisoning makes visible.
+func (m *Memory) Free(a Addr) {
+	if a == Nil {
+		return
+	}
+	cap := m.BlockSize(a)
+	if m.poison {
+		for i := 1; i < cap; i++ {
+			atomic.StoreUint64(&m.words[int(a)+i], Poison)
+		}
+	}
+	m.liveBytes.Add(int64(-cap))
+	class := int(atomic.LoadUint64(&m.words[a-1]))
+	head := &m.freeHeads[class]
+	for {
+		h := head.Load()
+		atomic.StoreUint64(&m.words[a], h&0xFFFFFFFF) // link to old head
+		newHead := (h+(1<<32)) & ^uint64(0xFFFFFFFF) | uint64(a)
+		if head.CompareAndSwap(h, newHead) {
+			return
+		}
+	}
+}
+
+// LiveWords reports the number of currently allocated payload words.
+func (m *Memory) LiveWords() int64 { return m.liveBytes.Load() }
+
+// Used reports how many words of the segment have ever been claimed from the
+// bump pointer (freed blocks still count; they are recycled per class).
+func (m *Memory) Used() int64 { return int64(m.next.Load()) }
+
+// EncodeInt converts a signed value for storage in a word.
+func EncodeInt(v int64) uint64 { return uint64(v) }
+
+// DecodeInt recovers a signed value stored with EncodeInt.
+func DecodeInt(v uint64) int64 { return int64(v) }

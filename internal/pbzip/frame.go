@@ -1,0 +1,67 @@
+package pbzip
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The file container: uvarint block count, then per block a uvarint length
+// and the compressed payload. Decompression recovers the block list and the
+// pipeline concatenates the decompressed blocks in order.
+
+// ErrBadStream reports a malformed compressed stream.
+var ErrBadStream = errors.New("pbzip: malformed stream")
+
+// frameOutput assembles compressed blocks into the file container.
+func frameOutput(blocks [][]byte) []byte {
+	total := binary.MaxVarintLen64
+	for _, b := range blocks {
+		total += binary.MaxVarintLen64 + len(b)
+	}
+	out := make([]byte, 0, total)
+	out = binary.AppendUvarint(out, uint64(len(blocks)))
+	for _, b := range blocks {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// concatOutput assembles decompressed blocks back into the original file.
+func concatOutput(blocks [][]byte) []byte {
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// unframe splits a compressed stream into its blocks.
+func unframe(stream []byte) ([][]byte, error) {
+	n, used := binary.Uvarint(stream)
+	if used <= 0 || n > 1<<32 {
+		return nil, ErrBadStream
+	}
+	stream = stream[used:]
+	blocks := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(stream)
+		if used <= 0 {
+			return nil, ErrBadStream
+		}
+		stream = stream[used:]
+		if uint64(len(stream)) < l {
+			return nil, ErrBadStream
+		}
+		blocks = append(blocks, stream[:l])
+		stream = stream[l:]
+	}
+	if len(stream) != 0 {
+		return nil, ErrBadStream
+	}
+	return blocks, nil
+}

@@ -1,0 +1,30 @@
+package pbzip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnframe: arbitrary container bytes must never panic and valid frames
+// must round-trip.
+func FuzzUnframe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frameOutput(nil))
+	f.Add(frameOutput([][]byte{{1, 2, 3}, {}}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := unframe(data) // must not panic
+		if err != nil {
+			return
+		}
+		again, err2 := unframe(frameOutput(blocks))
+		if err2 != nil || len(again) != len(blocks) {
+			t.Fatalf("re-frame of accepted container failed: %v", err2)
+		}
+		for i := range blocks {
+			if !bytes.Equal(again[i], blocks[i]) {
+				t.Fatalf("block %d mutated", i)
+			}
+		}
+	})
+}

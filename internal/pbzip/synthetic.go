@@ -1,0 +1,35 @@
+package pbzip
+
+import "math/rand"
+
+// SyntheticFile generates a deterministic, compressible input file: a
+// Markov-ish word stream with long-range repetition, standing in for the
+// paper's 650 MB test file (the size is a parameter; shapes depend on block
+// structure and thread counts, not on absolute file size).
+func SyntheticFile(size int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{
+		"transaction", "memory", "lock", "elision", "quiesce", "commit",
+		"abort", "serial", "conflict", "pipeline", "producer", "consumer",
+		"wavefront", "encode", "decode", "block", "stream", "thread",
+	}
+	out := make([]byte, 0, size+64)
+	var phrase []byte
+	for len(out) < size {
+		// Occasionally repeat a recent phrase to create BWT-friendly
+		// long-range redundancy.
+		if len(phrase) > 0 && rng.Intn(4) == 0 {
+			out = append(out, phrase...)
+			continue
+		}
+		start := len(out)
+		for i := 0; i < 6 && len(out) < size+32; i++ {
+			out = append(out, words[rng.Intn(len(words))]...)
+			out = append(out, ' ')
+		}
+		if rng.Intn(3) == 0 {
+			phrase = append(phrase[:0], out[start:]...)
+		}
+	}
+	return out[:size]
+}

@@ -1,0 +1,75 @@
+// Package sema implements a counting semaphore with timed acquisition.
+//
+// The paper (Section VI.d) extends Wang's transaction-friendly condition
+// variables with timed waits "via POSIX semaphores" so that x265's soft
+// real-time timeouts keep working under lock elision. This package is the Go
+// analogue: a counting semaphore whose Acquire can give up after a deadline,
+// built on a channel so that timed waits compose with the runtime scheduler
+// instead of spinning.
+package sema
+
+import "time"
+
+// Semaphore is a counting semaphore. The zero value is not usable; call New.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// New returns a semaphore with the given initial count and capacity limit.
+// capacity bounds the number of outstanding permits; Release beyond capacity
+// is dropped (matching sem_post on a saturated semaphore used as an event).
+func New(initial, capacity int) *Semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if initial > capacity {
+		initial = capacity
+	}
+	s := &Semaphore{slots: make(chan struct{}, capacity)}
+	for i := 0; i < initial; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// Acquire blocks until a permit is available.
+func (s *Semaphore) Acquire() { <-s.slots }
+
+// TryAcquire takes a permit if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case <-s.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// AcquireTimeout blocks until a permit is available or the timeout elapses.
+// It reports whether a permit was obtained. A non-positive timeout degrades
+// to TryAcquire.
+func (s *Semaphore) AcquireTimeout(d time.Duration) bool {
+	if d <= 0 {
+		return s.TryAcquire()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.slots:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Release returns one permit. Permits beyond the capacity are discarded,
+// which gives event semantics: many releases with no waiter coalesce.
+func (s *Semaphore) Release() {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+	}
+}
+
+// Len reports the number of currently available permits (advisory).
+func (s *Semaphore) Len() int { return len(s.slots) }

@@ -1,0 +1,107 @@
+package sema
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInitialPermits(t *testing.T) {
+	s := New(2, 4)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("initial permits missing")
+	}
+	if s.TryAcquire() {
+		t.Fatal("acquired a third permit from a 2-permit semaphore")
+	}
+}
+
+func TestInitialClampedToCapacity(t *testing.T) {
+	s := New(10, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestReleaseWakesAcquire(t *testing.T) {
+	s := New(0, 1)
+	done := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire never woke")
+	}
+}
+
+func TestAcquireTimeoutExpires(t *testing.T) {
+	s := New(0, 1)
+	start := time.Now()
+	if s.AcquireTimeout(20 * time.Millisecond) {
+		t.Fatal("acquired a permit from an empty semaphore")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("timeout returned too early")
+	}
+}
+
+func TestAcquireTimeoutSucceeds(t *testing.T) {
+	s := New(1, 1)
+	if !s.AcquireTimeout(time.Second) {
+		t.Fatal("failed to take an available permit")
+	}
+}
+
+func TestAcquireTimeoutNonPositive(t *testing.T) {
+	s := New(1, 1)
+	if !s.AcquireTimeout(0) {
+		t.Fatal("zero timeout should degrade to TryAcquire and succeed")
+	}
+	if s.AcquireTimeout(-time.Second) {
+		t.Fatal("negative timeout acquired from empty semaphore")
+	}
+}
+
+func TestReleaseSaturates(t *testing.T) {
+	s := New(0, 2)
+	for i := 0; i < 10; i++ {
+		s.Release()
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after saturating releases, want 2", s.Len())
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	s := New(0, 64)
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			s.Acquire()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			for s.Len() >= 64 {
+				time.Sleep(time.Microsecond)
+			}
+			s.Release()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer/consumer deadlocked")
+	}
+}

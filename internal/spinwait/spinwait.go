@@ -1,0 +1,68 @@
+// Package spinwait provides bounded exponential-backoff spinning for
+// lock-free and transactional retry loops.
+//
+// The TM engine spends most of its waiting time in three places: acquiring
+// ownership records, waiting for the serial lock, and quiescing behind
+// concurrent transactions. All three want the same shape of wait: spin a few
+// iterations in-core, then progressively yield to the scheduler so that the
+// goroutine holding the resource can run. Backoff keeps that policy in one
+// place and makes it tunable for tests.
+package spinwait
+
+import (
+	"runtime"
+	"time"
+)
+
+// Backoff is a restartable exponential backoff. The zero value is ready to
+// use. It is not safe for concurrent use; each goroutine owns its own.
+type Backoff struct {
+	step uint
+	// spin holds the busy-loop accumulator; keeping it in the struct (owned
+	// by a single goroutine) defeats dead-code elimination without sharing.
+	spin uint64
+}
+
+// Limits for the backoff schedule. With spinLimit=6 the spinner executes
+// 1,2,4,...,32 busy iterations before the first yield, and never sleeps more
+// than maxSleep per Wait call.
+const (
+	spinLimit  = 6
+	yieldLimit = 12
+	maxSleep   = 100 * time.Microsecond
+)
+
+// Wait performs one backoff step: busy-spin for short waits, Gosched for
+// medium waits, and a short sleep once the wait has dragged on. Callers loop:
+//
+//	var b spinwait.Backoff
+//	for !tryAcquire() {
+//		b.Wait()
+//	}
+func (b *Backoff) Wait() {
+	switch {
+	case b.step < spinLimit:
+		x := b.spin
+		for i := 0; i < 1<<b.step; i++ {
+			x = x*2654435761 + 1 // burn cycles without touching shared memory
+		}
+		b.spin = x
+	case b.step < yieldLimit:
+		runtime.Gosched()
+	default:
+		d := time.Duration(1) << (b.step - yieldLimit) * time.Microsecond
+		if d > maxSleep {
+			d = maxSleep
+		}
+		time.Sleep(d)
+	}
+	if b.step < 63 {
+		b.step++
+	}
+}
+
+// Steps reports how many times Wait has been called since the last Reset.
+func (b *Backoff) Steps() int { return int(b.step) }
+
+// Reset restarts the schedule after a successful acquisition.
+func (b *Backoff) Reset() { b.step = 0 }

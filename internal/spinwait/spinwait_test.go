@@ -1,0 +1,49 @@
+package spinwait
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffProgresses(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 20; i++ {
+		b.Wait()
+	}
+	if b.Steps() != 20 {
+		t.Fatalf("Steps = %d, want 20", b.Steps())
+	}
+	b.Reset()
+	if b.Steps() != 0 {
+		t.Fatalf("Steps after Reset = %d", b.Steps())
+	}
+}
+
+func TestBackoffSleepBounded(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 40; i++ {
+		b.Wait() // push deep into the sleep regime
+	}
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d > 50*maxSleep {
+		t.Fatalf("single Wait took %v, sleep cap not honored", d)
+	}
+}
+
+func TestBackoffStepSaturates(t *testing.T) {
+	var b Backoff
+	b.step = 63
+	b.Wait()
+	if b.step != 63 {
+		t.Fatalf("step overflowed to %d", b.step)
+	}
+}
+
+func BenchmarkWaitEarly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var w Backoff
+		w.Wait()
+		w.Wait()
+	}
+}

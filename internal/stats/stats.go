@@ -1,0 +1,259 @@
+// Package stats collects transaction-execution statistics.
+//
+// The paper's evaluation leans on these numbers: Figure 4 plots HTM abort
+// rates, Section VII.A reports transaction counts, STM abort percentages and
+// HTM serial-fallback percentages for PBZip2, and Section VII.C interprets
+// quiescence as implicit congestion control. Counters are kept per thread in
+// cache-line-padded slots so that measurement does not itself create the
+// contention being measured; Snapshot merges them on demand.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AbortCause classifies why a transaction attempt failed.
+type AbortCause int
+
+// Abort causes. Conflict and Capacity mirror the hardware abort codes of
+// best-effort HTM; Explicit covers user retry (condition waits); Event models
+// interrupts and other transient aborts; Validation is STM timestamp
+// validation failure; Locked is an encounter-time lock conflict; Serial is an
+// abort forced by another transaction entering serial-irrevocable mode.
+const (
+	Conflict AbortCause = iota
+	Capacity
+	Explicit
+	Event
+	Validation
+	Locked
+	Serial
+	numCauses
+)
+
+// NumCauses is the number of distinct abort causes.
+const NumCauses = int(numCauses)
+
+func (c AbortCause) String() string {
+	switch c {
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Explicit:
+		return "explicit"
+	case Event:
+		return "event"
+	case Validation:
+		return "validation"
+	case Locked:
+		return "locked"
+	case Serial:
+		return "serial"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// counters is one thread's slot. The padding keeps two threads' slots on
+// different cache lines.
+type counters struct {
+	starts       atomic.Uint64
+	commits      atomic.Uint64
+	serialRuns   atomic.Uint64 // attempts executed under the serial lock
+	quiesces     atomic.Uint64
+	quiesceNanos atomic.Uint64
+	noQuiesce    atomic.Uint64 // commits that skipped quiescence via NoQuiesce
+	aborts       [numCauses]atomic.Uint64
+	readOnly     atomic.Uint64 // committed read-only transactions
+	_            [24]byte
+}
+
+// Registry owns the per-thread counter slots for one TM engine instance.
+type Registry struct {
+	mu    sync.Mutex
+	slots []*counters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Thread is a handle to one thread's counter slot.
+type Thread struct {
+	c *counters
+}
+
+// Register allocates a counter slot for a new thread.
+func (r *Registry) Register() *Thread {
+	c := &counters{}
+	r.mu.Lock()
+	r.slots = append(r.slots, c)
+	r.mu.Unlock()
+	return &Thread{c: c}
+}
+
+// Start records the beginning of a transaction attempt.
+func (t *Thread) Start() { t.c.starts.Add(1) }
+
+// Commit records a successful commit; readOnly marks transactions that wrote
+// nothing (they skip quiescence under the writers-only policy).
+func (t *Thread) Commit(readOnly bool) {
+	t.c.commits.Add(1)
+	if readOnly {
+		t.c.readOnly.Add(1)
+	}
+}
+
+// Abort records a failed attempt with its cause.
+func (t *Thread) Abort(cause AbortCause) {
+	if cause < 0 || cause >= numCauses {
+		cause = Conflict
+	}
+	t.c.aborts[cause].Add(1)
+}
+
+// SerialRun records an attempt executed under the serial-irrevocable lock.
+func (t *Thread) SerialRun() { t.c.serialRuns.Add(1) }
+
+// Quiesce records one post-commit quiescence wait and its duration.
+func (t *Thread) Quiesce(d time.Duration) {
+	t.c.quiesces.Add(1)
+	if d > 0 {
+		t.c.quiesceNanos.Add(uint64(d))
+	}
+}
+
+// NoQuiesce records a commit that skipped quiescence because the transaction
+// called Tx.NoQuiesce (the paper's TM.NoQuiesce API).
+func (t *Thread) NoQuiesce() { t.c.noQuiesce.Add(1) }
+
+// Snapshot is a merged, immutable view of all counters.
+type Snapshot struct {
+	Starts      uint64
+	Commits     uint64
+	ReadOnly    uint64
+	SerialRuns  uint64
+	Quiesces    uint64
+	QuiesceTime time.Duration
+	NoQuiesce   uint64
+	Aborts      [NumCauses]uint64
+}
+
+// Snapshot merges every thread's counters.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	r.mu.Lock()
+	slots := r.slots
+	r.mu.Unlock()
+	for _, c := range slots {
+		s.Starts += c.starts.Load()
+		s.Commits += c.commits.Load()
+		s.ReadOnly += c.readOnly.Load()
+		s.SerialRuns += c.serialRuns.Load()
+		s.Quiesces += c.quiesces.Load()
+		s.QuiesceTime += time.Duration(c.quiesceNanos.Load())
+		s.NoQuiesce += c.noQuiesce.Load()
+		for i := range s.Aborts {
+			s.Aborts[i] += c.aborts[i].Load()
+		}
+	}
+	return s
+}
+
+// Reset zeroes all counters (between benchmark trials).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	slots := r.slots
+	r.mu.Unlock()
+	for _, c := range slots {
+		c.starts.Store(0)
+		c.commits.Store(0)
+		c.readOnly.Store(0)
+		c.serialRuns.Store(0)
+		c.quiesces.Store(0)
+		c.quiesceNanos.Store(0)
+		c.noQuiesce.Store(0)
+		for i := range c.aborts {
+			c.aborts[i].Store(0)
+		}
+	}
+}
+
+// TotalAborts sums aborts over all causes.
+func (s Snapshot) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborts {
+		n += a
+	}
+	return n
+}
+
+// ConflictAborts counts aborts excluding Explicit (user condition-wait
+// retries), which the paper's abort rates do not include — a transaction
+// that finds its predicate false and retries is waiting, not failing.
+func (s Snapshot) ConflictAborts() uint64 {
+	return s.TotalAborts() - s.Aborts[Explicit]
+}
+
+// AbortRate is conflict-class aborts / starts, in [0,1]. Explicit retries
+// are excluded; see ConflictAborts. Zero when no transactions started.
+func (s Snapshot) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.ConflictAborts()) / float64(s.Starts)
+}
+
+// SerialRate is the fraction of committed transactions that ran serially
+// (the paper's "fell back to serial mode" percentage).
+func (s Snapshot) SerialRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.SerialRuns) / float64(s.Commits)
+}
+
+// Sub returns the component-wise difference s - prev, for interval reporting.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Starts:      s.Starts - prev.Starts,
+		Commits:     s.Commits - prev.Commits,
+		ReadOnly:    s.ReadOnly - prev.ReadOnly,
+		SerialRuns:  s.SerialRuns - prev.SerialRuns,
+		Quiesces:    s.Quiesces - prev.Quiesces,
+		QuiesceTime: s.QuiesceTime - prev.QuiesceTime,
+		NoQuiesce:   s.NoQuiesce - prev.NoQuiesce,
+	}
+	for i := range d.Aborts {
+		d.Aborts[i] = s.Aborts[i] - prev.Aborts[i]
+	}
+	return d
+}
+
+// String renders a compact single-line report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "starts=%d commits=%d aborts=%d (%.2f%%) serial=%d (%.2f%%) quiesces=%d quiesceTime=%v",
+		s.Starts, s.Commits, s.TotalAborts(), 100*s.AbortRate(),
+		s.SerialRuns, 100*s.SerialRate(), s.Quiesces, s.QuiesceTime)
+	type kv struct {
+		k string
+		v uint64
+	}
+	var causes []kv
+	for i, a := range s.Aborts {
+		if a > 0 {
+			causes = append(causes, kv{AbortCause(i).String(), a})
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool { return causes[i].v > causes[j].v })
+	for _, c := range causes {
+		fmt.Fprintf(&b, " %s=%d", c.k, c.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,319 @@
+// Package stm implements the software transactional memory used for lock
+// elision, modelled on GCC libitm's ml_wt algorithm ("multiple locks,
+// write-through"), the privatization-safe TinySTM variant the paper's STM
+// results use (Section VII: "The STM results use ml_wt algorithm (a
+// privatization-safe version of TinySTM)").
+//
+// Algorithm sketch:
+//
+//   - A global version clock (tmclock.Clock) orders commits.
+//   - Every heap word hashes to an ownership record. Unlocked orecs hold the
+//     timestamp of the last commit that wrote them; locked orecs name the
+//     writing transaction.
+//   - Reads are invisible and time-based: read the orec, the word, the orec
+//     again; if the orec moved or is newer than the transaction's snapshot,
+//     try to extend the snapshot by revalidating the read set (LSA-style).
+//   - Writes lock the orec at encounter time, log the old word value, and
+//     write through (in place). Readers that hit a locked orec abort.
+//   - Commit ticks the clock, validates the read set if anything committed
+//     in between, and releases the locks at the new timestamp. Aborts undo
+//     the writes in reverse order and restore the locked orecs.
+//
+// Write-through with undo is what makes quiescence (package epoch) load
+// bearing: a doomed transaction's undo writes race with non-transactional
+// reads of privatized data unless the privatizer waits out concurrent
+// transactions — the subject of the paper's Section IV.
+//
+// Quiescence itself, serial-irrevocable fallback, and retry policy live in
+// the engine (package tm); this package executes single attempts.
+package stm
+
+import (
+	"sync/atomic"
+
+	"gotle/internal/abortsig"
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+	"gotle/internal/tmclock"
+)
+
+// Config holds STM construction parameters.
+type Config struct {
+	// OrecSizeLog2 sets the orec table to 1<<OrecSizeLog2 entries
+	// (default 20).
+	OrecSizeLog2 int
+	// StripeShift groups 1<<StripeShift consecutive words per orec
+	// (default 0: per-word orecs).
+	StripeShift int
+	// CM selects the contention manager (default CMSuicide; see cm.go).
+	CM CM
+	// PoliteSpins bounds CMPolite's wait (default 64).
+	PoliteSpins int
+}
+
+// STM is the shared state of one software TM instance.
+type STM struct {
+	mem         *memseg.Memory
+	clock       *tmclock.Clock
+	orecs       *tmclock.Table
+	cm          CM
+	politeSpins int
+	prio        [prioSlots]atomic.Uint64
+}
+
+// New creates an STM over the given heap.
+func New(mem *memseg.Memory, cfg Config) *STM {
+	if cfg.OrecSizeLog2 == 0 {
+		cfg.OrecSizeLog2 = 20
+	}
+	if cfg.PoliteSpins == 0 {
+		cfg.PoliteSpins = defaultPoliteSpins
+	}
+	return &STM{
+		mem:         mem,
+		clock:       &tmclock.Clock{},
+		orecs:       tmclock.NewTable(cfg.OrecSizeLog2, cfg.StripeShift),
+		cm:          cfg.CM,
+		politeSpins: cfg.PoliteSpins,
+	}
+}
+
+// Clock exposes the global version clock (the HTM simulator and tests use it).
+func (s *STM) Clock() *tmclock.Clock { return s.clock }
+
+// SpeculativelyOwned reports whether a live transaction holds the orec
+// covering a — i.e. whether the word may contain uncommitted write-through
+// state. The engine's race detector (tm/racecheck.go) uses this to flag
+// non-transactional accesses that missed quiescence.
+func (s *STM) SpeculativelyOwned(a memseg.Addr) bool {
+	return tmclock.Locked(s.orecs.For(a).Load())
+}
+
+// Memory returns the heap this STM instruments.
+func (s *STM) Memory() *memseg.Memory { return s.mem }
+
+type readEntry struct {
+	orec *atomic.Uint64
+	seen uint64
+}
+
+type undoEntry struct {
+	addr memseg.Addr
+	old  uint64
+}
+
+type lockEntry struct {
+	orec *atomic.Uint64
+	prev uint64 // orec value before we locked it (a timestamp)
+}
+
+// Tx is a per-thread transaction descriptor, reused across attempts.
+// It is not safe for concurrent use.
+type Tx struct {
+	s     *STM
+	id    uint64 // thread id, embedded in lock words
+	rv    uint64 // snapshot (read version)
+	reads []readEntry
+	undo  []undoEntry
+	locks []lockEntry
+	live  bool
+
+	// Redo-log (write-back) variant state; see writeback.go.
+	writeBack bool
+	redo      map[memseg.Addr]uint64
+	redoOrder []memseg.Addr
+}
+
+// NewTx returns a descriptor for the thread with the given unique id.
+func (s *STM) NewTx(id uint64) *Tx {
+	return &Tx{s: s, id: id}
+}
+
+// Begin starts an attempt: snapshot the clock and clear the logs.
+func (t *Tx) Begin() {
+	if t.live {
+		panic("stm: Begin on live transaction (nesting is flattened by the engine)")
+	}
+	t.rv = t.s.clock.Read()
+	t.reads = t.reads[:0]
+	t.undo = t.undo[:0]
+	t.locks = t.locks[:0]
+	if t.writeBack {
+		clear(t.redo)
+		t.redoOrder = t.redoOrder[:0]
+	}
+	t.announcePriority()
+	t.live = true
+}
+
+// Live reports whether an attempt is in progress.
+func (t *Tx) Live() bool { return t.live }
+
+// ReadOnly reports whether the attempt so far has performed no writes.
+func (t *Tx) ReadOnly() bool {
+	if t.writeBack {
+		return len(t.redo) == 0
+	}
+	return len(t.locks) == 0
+}
+
+// ReadSetSize and WriteSetSize expose log sizes for stats and tests.
+func (t *Tx) ReadSetSize() int { return len(t.reads) }
+func (t *Tx) WriteSetSize() int {
+	if t.writeBack {
+		return len(t.redo)
+	}
+	return len(t.undo)
+}
+
+// abort throws the abort signal; the engine recovers it and calls OnAbort.
+func (t *Tx) abort(cause stats.AbortCause) {
+	abortsig.Throw(cause)
+}
+
+// validate re-checks every read: the location must be unchanged since it was
+// read. Locked-by-self entries cannot occur (reads of own stripes are not
+// logged). Reports whether the read set is still consistent.
+func (t *Tx) validate() bool {
+	for i := range t.reads {
+		cur := t.reads[i].orec.Load()
+		if cur != t.reads[i].seen {
+			// A lock by self after the read is fine: we still saw the
+			// pre-lock version and own the stripe now.
+			if tmclock.Locked(cur) && tmclock.Owner(cur) == t.id {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// extend tries to move the snapshot forward to the current clock after
+// revalidating the read set; aborts the attempt on failure.
+func (t *Tx) extend() {
+	now := t.s.clock.Read()
+	if !t.validate() {
+		t.abort(stats.Validation)
+	}
+	t.rv = now
+}
+
+// Load performs a transactional read of the word at a.
+func (t *Tx) Load(a memseg.Addr) uint64 {
+	if t.writeBack {
+		return t.wbLoad(a)
+	}
+	orec := t.s.orecs.For(a)
+	for {
+		v1 := orec.Load()
+		if tmclock.Locked(v1) {
+			if tmclock.Owner(v1) == t.id {
+				return t.s.mem.Load(a) // read own write-through value
+			}
+			if t.waitCM(orec) {
+				continue
+			}
+			t.abort(stats.Locked)
+		}
+		val := t.s.mem.Load(a)
+		v2 := orec.Load()
+		if v1 != v2 {
+			// The orec moved underneath the read; retry the read once the
+			// writer settles, unless our snapshot is already doomed.
+			if tmclock.Locked(v2) && tmclock.Owner(v2) != t.id && !t.waitCM(orec) {
+				t.abort(stats.Locked)
+			}
+			continue
+		}
+		if v1 > t.rv {
+			t.extend() // aborts on failure
+		}
+		t.reads = append(t.reads, readEntry{orec: orec, seen: v1})
+		return val
+	}
+}
+
+// Store performs a transactional write of the word at a, acquiring the
+// covering orec at encounter time and writing through.
+func (t *Tx) Store(a memseg.Addr, v uint64) {
+	if t.writeBack {
+		t.wbStore(a, v)
+		return
+	}
+	orec := t.s.orecs.For(a)
+	for {
+		cur := orec.Load()
+		if tmclock.Locked(cur) {
+			if tmclock.Owner(cur) == t.id {
+				break // stripe already owned: just log and write
+			}
+			if t.waitCM(orec) {
+				continue
+			}
+			t.abort(stats.Locked)
+		}
+		if cur > t.rv {
+			// The stripe committed after our snapshot; extend before taking
+			// it so the timestamp order stays consistent.
+			t.extend()
+		}
+		if orec.CompareAndSwap(cur, tmclock.LockWord(t.id)) {
+			t.locks = append(t.locks, lockEntry{orec: orec, prev: cur})
+			break
+		}
+		// Lost a race for the orec; re-examine it.
+	}
+	t.undo = append(t.undo, undoEntry{addr: a, old: t.s.mem.Load(a)})
+	t.s.mem.Store(a, v)
+}
+
+// Commit finishes the attempt. It returns true when the transaction was
+// read-only. On validation failure it aborts (panics with the abort signal)
+// after restoring state, like any other conflict.
+func (t *Tx) Commit() (readOnly bool) {
+	if !t.live {
+		panic("stm: Commit without Begin")
+	}
+	if t.writeBack {
+		return t.wbCommit()
+	}
+	if len(t.locks) == 0 {
+		// Read-only: all reads were consistent at rv; nothing to publish.
+		t.live = false
+		return true
+	}
+	wv := t.s.clock.Tick()
+	if wv != t.rv+1 && !t.validate() {
+		// Someone committed since our snapshot and the read set no longer
+		// holds. Roll back (the engine's recover path calls OnAbort).
+		t.abort(stats.Validation)
+	}
+	for i := range t.locks {
+		t.locks[i].orec.Store(wv)
+	}
+	t.live = false
+	return false
+}
+
+// OnAbort rolls back a failed attempt: undo the write-through stores in
+// reverse order, then release the orecs at their pre-lock versions. The
+// engine calls this from its recover handler before retrying; the epoch slot
+// must remain marked active until OnAbort returns (quiescers must wait out
+// the undo, Section IV).
+func (t *Tx) OnAbort() {
+	if t.writeBack {
+		t.wbOnAbort()
+		return
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.s.mem.Store(t.undo[i].addr, t.undo[i].old)
+	}
+	for i := range t.locks {
+		t.locks[i].orec.Store(t.locks[i].prev)
+	}
+	t.undo = t.undo[:0]
+	t.locks = t.locks[:0]
+	t.reads = t.reads[:0]
+	t.live = false
+}

@@ -1,0 +1,138 @@
+package stm
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+	"gotle/internal/tmclock"
+)
+
+// Write-back (redo-log) variant: the ablation counterpart to the default
+// ml_wt write-through algorithm (DESIGN.md §4.2). Writes are buffered and
+// orecs are acquired at commit time (TL2-style), trading cheap aborts and
+// invisible speculation for a read-own-write lookup on every load and a
+// commit-time locking pass.
+//
+// The engine selects the variant per transaction descriptor; both share
+// the clock, orec table and heap, so mixed configurations would even be
+// coherent (not exercised — the ablation compares homogeneous runs).
+
+// SetWriteBack switches the descriptor to the redo-log algorithm. It must
+// be called outside any attempt.
+func (t *Tx) SetWriteBack(on bool) {
+	if t.live {
+		panic("stm: SetWriteBack during a live transaction")
+	}
+	t.writeBack = on
+	if on && t.redo == nil {
+		t.redo = make(map[memseg.Addr]uint64)
+	}
+}
+
+// WriteBack reports whether the descriptor uses the redo-log algorithm.
+func (t *Tx) WriteBack() bool { return t.writeBack }
+
+// wbLoad is the redo-log read path: consult the write buffer, then perform
+// a time-based read exactly like the write-through path (minus the
+// own-lock case, which cannot occur before commit).
+func (t *Tx) wbLoad(a memseg.Addr) uint64 {
+	if v, ok := t.redo[a]; ok {
+		return v
+	}
+	orec := t.s.orecs.For(a)
+	for {
+		v1 := orec.Load()
+		if tmclock.Locked(v1) {
+			// Another transaction is committing this stripe.
+			if t.waitCM(orec) {
+				continue
+			}
+			t.abort(stats.Locked)
+		}
+		val := t.s.mem.Load(a)
+		v2 := orec.Load()
+		if v1 != v2 {
+			continue
+		}
+		if v1 > t.rv {
+			t.extend()
+		}
+		t.reads = append(t.reads, readEntry{orec: orec, seen: v1})
+		return val
+	}
+}
+
+// wbStore is the redo-log write path: buffer the value; no shared-memory
+// traffic until commit.
+func (t *Tx) wbStore(a memseg.Addr, v uint64) {
+	if len(t.redo) == 0 {
+		t.redoOrder = t.redoOrder[:0]
+	}
+	if _, seen := t.redo[a]; !seen {
+		t.redoOrder = append(t.redoOrder, a)
+	}
+	t.redo[a] = v
+}
+
+// wbCommit locks the write set, validates, writes back, and releases.
+func (t *Tx) wbCommit() (readOnly bool) {
+	if len(t.redo) == 0 {
+		t.live = false
+		return true
+	}
+	// Acquire every covering orec (deduplicated via the lock log: a stripe
+	// already owned by this commit is skipped).
+	for _, a := range t.redoOrder {
+		orec := t.s.orecs.For(a)
+		for {
+			cur := orec.Load()
+			if tmclock.Locked(cur) {
+				if tmclock.Owner(cur) == t.id {
+					break // stripe shared with an earlier write
+				}
+				if t.waitCM(orec) {
+					continue
+				}
+				t.abort(stats.Locked)
+			}
+			if cur > t.rv {
+				// Validate before taking a stripe that moved past our
+				// snapshot.
+				if !t.validate() {
+					t.abort(stats.Validation)
+				}
+				t.rv = t.s.clock.Read()
+			}
+			if orec.CompareAndSwap(cur, tmclock.LockWord(t.id)) {
+				t.locks = append(t.locks, lockEntry{orec: orec, prev: cur})
+				break
+			}
+		}
+	}
+	wv := t.s.clock.Tick()
+	if wv != t.rv+1 && !t.validate() {
+		t.abort(stats.Validation)
+	}
+	for _, a := range t.redoOrder {
+		t.s.mem.Store(a, t.redo[a])
+	}
+	for i := range t.locks {
+		t.locks[i].orec.Store(wv)
+	}
+	clear(t.redo)
+	t.redoOrder = t.redoOrder[:0]
+	t.live = false
+	return false
+}
+
+// wbOnAbort discards the redo log and releases any commit-time locks taken
+// before the abort.
+func (t *Tx) wbOnAbort() {
+	for i := range t.locks {
+		t.locks[i].orec.Store(t.locks[i].prev)
+	}
+	clear(t.redo)
+	t.redoOrder = t.redoOrder[:0]
+	t.locks = t.locks[:0]
+	t.reads = t.reads[:0]
+	t.live = false
+}

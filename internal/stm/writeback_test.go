@@ -1,0 +1,229 @@
+package stm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gotle/internal/abortsig"
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+)
+
+func newWB(tb testing.TB) (*STM, memseg.Addr) {
+	tb.Helper()
+	s, base := newSTM(tb)
+	return s, base
+}
+
+func wbTx(s *STM, id uint64) *Tx {
+	t := s.NewTx(id)
+	t.SetWriteBack(true)
+	return t
+}
+
+func TestWBCommitPublishes(t *testing.T) {
+	s, base := newWB(t)
+	tx := wbTx(s, 1)
+	tx.Begin()
+	tx.Store(base, 42)
+	// Write-back: nothing visible before commit (unlike write-through).
+	if s.Memory().Load(base) != 0 {
+		t.Fatal("redo-log write leaked before commit")
+	}
+	if tx.Commit() {
+		t.Fatal("writer flagged read-only")
+	}
+	if s.Memory().Load(base) != 42 {
+		t.Fatal("committed write missing")
+	}
+}
+
+func TestWBReadOwnWrite(t *testing.T) {
+	s, base := newWB(t)
+	tx := wbTx(s, 1)
+	run(tx, func(tx *Tx) {
+		tx.Store(base, 7)
+		if tx.Load(base) != 7 {
+			t.Error("read-own-write failed")
+		}
+		tx.Store(base, 8)
+		if tx.Load(base) != 8 {
+			t.Error("second read-own-write failed")
+		}
+	})
+	if s.Memory().Load(base) != 8 {
+		t.Fatal("final value wrong")
+	}
+}
+
+func TestWBAbortIsCheap(t *testing.T) {
+	s, base := newWB(t)
+	s.Memory().Store(base, 100)
+	tx := wbTx(s, 1)
+	cause, aborted := attempt(tx, func(tx *Tx) {
+		tx.Store(base, 999)
+		abortsig.Throw(stats.Explicit)
+	})
+	if !aborted || cause != stats.Explicit {
+		t.Fatalf("aborted=%v cause=%v", aborted, cause)
+	}
+	if s.Memory().Load(base) != 100 {
+		t.Fatal("buffered write leaked on abort")
+	}
+}
+
+func TestWBCommitTimeConflict(t *testing.T) {
+	s, base := newWB(t)
+	tx1 := wbTx(s, 1)
+	tx1.Begin()
+	tx1.Store(base, 1) // buffered; no lock yet
+	// A write-through transaction takes the stripe and holds it.
+	tx2 := s.NewTx(2)
+	tx2.Begin()
+	tx2.Store(base, 2)
+	// tx1's commit must fail at its locking pass.
+	func() {
+		defer func() {
+			sig := abortsig.From(recover())
+			if sig == nil || sig.Cause != stats.Locked {
+				t.Fatalf("expected commit-time lock conflict, got %v", sig)
+			}
+			tx1.OnAbort()
+		}()
+		tx1.Commit()
+		t.Fatal("conflicting commit succeeded")
+	}()
+	tx2.Commit()
+	if s.Memory().Load(base) != 2 {
+		t.Fatal("surviving writer's value missing")
+	}
+}
+
+func TestWBValidationAtCommit(t *testing.T) {
+	s, base := newWB(t)
+	a, b := base, base+16
+	tx1 := wbTx(s, 1)
+	tx1.Begin()
+	_ = tx1.Load(a)
+	tx1.Store(b, 5)
+	// Invalidate tx1's read before it commits.
+	w := s.NewTx(2)
+	run(w, func(tx *Tx) { tx.Store(a, 9) })
+	func() {
+		defer func() {
+			sig := abortsig.From(recover())
+			if sig == nil || sig.Cause != stats.Validation {
+				t.Fatalf("expected validation abort, got %v", sig)
+			}
+			tx1.OnAbort()
+		}()
+		tx1.Commit()
+		t.Fatal("doomed commit succeeded")
+	}()
+	if s.Memory().Load(b) != 0 {
+		t.Fatal("aborted buffered write leaked")
+	}
+}
+
+func TestWBInvisibleToReadersUntilCommit(t *testing.T) {
+	s, base := newWB(t)
+	s.Memory().Store(base, 5)
+	w := wbTx(s, 1)
+	w.Begin()
+	w.Store(base, 6)
+	// A concurrent reader sees the old value and does NOT conflict —
+	// redo-log speculation is invisible (no encounter-time lock).
+	r := s.NewTx(2)
+	r.Begin()
+	if got := r.Load(base); got != 5 {
+		t.Fatalf("reader saw %d, want pre-commit 5", got)
+	}
+	if !r.Commit() {
+		t.Fatal("read-only commit failed")
+	}
+	w.Commit()
+}
+
+func TestWBSetWriteBackDuringLivePanics(t *testing.T) {
+	s, _ := newWB(t)
+	tx := s.NewTx(1)
+	tx.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWriteBack on live tx did not panic")
+		}
+	}()
+	tx.SetWriteBack(true)
+}
+
+func TestWBConcurrentIncrements(t *testing.T) {
+	s, base := newWB(t)
+	const threads, per = 6, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		tx := wbTx(s, uint64(i+1))
+		wg.Add(1)
+		go func(tx *Tx) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				run(tx, func(tx *Tx) {
+					tx.Store(base, tx.Load(base)+1)
+				})
+			}
+		}(tx)
+	}
+	wg.Wait()
+	if got := s.Memory().Load(base); got != threads*per {
+		t.Fatalf("counter = %d, want %d", got, threads*per)
+	}
+}
+
+// Mixed population: write-through and write-back transactions must
+// interoperate (shared clock and orecs).
+func TestWBMixedWithWriteThrough(t *testing.T) {
+	mem := memseg.New(1 << 16)
+	s := New(mem, Config{OrecSizeLog2: 12})
+	base, _ := mem.Alloc(16)
+	const threads, per = 6, 1500
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		tx := s.NewTx(uint64(i + 1))
+		tx.SetWriteBack(i%2 == 0)
+		rng := rand.New(rand.NewSource(int64(i)))
+		wg.Add(1)
+		go func(tx *Tx, rng *rand.Rand) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				from := memseg.Addr(rng.Intn(8))
+				to := memseg.Addr(rng.Intn(8))
+				run(tx, func(tx *Tx) {
+					f := tx.Load(base + from)
+					tx.Store(base+from, f+1)
+					tx.Store(base+to, tx.Load(base+to)+1)
+				})
+			}
+		}(tx, rng)
+	}
+	wg.Wait()
+	var total uint64
+	for i := memseg.Addr(0); i < 8; i++ {
+		total += mem.Load(base + i)
+	}
+	if total != threads*per*2 {
+		t.Fatalf("total increments = %d, want %d", total, threads*per*2)
+	}
+}
+
+func BenchmarkWBWrite4(b *testing.B) {
+	s, base := newWB(b)
+	tx := wbTx(s, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(tx, func(tx *Tx) {
+			for j := memseg.Addr(0); j < 4; j++ {
+				tx.Store(base+j, uint64(i))
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package tle
+
+import (
+	"testing"
+
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+func TestRuntimePolicyAccessor(t *testing.T) {
+	for _, p := range Policies {
+		r := New(p, Config{MemWords: 1 << 14})
+		if r.Policy() != p {
+			t.Fatalf("Policy() = %v, want %v", r.Policy(), p)
+		}
+	}
+}
+
+// The pthread baseline's direct Tx must support the full Tx surface.
+func TestDirectTxFullSurface(t *testing.T) {
+	r := New(PolicyPthread, Config{MemWords: 1 << 16})
+	th := r.NewThread()
+	m := r.NewMutex("direct")
+	var blk memseg.Addr
+	if err := m.Do(th, func(tx tm.Tx) error {
+		if !tx.Irrevocable() {
+			t.Error("lock-based section must report irrevocable")
+		}
+		blk = tx.Alloc(4)
+		tx.Store(blk, 5)
+		if tx.Load(blk) != 5 {
+			t.Error("direct load/store broken")
+		}
+		tx.NoQuiesce() // no-op, must not panic
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Free is deferred to section exit.
+	if err := m.Do(th, func(tx tm.Tx) error {
+		tx.Free(blk)
+		if lw := r.Engine().Memory().LiveWords(); lw == 0 {
+			t.Error("Free applied before section exit")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lw := r.Engine().Memory().LiveWords(); lw != 0 {
+		t.Fatalf("LiveWords = %d after free", lw)
+	}
+}
+
+func TestDirectTxAllocExhaustionPanics(t *testing.T) {
+	r := New(PolicyPthread, Config{MemWords: 1 << 10})
+	th := r.NewThread()
+	m := r.NewMutex("oom")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion did not panic")
+		}
+	}()
+	m.Do(th, func(tx tm.Tx) error {
+		for {
+			tx.Alloc(1 << 10)
+		}
+	})
+}
+
+func TestThreadAccessors(t *testing.T) {
+	r := New(PolicySTMCondVar, Config{MemWords: 1 << 14})
+	th := r.NewThread()
+	if th.ID() == 0 {
+		t.Fatal("thread ID zero")
+	}
+	if th.InTx() {
+		t.Fatal("fresh thread in transaction")
+	}
+	m := r.NewMutex("acc")
+	m.Do(th, func(tx tm.Tx) error {
+		if !th.InTx() {
+			t.Error("InTx false inside critical section")
+		}
+		if tx.Irrevocable() {
+			t.Error("speculative attempt flagged irrevocable")
+		}
+		return nil
+	})
+	if th.InTx() {
+		t.Fatal("InTx true after section")
+	}
+}
+
+// HTM-mode Tx surface bits not exercised elsewhere.
+func TestHTMTxSurface(t *testing.T) {
+	r := New(PolicyHTMCondVar, Config{MemWords: 1 << 16})
+	th := r.NewThread()
+	m := r.NewMutex("htmsurface")
+	var blk memseg.Addr
+	if err := m.Do(th, func(tx tm.Tx) error {
+		blk = tx.Alloc(4)
+		tx.Store(blk, 9)
+		tx.NoQuiesce() // meaningless under HTM, must be harmless
+		if tx.Irrevocable() {
+			t.Error("speculative HTM attempt flagged irrevocable")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Do(th, func(tx tm.Tx) error {
+		tx.Free(blk)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lw := r.Engine().Memory().LiveWords(); lw != 0 {
+		t.Fatalf("LiveWords = %d", lw)
+	}
+}

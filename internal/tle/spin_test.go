@@ -1,0 +1,105 @@
+package tle
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gotle/internal/tm"
+)
+
+// Under the spin policy, Await must make progress with NO condition
+// variable at all: it re-executes the transaction until the predicate
+// holds (the paper's STM+Spin configuration).
+func TestSpinPolicyAwaitWithoutCondvar(t *testing.T) {
+	r := New(PolicySTMSpin, Config{MemWords: 1 << 16})
+	m := r.NewMutex("spin")
+	flag := r.Engine().Alloc(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waiter := r.NewThread()
+	go func() {
+		defer wg.Done()
+		err := m.Await(waiter, nil, 0, func(tx tm.Tx) error {
+			if tx.Load(flag) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("Await: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	setter := r.NewThread()
+	if err := m.Do(setter, func(tx tm.Tx) error {
+		tx.Store(flag, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("spin Await never observed the flag")
+	}
+}
+
+// Spin policy burns transactions: the retry count is visible in stats as
+// explicit aborts (the congestion the paper blames for Spin's poor
+// showing).
+func TestSpinPolicyBurnsAttempts(t *testing.T) {
+	r := New(PolicySTMSpin, Config{MemWords: 1 << 16})
+	m := r.NewMutex("burn")
+	flag := r.Engine().Alloc(1)
+	waiter := r.NewThread()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Await(waiter, nil, 0, func(tx tm.Tx) error {
+			if tx.Load(flag) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	setter := r.NewThread()
+	m.Do(setter, func(tx tm.Tx) error { tx.Store(flag, 1); return nil })
+	<-done
+	s := r.Engine().Snapshot()
+	if s.Starts < 10 {
+		t.Fatalf("spin produced only %d attempts — not spinning?", s.Starts)
+	}
+}
+
+// A nil condvar under a condvar policy degrades to spinning rather than
+// deadlocking.
+func TestNilCondvarFallsBackToSpin(t *testing.T) {
+	r := New(PolicySTMCondVar, Config{MemWords: 1 << 16})
+	m := r.NewMutex("nilcv")
+	flag := r.Engine().Alloc(1)
+	done := make(chan error, 1)
+	waiter := r.NewThread()
+	go func() {
+		done <- m.Await(waiter, nil, 0, func(tx tm.Tx) error {
+			if tx.Load(flag) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	setter := r.NewThread()
+	m.Do(setter, func(tx tm.Tx) error { tx.Store(flag, 1); return nil })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nil-condvar Await deadlocked")
+	}
+}

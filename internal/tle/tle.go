@@ -1,0 +1,318 @@
+// Package tle implements transactional lock elision: lock-based critical
+// sections that execute as transactions, with the five execution policies
+// the paper evaluates (Section VII):
+//
+//   - PolicyPthread — the baseline: a real mutex, direct memory access.
+//   - PolicySTMSpin — STM elision; threads that would block on a condition
+//     variable instead spin re-executing the transaction.
+//   - PolicySTMCondVar — STM elision with transaction-friendly condition
+//     variables.
+//   - PolicySTMCondVarNoQ — as above, plus the TM.NoQuiesce API is honored,
+//     selectively disabling post-commit quiescence (Section IV.B).
+//   - PolicyHTMCondVar — simulated-HTM elision with condition variables.
+//
+// The central type is Mutex. Under the pthread policy each Mutex is a real
+// lock; under the TM policies every Mutex's critical sections are elided
+// onto one engine-wide transaction class — the "lock erasure" of
+// Section IV.A: the TM cannot tell formerly-disjoint locks apart, so a
+// serialization or quiescence anywhere affects everyone.
+package tle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gotle/internal/abortsig"
+	"gotle/internal/condvar"
+	"gotle/internal/htm"
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+	"gotle/internal/tm"
+)
+
+// Policy selects how critical sections execute.
+type Policy int
+
+const (
+	// PolicyPthread is the original lock-based execution.
+	PolicyPthread Policy = iota
+	// PolicySTMSpin elides locks with STM and spins instead of waiting.
+	PolicySTMSpin
+	// PolicySTMCondVar elides locks with STM and blocks on transaction-
+	// friendly condition variables.
+	PolicySTMCondVar
+	// PolicySTMCondVarNoQ additionally honors Tx.NoQuiesce.
+	PolicySTMCondVarNoQ
+	// PolicyHTMCondVar elides locks with the simulated HTM.
+	PolicyHTMCondVar
+)
+
+// Policies lists all five in the paper's presentation order.
+var Policies = []Policy{PolicyPthread, PolicySTMSpin, PolicySTMCondVar, PolicySTMCondVarNoQ, PolicyHTMCondVar}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyPthread:
+		return "pthread"
+	case PolicySTMSpin:
+		return "stm-spin"
+	case PolicySTMCondVar:
+		return "stm-cv"
+	case PolicySTMCondVarNoQ:
+		return "stm-cv-noq"
+	case PolicyHTMCondVar:
+		return "htm-cv"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name (as printed by String) back to a
+// Policy, for CLI flags.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("tle: unknown policy %q", s)
+}
+
+// Transactional reports whether the policy elides locks (all but pthread).
+func (p Policy) Transactional() bool { return p != PolicyPthread }
+
+// Config parameterises a Runtime.
+type Config struct {
+	// MemWords sizes the simulated heap (default 1<<22).
+	MemWords int
+	// MaxRetries overrides the engine retry budget (0 = engine default:
+	// 2 under HTM — the paper's fallback setting — and 8 under STM).
+	MaxRetries int
+	// HTM tunes the hardware simulation for PolicyHTMCondVar.
+	HTM htm.Config
+	// OrecSizeLog2 and StripeShift tune the STM orec table.
+	OrecSizeLog2 int
+	StripeShift  int
+	// Tracer, when non-nil, observes lock acquire/release events (the
+	// two-phase-locking checker in package lockcheck implements it).
+	Tracer Tracer
+}
+
+// Tracer observes critical-section structure for analysis tools.
+type Tracer interface {
+	// Acquire is called when thread tid enters the critical section of
+	// mutex mid; Release when it leaves.
+	Acquire(tid uint64, mid int)
+	Release(tid uint64, mid int)
+}
+
+// Runtime is one application-wide elision context: a policy plus the TM
+// engine all elided critical sections share.
+type Runtime struct {
+	policy  Policy
+	engine  *tm.Engine
+	tracer  Tracer
+	mutexes sync.Map // mid -> name, for diagnostics
+	nextMID int64
+	midMu   sync.Mutex
+}
+
+// New constructs a runtime for the given policy.
+func New(policy Policy, cfg Config) *Runtime {
+	ecfg := tm.Config{
+		MemWords:     cfg.MemWords,
+		MaxRetries:   cfg.MaxRetries,
+		OrecSizeLog2: cfg.OrecSizeLog2,
+		StripeShift:  cfg.StripeShift,
+		HTM:          cfg.HTM,
+	}
+	switch policy {
+	case PolicyPthread:
+		// The engine provides only the shared heap; critical sections run
+		// under real mutexes with direct access.
+		ecfg.Mode = tm.ModeSTM
+	case PolicySTMSpin, PolicySTMCondVar:
+		ecfg.Mode = tm.ModeSTM
+		ecfg.Quiesce = tm.QuiesceAll
+		ecfg.HonorNoQuiesce = false
+	case PolicySTMCondVarNoQ:
+		ecfg.Mode = tm.ModeSTM
+		ecfg.Quiesce = tm.QuiesceAll
+		ecfg.HonorNoQuiesce = true
+	case PolicyHTMCondVar:
+		ecfg.Mode = tm.ModeHTM
+	default:
+		panic(fmt.Sprintf("tle: unknown policy %d", policy))
+	}
+	return &Runtime{policy: policy, engine: tm.New(ecfg), tracer: cfg.Tracer}
+}
+
+// Policy returns the runtime's execution policy.
+func (r *Runtime) Policy() Policy { return r.policy }
+
+// Engine exposes the underlying TM engine (heap access, stats).
+func (r *Runtime) Engine() *tm.Engine { return r.engine }
+
+// NewThread registers a worker thread.
+func (r *Runtime) NewThread() *tm.Thread { return r.engine.NewThread() }
+
+// NewCond creates a condition variable for use with Await.
+func (r *Runtime) NewCond() *condvar.Cond { return condvar.New() }
+
+// Mutex is an elidable lock. Under PolicyPthread it is a real mutex; under
+// the TM policies its critical sections run as transactions and the lock
+// itself is erased.
+type Mutex struct {
+	r    *Runtime
+	mu   sync.Mutex
+	mid  int
+	name string
+	// retries, when positive, overrides the engine's retry budget for this
+	// mutex's critical sections — the per-transaction retry policy of
+	// Section VII.A ("for queues that are expected to be un-contended,
+	// more retries before serialization might be appropriate").
+	retries int
+	pad     [4]uint64 //nolint:unused // keep mutexes off each other's lines
+}
+
+// NewMutex creates an elidable mutex. The name appears in diagnostics and
+// lock-order traces.
+func (r *Runtime) NewMutex(name string) *Mutex {
+	r.midMu.Lock()
+	r.nextMID++
+	mid := int(r.nextMID)
+	r.midMu.Unlock()
+	m := &Mutex{r: r, mid: mid, name: name}
+	r.mutexes.Store(mid, name)
+	return m
+}
+
+// Name returns the mutex's diagnostic name.
+func (m *Mutex) Name() string { return m.name }
+
+// SetRetryBudget overrides the number of aborted attempts this mutex's
+// critical sections tolerate before serial fallback (0 restores the engine
+// default). Tuning per lock is the knob the TMTS lacks (Section II.C,
+// citing Karnagel et al.).
+func (m *Mutex) SetRetryBudget(n int) { m.retries = n }
+
+// Do executes body as a critical section of m on thread th.
+//
+//   - PolicyPthread: body runs under the real mutex with direct access.
+//   - TM policies: body runs as an atomic block (the lock is elided).
+//
+// body follows tm.Atomic's contract: return nil to commit/leave, return an
+// error to roll back and propagate it, call Tx.Retry to roll back and make
+// Do return tm.ErrRetry (predicate wait).
+func (m *Mutex) Do(th *tm.Thread, body func(tx tm.Tx) error) error {
+	if tr := m.r.tracer; tr != nil {
+		tr.Acquire(th.ID(), m.mid)
+		defer tr.Release(th.ID(), m.mid)
+	}
+	if m.r.policy == PolicyPthread {
+		return m.doLocked(th, body)
+	}
+	return m.r.engine.AtomicRetries(th, m.retries, body)
+}
+
+// Coalesce runs body as ONE critical section spanning what would otherwise
+// be several Do calls on this runtime's mutexes: nested Do calls inside
+// body flatten into a single transaction (or run under this mutex's real
+// lock in pthread mode). This is Yoo et al.'s transaction coarsening
+// (Section II.C): fewer boundaries amortize per-transaction costs, at the
+// price of larger conflict footprints. body must respect the usual
+// transactional contract.
+func (m *Mutex) Coalesce(th *tm.Thread, body func(tx tm.Tx) error) error {
+	return m.Do(th, body)
+}
+
+// doLocked is the pthread baseline path.
+func (m *Mutex) doLocked(th *tm.Thread, body func(tx tm.Tx) error) (err error) {
+	d := &directTx{e: m.r.engine}
+	m.mu.Lock()
+	retried := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				m.mu.Unlock()
+				if sig := abortsig.From(r); sig != nil && sig.Cause == stats.Explicit {
+					retried = true
+					return
+				}
+				panic(r)
+			}
+			m.mu.Unlock()
+		}()
+		err = body(d)
+	}()
+	if retried {
+		return tm.ErrRetry
+	}
+	if err != nil {
+		if d.wrote {
+			panic("tle: critical section failed after writes under pthread policy (no rollback available)")
+		}
+		return err
+	}
+	for _, fn := range d.deferred {
+		fn()
+	}
+	return nil
+}
+
+// Await runs body under m until it stops requesting retry, waiting between
+// attempts according to the policy: spin (PolicySTMSpin) or block on cv
+// with the given timeout (all other policies). A non-positive timeout waits
+// indefinitely. Any error other than tm.ErrRetry is returned to the caller.
+func (m *Mutex) Await(th *tm.Thread, cv *condvar.Cond, timeout time.Duration, body func(tx tm.Tx) error) error {
+	for {
+		err := m.Do(th, body)
+		if err != tm.ErrRetry {
+			return err
+		}
+		if m.r.policy == PolicySTMSpin || cv == nil {
+			// Spin: re-execute the transaction. Yield so the thread that
+			// will satisfy the predicate can run; the waste and cache
+			// traffic this causes is the point of the Spin configuration.
+			runtime.Gosched()
+			continue
+		}
+		cv.Wait(timeout)
+	}
+}
+
+// directTx is the pthread policy's Tx: direct access under a real lock.
+type directTx struct {
+	e        *tm.Engine
+	wrote    bool
+	deferred []func()
+}
+
+var _ tm.Tx = (*directTx)(nil)
+
+func (d *directTx) Load(a memseg.Addr) uint64 { return d.e.Memory().Load(a) }
+func (d *directTx) Store(a memseg.Addr, v uint64) {
+	d.wrote = true
+	d.e.Memory().Store(a, v)
+}
+func (d *directTx) Alloc(n int) memseg.Addr {
+	a, ok := d.e.Memory().Alloc(n)
+	if !ok {
+		panic("tle: simulated heap exhausted")
+	}
+	return a
+}
+func (d *directTx) Free(a memseg.Addr) {
+	d.deferred = append(d.deferred, func() { d.e.Memory().Free(a) })
+}
+func (d *directTx) NoQuiesce()        {}
+func (d *directTx) Defer(fn func())   { d.deferred = append(d.deferred, fn) }
+func (d *directTx) Irrevocable() bool { return true }
+func (d *directTx) Retry() {
+	if d.wrote {
+		panic("tle: Retry after writes in a lock-based critical section")
+	}
+	abortsig.Throw(stats.Explicit)
+}

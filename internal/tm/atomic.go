@@ -1,0 +1,296 @@
+package tm
+
+import (
+	"gotle/internal/abortsig"
+	"gotle/internal/memseg"
+	"gotle/internal/spinwait"
+	"gotle/internal/stats"
+)
+
+// throwAbort unwinds the current attempt.
+func throwAbort(cause stats.AbortCause) { abortsig.Throw(cause) }
+
+// Atomic executes fn as an atomic block on thread th.
+//
+// Semantics (mirroring the TMTS atomic block, Section II.B):
+//
+//   - fn may run multiple times; it must confine its side effects to Tx
+//     operations and Tx.Defer actions.
+//   - A nil return commits. A non-nil return cancels: all transactional
+//     effects roll back and Atomic returns the error.
+//   - Tx.Retry cancels and returns ErrRetry (condition waiting).
+//   - After Config.MaxRetries conflict aborts the block re-executes under
+//     the engine's serial lock, irrevocably.
+//
+// Nested Atomic calls are flattened into the parent transaction.
+func (e *Engine) Atomic(th *Thread, fn func(Tx) error) error {
+	return e.AtomicRetries(th, e.cfg.MaxRetries, fn)
+}
+
+// AtomicRetries is Atomic with a per-call retry budget, the transaction-by-
+// transaction retry policy Section VII.A asks for: "it would be beneficial
+// for programmers to be able to suggest retry policies on a transaction-by-
+// transaction basis". A non-positive budget uses the engine default.
+func (e *Engine) AtomicRetries(th *Thread, maxRetries int, fn func(Tx) error) error {
+	if maxRetries <= 0 {
+		maxRetries = e.cfg.MaxRetries
+	}
+	if th.depth > 0 {
+		// Flat nesting: run in the parent's transaction. A cancel or retry
+		// unwinds the whole outer transaction via the returned error / the
+		// abort signal respectively.
+		th.depth++
+		defer func() { th.depth-- }()
+		return fn(th.cur)
+	}
+	var backoff spinwait.Backoff
+	retries := 0
+	for {
+		err, committed, cause := e.attempt(th, fn)
+		if committed {
+			return nil
+		}
+		if err != nil {
+			return err // user cancel: already rolled back
+		}
+		if cause == stats.Explicit {
+			return ErrRetry
+		}
+		retries++
+		if retries > maxRetries {
+			return e.runSerial(th, fn)
+		}
+		backoff.Wait()
+	}
+}
+
+// Synchronized executes fn irrevocably under the serial lock, like a TMTS
+// synchronized block containing unsafe operations: all concurrent
+// transactions are drained (and, under HTM, aborted) first.
+func (e *Engine) Synchronized(th *Thread, fn func(Tx) error) error {
+	if th.depth > 0 {
+		panic("tm: Synchronized inside an atomic block")
+	}
+	return e.runSerial(th, fn)
+}
+
+// attempt runs fn once speculatively. It returns committed=true on success;
+// otherwise cause carries the abort cause, and err is non-nil only for a
+// user cancel (which also rolls back).
+func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bool, cause stats.AbortCause) {
+	e.serial.rlock()
+	th.resetTxnState()
+	th.st.Start()
+	th.slot.Enter()
+
+	var tx Tx
+	if th.stx != nil {
+		tx = stmTx{th: th}
+	} else {
+		tx = htmTx{th: th}
+	}
+	th.cur = tx
+	th.depth = 1
+
+	readOnly := false
+	aborted := false
+	func() {
+		defer func() {
+			th.depth = 0
+			th.cur = nil
+			if r := recover(); r != nil {
+				sig := abortsig.From(r)
+				if sig == nil {
+					// Unrelated panic: roll back, release, propagate.
+					th.rollbackLive()
+					th.slot.Exit()
+					e.serial.runlock()
+					panic(r)
+				}
+				th.rollbackLive()
+				aborted = true
+				cause = sig.Cause
+			}
+		}()
+		th.beginTx()
+		err = fn(tx)
+		if err != nil {
+			th.rollbackLive()
+			aborted = true
+			cause = stats.Explicit // cancelled; cause unused when err != nil
+			return
+		}
+		readOnly = th.commitTx()
+		committed = true
+	}()
+
+	// The slot stays active through rollback (quiescers must wait out undo
+	// operations) and through commit (so a concurrent quiescer observes
+	// the transition).
+	th.slot.Exit()
+
+	if committed {
+		th.st.Commit(readOnly)
+		e.postCommit(th, readOnly)
+		e.serial.runlock()
+		return nil, true, 0
+	}
+
+	// Abort path: return eagerly-allocated blocks.
+	for _, a := range th.allocs {
+		e.mem.Free(a)
+	}
+	if err != nil {
+		// User cancel: not a conflict, no stats abort classification beyond
+		// explicit.
+		th.st.Abort(stats.Explicit)
+		e.serial.runlock()
+		return err, false, stats.Explicit
+	}
+	_ = aborted
+	th.st.Abort(cause)
+	e.serial.runlock()
+	return nil, false, cause
+}
+
+func (th *Thread) beginTx() {
+	if th.stx != nil {
+		th.stx.Begin()
+	} else {
+		th.htx.Begin()
+	}
+}
+
+func (th *Thread) commitTx() (readOnly bool) {
+	if th.stx != nil {
+		return th.stx.Commit()
+	}
+	return th.htx.Commit()
+}
+
+// rollbackLive undoes the running attempt if one is live.
+func (th *Thread) rollbackLive() {
+	if th.stx != nil && th.stx.Live() {
+		th.stx.OnAbort()
+	}
+	if th.htx != nil && th.htx.Live() {
+		th.htx.OnAbort()
+	}
+}
+
+// postCommit applies the quiescence policy, releases freed blocks and runs
+// deferred actions. Called with the serial read lock still held.
+func (e *Engine) postCommit(th *Thread, readOnly bool) {
+	// The allocator requires freeing transactions to quiesce under STM
+	// (Section VII.C); under HTM the InvalidateBlock pass below provides
+	// the equivalent guarantee through strong isolation.
+	mustQuiesce := e.stm != nil && len(th.frees) > 0
+	wantQuiesce := false
+	if e.stm != nil {
+		switch e.cfg.Quiesce {
+		case QuiesceAll:
+			wantQuiesce = true
+		case QuiesceWriters:
+			wantQuiesce = !readOnly
+		case QuiesceNone:
+			wantQuiesce = false
+		}
+		if wantQuiesce && th.noQuiesce && e.cfg.HonorNoQuiesce {
+			wantQuiesce = false
+			th.st.NoQuiesce()
+		}
+	}
+	if mustQuiesce || wantQuiesce {
+		d := e.epochs.Quiesce(th.slot)
+		th.st.Quiesce(d)
+	}
+	for _, a := range th.frees {
+		if e.htm != nil {
+			e.htm.InvalidateBlock(a, e.mem.BlockSize(a))
+		}
+		if e.cfg.RaceDetect {
+			e.checkFree(a)
+		}
+		e.mem.Free(a)
+	}
+	for _, fn := range th.deferred {
+		fn()
+	}
+}
+
+// runSerial executes fn irrevocably: it drains all transactions via the
+// serial lock's write side, then runs fn with direct memory access.
+func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
+	e.serial.wlock(func() {
+		if e.htm != nil {
+			e.htm.DoomAll(stats.Serial)
+		}
+	})
+	defer e.serial.wunlock()
+
+	th.resetTxnState()
+	th.st.Start()
+	th.st.SerialRun()
+	tx := &serialTx{th: th}
+	th.cur = tx
+	th.depth = 1
+	var err error
+	retried := false
+	func() {
+		defer func() {
+			th.depth = 0
+			th.cur = nil
+			if r := recover(); r != nil {
+				if sig := abortsig.From(r); sig != nil && sig.Cause == stats.Explicit {
+					retried = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		err = fn(tx)
+	}()
+	if retried {
+		for _, a := range th.allocs {
+			e.mem.Free(a)
+		}
+		th.st.Abort(stats.Explicit)
+		return ErrRetry
+	}
+	if err != nil {
+		if tx.wrote {
+			panic("tm: cancel of an irrevocable transaction after writes")
+		}
+		for _, a := range th.allocs {
+			e.mem.Free(a)
+		}
+		th.st.Abort(stats.Explicit)
+		return err
+	}
+	th.st.Commit(!tx.wrote)
+	// No quiescence needed: the write lock excluded every transaction.
+	for _, a := range th.frees {
+		e.mem.Free(a)
+	}
+	for _, fnD := range th.deferred {
+		fnD()
+	}
+	return nil
+}
+
+// FreeTM releases a block non-transactionally but TM-safely: under HTM it
+// invalidates the block's lines first (dooming transactional readers), and
+// under STM the caller must have privatized the block via a quiescing
+// transaction.
+func (e *Engine) FreeTM(a memseg.Addr) {
+	if a == memseg.Nil {
+		return
+	}
+	if e.htm != nil {
+		e.htm.InvalidateBlock(a, e.mem.BlockSize(a))
+	}
+	if e.cfg.RaceDetect {
+		e.checkFree(a)
+	}
+	e.mem.Free(a)
+}

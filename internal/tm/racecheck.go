@@ -1,0 +1,82 @@
+package tm
+
+import (
+	"fmt"
+	"sync"
+
+	"gotle/internal/memseg"
+)
+
+// Transactional race detection, after T-Rex (Section IV.C): "T-Rex is able
+// to identify all races that arise when a TM library fails to provide
+// privatization safety. Extending T-Rex to understand implicitly
+// privatization-safe STM with selective disabling of privatization appears
+// to be straightforward." — this is that extension, scaled to the
+// simulator.
+//
+// The detector exploits the write-through STM's encounter-time locks: any
+// word whose covering orec is held by a transaction is speculative state.
+// A non-transactional access (Engine.Load/Store) or a free that touches a
+// speculatively-owned word means the caller did not wait out concurrent
+// transactions — i.e. a privatization-safety violation, exactly the bug
+// class a faulty TM.NoQuiesce call introduces (Section IV.C "Pitfalls").
+//
+// Orec striping can alias unrelated addresses onto one orec, so a report
+// may be a false positive under extreme collision; reports carry the
+// address so users can triage. Detection is enabled by Config.RaceDetect.
+
+// RaceReport describes one detected privatization-safety violation.
+type RaceReport struct {
+	// Op is "load", "store" or "free".
+	Op string
+	// Addr is the non-transactionally accessed word.
+	Addr memseg.Addr
+}
+
+func (r RaceReport) String() string {
+	return fmt.Sprintf("tm: privatization race: non-transactional %s of word %d while a transaction speculatively owns it (missing quiescence?)", r.Op, r.Addr)
+}
+
+// raceState holds the engine's detector state.
+type raceState struct {
+	mu      sync.Mutex
+	reports []RaceReport
+}
+
+// checkNontx records a report if addr is speculatively owned. Called from
+// the non-transactional accessors when Config.RaceDetect is set.
+func (e *Engine) checkNontx(op string, a memseg.Addr) {
+	if e.stm == nil || !e.stm.SpeculativelyOwned(a) {
+		return
+	}
+	e.races.mu.Lock()
+	e.races.reports = append(e.races.reports, RaceReport{Op: op, Addr: a})
+	e.races.mu.Unlock()
+}
+
+// checkFree scans a block about to be freed.
+func (e *Engine) checkFree(a memseg.Addr) {
+	if e.stm == nil {
+		return
+	}
+	n := e.mem.BlockSize(a)
+	for i := 0; i < n; i++ {
+		w := a + memseg.Addr(i)
+		if e.stm.SpeculativelyOwned(w) {
+			e.races.mu.Lock()
+			e.races.reports = append(e.races.reports, RaceReport{Op: "free", Addr: w})
+			e.races.mu.Unlock()
+			return
+		}
+	}
+}
+
+// RaceReports returns the privatization-safety violations detected so far.
+// Empty unless Config.RaceDetect was set.
+func (e *Engine) RaceReports() []RaceReport {
+	e.races.mu.Lock()
+	defer e.races.mu.Unlock()
+	out := make([]RaceReport, len(e.races.reports))
+	copy(out, e.races.reports)
+	return out
+}

@@ -1,0 +1,105 @@
+package tm
+
+import (
+	"sync/atomic"
+
+	"gotle/internal/spinwait"
+)
+
+// serialLock is the engine-wide serialization lock, modelled on GCC libitm's
+// gtm_rwlock. Every transaction attempt holds the read side; a transaction
+// that becomes irrevocable (a synchronized block performing unsafe
+// operations, or a transaction that exhausted its retry budget) takes the
+// write side, draining and excluding all concurrent transactions.
+//
+// This is the mechanism behind the paper's "lock erasure" observation
+// (Section II.C): once all locks are elided onto one TM, any serialization
+// of any transaction suspends unrelated transactions too.
+//
+// Layout of the state word: bit 63 = writer holds the lock, bit 62 = a
+// writer is waiting (blocks new readers, preventing writer starvation),
+// low 62 bits = reader count.
+type serialLock struct {
+	state atomic.Uint64
+	_     [56]byte
+}
+
+const (
+	slWriterHeld    = uint64(1) << 63
+	slWriterWaiting = uint64(1) << 62
+	slReaderMask    = slWriterWaiting - 1
+)
+
+// rlock enters the read side (one transaction attempt).
+func (l *serialLock) rlock() {
+	var b spinwait.Backoff
+	for {
+		s := l.state.Load()
+		if s&(slWriterHeld|slWriterWaiting) == 0 {
+			if l.state.CompareAndSwap(s, s+1) {
+				return
+			}
+			continue
+		}
+		b.Wait()
+	}
+}
+
+// tryRlock enters the read side without blocking.
+func (l *serialLock) tryRlock() bool {
+	s := l.state.Load()
+	if s&(slWriterHeld|slWriterWaiting) != 0 {
+		return false
+	}
+	return l.state.CompareAndSwap(s, s+1)
+}
+
+// runlock leaves the read side.
+func (l *serialLock) runlock() {
+	l.state.Add(^uint64(0)) // -1
+}
+
+// wlock acquires the write side, waiting out current readers and barring
+// new ones. onWaiting, if non-nil, runs once after the waiting bit is set —
+// the engine uses it to doom active hardware transactions so the drain is
+// prompt, mirroring how a fallback-lock write aborts every TSX transaction
+// subscribed to the lock.
+func (l *serialLock) wlock(onWaiting func()) {
+	var b spinwait.Backoff
+	// Phase 1: set the waiting bit (contend with other writers).
+	for {
+		s := l.state.Load()
+		if s&(slWriterHeld|slWriterWaiting) == 0 {
+			if l.state.CompareAndSwap(s, s|slWriterWaiting) {
+				break
+			}
+			continue
+		}
+		b.Wait()
+	}
+	if onWaiting != nil {
+		onWaiting()
+	}
+	// Phase 2: wait for readers to drain, then claim.
+	b.Reset()
+	for {
+		s := l.state.Load()
+		if s&slReaderMask == 0 {
+			if l.state.CompareAndSwap(s, slWriterHeld) {
+				return
+			}
+			continue
+		}
+		b.Wait()
+	}
+}
+
+// wunlock releases the write side.
+func (l *serialLock) wunlock() {
+	l.state.Store(0)
+}
+
+// writerActive reports whether a writer holds or awaits the lock.
+func (l *serialLock) writerActive() bool {
+	return l.state.Load()&(slWriterHeld|slWriterWaiting) != 0
+}

@@ -1,0 +1,147 @@
+package tm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSerialLockReadersShare(t *testing.T) {
+	var l serialLock
+	l.rlock()
+	if !l.tryRlock() {
+		t.Fatal("second reader blocked")
+	}
+	l.runlock()
+	l.runlock()
+}
+
+func TestSerialLockWriterExcludesReaders(t *testing.T) {
+	var l serialLock
+	l.wlock(nil)
+	if l.tryRlock() {
+		t.Fatal("reader entered while writer held")
+	}
+	if !l.writerActive() {
+		t.Fatal("writerActive false while held")
+	}
+	l.wunlock()
+	if !l.tryRlock() {
+		t.Fatal("reader blocked after writer release")
+	}
+	l.runlock()
+}
+
+func TestSerialLockWriterWaitsForReaders(t *testing.T) {
+	var l serialLock
+	l.rlock()
+	acquired := make(chan struct{})
+	var drained atomic.Bool
+	go func() {
+		l.wlock(nil)
+		if !drained.Load() {
+			t.Error("writer acquired before readers drained")
+		}
+		l.wunlock()
+		close(acquired)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	drained.Store(true)
+	l.runlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never acquired")
+	}
+}
+
+// The waiting bit blocks NEW readers, so a stream of readers cannot starve
+// a writer.
+func TestSerialLockWriterNotStarved(t *testing.T) {
+	var l serialLock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.rlock()
+				l.runlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			l.wlock(nil)
+			l.wunlock()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("writer starved by reader stream")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSerialLockOnWaitingHookRuns(t *testing.T) {
+	var l serialLock
+	ran := false
+	l.wlock(func() { ran = true })
+	l.wunlock()
+	if !ran {
+		t.Fatal("onWaiting hook skipped")
+	}
+}
+
+// Mutual exclusion invariant under concurrent readers and writers.
+func TestSerialLockMutualExclusion(t *testing.T) {
+	var l serialLock
+	var readers, writers atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				l.rlock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					violations.Add(1)
+				}
+				readers.Add(-1)
+				l.runlock()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.wlock(nil)
+				writers.Add(1)
+				if readers.Load() != 0 || writers.Load() != 1 {
+					violations.Add(1)
+				}
+				writers.Add(-1)
+				l.wunlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+}

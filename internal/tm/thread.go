@@ -1,0 +1,209 @@
+package tm
+
+import (
+	"gotle/internal/epoch"
+	"gotle/internal/htm"
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+	"gotle/internal/stm"
+)
+
+// Thread is the per-goroutine transactional context. Exactly one goroutine
+// may use a Thread; create one per worker with Engine.NewThread.
+type Thread struct {
+	e    *Engine
+	id   uint64
+	st   *stats.Thread
+	slot *epoch.Slot
+	stx  *stm.Tx
+	htx  *htm.Tx
+
+	// Per-transaction state, reset at each top-level attempt.
+	depth     int
+	allocs    []memseg.Addr
+	frees     []memseg.Addr
+	deferred  []func()
+	noQuiesce bool
+	cur       Tx // active wrapper for flat nesting
+}
+
+// NewThread registers a new transactional thread with the engine. Under HTM
+// at most htm.MaxThreads threads may be live at once per engine (NewThread
+// panics beyond that, like exhausting hardware contexts); call
+// Thread.Release when a worker exits so its context can be reused.
+func (e *Engine) NewThread() *Thread {
+	var id uint64
+	e.freeIDs.Lock()
+	if n := len(e.freeIDs.ids); n > 0 {
+		id = e.freeIDs.ids[n-1]
+		e.freeIDs.ids = e.freeIDs.ids[:n-1]
+	}
+	e.freeIDs.Unlock()
+	if id == 0 {
+		id = e.nextID.Add(1)
+	}
+	th := &Thread{
+		e:    e,
+		id:   id,
+		st:   e.reg.Register(),
+		slot: e.epochs.Register(),
+	}
+	if e.stm != nil {
+		th.stx = e.stm.NewTx(id)
+		th.stx.SetWriteBack(e.cfg.WriteBack)
+	} else {
+		th.htx = e.htm.NewTx(id) // panics past htm.MaxThreads
+	}
+	return th
+}
+
+// Release returns the thread's resources (epoch slot, thread id — under
+// HTM, a hardware context) to the engine. The thread must be outside any
+// atomic block and must not be used afterwards. Statistics recorded by the
+// thread remain in the engine's registry.
+func (th *Thread) Release() {
+	if th.e == nil {
+		return // already released
+	}
+	if th.depth > 0 {
+		panic("tm: Release inside an atomic block")
+	}
+	e := th.e
+	e.epochs.Unregister(th.slot)
+	e.freeIDs.Lock()
+	e.freeIDs.ids = append(e.freeIDs.ids, th.id)
+	e.freeIDs.Unlock()
+	th.e = nil
+	th.stx = nil
+	th.htx = nil
+}
+
+// ID returns the thread's engine-unique id.
+func (th *Thread) ID() uint64 { return th.id }
+
+// InTx reports whether the thread is inside an atomic block.
+func (th *Thread) InTx() bool { return th.depth > 0 }
+
+func (th *Thread) resetTxnState() {
+	th.allocs = th.allocs[:0]
+	th.frees = th.frees[:0]
+	th.deferred = th.deferred[:0]
+	th.noQuiesce = false
+}
+
+// Tx is the access interface handed to an atomic block's body. All methods
+// may only be called from the body's goroutine, during the block.
+type Tx interface {
+	// Load reads a word transactionally.
+	Load(a memseg.Addr) uint64
+	// Store writes a word transactionally.
+	Store(a memseg.Addr, v uint64)
+	// Alloc allocates a zeroed block of n words inside the transaction.
+	// The allocation is undone if the transaction aborts.
+	Alloc(n int) memseg.Addr
+	// Free releases a block at commit time. The engine quiesces before the
+	// memory is recycled, regardless of the quiescence policy — the
+	// allocator requirement the paper notes in Section VII.C.
+	Free(a memseg.Addr)
+	// NoQuiesce asks the engine to skip post-commit quiescence for this
+	// transaction — the paper's proposed TM.NoQuiesce API. The engine is
+	// free to ignore it (it does so for nested transactions, for
+	// transactions that free memory, when Config.HonorNoQuiesce is unset,
+	// and always under HTM, where quiescence never happens).
+	NoQuiesce()
+	// Defer schedules fn to run after the transaction commits (and after
+	// quiescence). Deferred actions are the engine's mechanism for
+	// irrevocable effects inside transactions: log output (Section VI.c)
+	// and condition-variable signals. They do not run if the transaction
+	// aborts or is cancelled.
+	Defer(fn func())
+	// Retry aborts the transaction (rolling back all effects) and makes
+	// Atomic return ErrRetry: the body observed an unsatisfied predicate.
+	Retry()
+	// Irrevocable reports whether the block is executing under the serial
+	// lock (no concurrent transactions, writes are final).
+	Irrevocable() bool
+}
+
+// ---- STM wrapper ----
+
+type stmTx struct{ th *Thread }
+
+func (w stmTx) Load(a memseg.Addr) uint64     { return w.th.stx.Load(a) }
+func (w stmTx) Store(a memseg.Addr, v uint64) { w.th.stx.Store(a, v) }
+func (w stmTx) Alloc(n int) memseg.Addr       { return w.th.txAlloc(n) }
+func (w stmTx) Free(a memseg.Addr)            { w.th.txFree(a) }
+func (w stmTx) NoQuiesce()                    { w.th.requestNoQuiesce() }
+func (w stmTx) Defer(fn func())               { w.th.deferred = append(w.th.deferred, fn) }
+func (w stmTx) Retry()                        { throwRetry() }
+func (w stmTx) Irrevocable() bool             { return false }
+
+// ---- HTM wrapper ----
+
+type htmTx struct{ th *Thread }
+
+func (w htmTx) Load(a memseg.Addr) uint64     { return w.th.htx.Load(a) }
+func (w htmTx) Store(a memseg.Addr, v uint64) { w.th.htx.Store(a, v) }
+func (w htmTx) Alloc(n int) memseg.Addr       { return w.th.txAlloc(n) }
+func (w htmTx) Free(a memseg.Addr)            { w.th.txFree(a) }
+func (w htmTx) NoQuiesce()                    {} // meaningless under strong isolation
+func (w htmTx) Defer(fn func())               { w.th.deferred = append(w.th.deferred, fn) }
+func (w htmTx) Retry()                        { throwRetry() }
+func (w htmTx) Irrevocable() bool             { return false }
+
+// ---- serial (irrevocable) wrapper ----
+
+type serialTx struct {
+	th    *Thread
+	wrote bool
+}
+
+func (w *serialTx) Load(a memseg.Addr) uint64 { return w.th.e.mem.Load(a) }
+func (w *serialTx) Store(a memseg.Addr, v uint64) {
+	w.wrote = true
+	w.th.e.mem.Store(a, v)
+}
+func (w *serialTx) Alloc(n int) memseg.Addr { return w.th.txAlloc(n) }
+func (w *serialTx) Free(a memseg.Addr)      { w.th.txFree(a) }
+func (w *serialTx) NoQuiesce()              {}
+func (w *serialTx) Defer(fn func())         { w.th.deferred = append(w.th.deferred, fn) }
+
+// Retry in an irrevocable transaction is only legal before the first write:
+// there is no undo log to roll back. The engine's condition-variable
+// discipline (check the predicate before mutating) guarantees this in
+// well-formed programs.
+func (w *serialTx) Retry() {
+	if w.wrote {
+		panic("tm: Retry after writes in an irrevocable transaction")
+	}
+	throwRetry()
+}
+func (w *serialTx) Irrevocable() bool { return true }
+
+// throwRetry aborts the attempt with the explicit (user retry) cause.
+func throwRetry() {
+	throwAbort(stats.Explicit)
+}
+
+func (th *Thread) requestNoQuiesce() {
+	if th.depth == 1 {
+		th.noQuiesce = true
+	}
+	// Nested NoQuiesce is ignored: the inner transaction's programmer
+	// cannot know the parent's privatization behaviour (Section IV.B).
+}
+
+// txAlloc allocates eagerly; aborts roll the allocation back.
+func (th *Thread) txAlloc(n int) memseg.Addr {
+	a, ok := th.e.mem.Alloc(n)
+	if !ok {
+		panic("tm: simulated heap exhausted")
+	}
+	th.allocs = append(th.allocs, a)
+	return a
+}
+
+// txFree defers the release to commit time.
+func (th *Thread) txFree(a memseg.Addr) {
+	th.frees = append(th.frees, a)
+}

@@ -1,0 +1,235 @@
+// Package tm is the transactional-memory engine: it composes the STM
+// (package stm), the simulated HTM (package htm), the quiescence manager
+// (package epoch) and the serial-irrevocability lock into the programming
+// model the paper's hand instrumentation targets — the C++ TM Technical
+// Specification's atomic and synchronized blocks, extended with the paper's
+// proposed TM.NoQuiesce API (Section IV.B).
+//
+// A downstream user works with three types:
+//
+//   - Engine: one TM instance over one simulated heap. Construction selects
+//     the execution mode (STM or HTM) and the quiescence policy.
+//   - Thread: a per-goroutine context (ids, logs, stats, epoch slot).
+//   - Tx: the access interface handed to an atomic block's body.
+//
+// Atomic blocks retry on conflict; after Config.MaxRetries failed attempts
+// they acquire the serial lock and run irrevocably, just as GCC's TM
+// "disables concurrency, runs in isolation, and re-enables concurrent
+// transactional execution upon its completion" (Section II.B). Synchronized
+// blocks go serial immediately. ErrRetry implements condition waiting: the
+// body observes an unsatisfied predicate, calls Tx.Retry, and the caller
+// (typically a condition variable or a spin loop) re-executes later.
+package tm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gotle/internal/epoch"
+	"gotle/internal/htm"
+	"gotle/internal/memseg"
+	"gotle/internal/stats"
+	"gotle/internal/stm"
+)
+
+// Mode selects the TM implementation executing atomic blocks.
+type Mode int
+
+const (
+	// ModeSTM executes atomic blocks in software (ml_wt-style STM).
+	ModeSTM Mode = iota
+	// ModeHTM executes atomic blocks on the simulated best-effort HTM.
+	ModeHTM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSTM:
+		return "stm"
+	case ModeHTM:
+		return "htm"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// QuiescePolicy selects when committing STM transactions quiesce. HTM never
+// quiesces (strong isolation makes it unnecessary, Section IV).
+type QuiescePolicy int
+
+const (
+	// QuiesceAll: every committing transaction quiesces — GCC since 2016,
+	// the paper's "STM" baseline in Figure 5.
+	QuiesceAll QuiescePolicy = iota
+	// QuiesceWriters: only writing transactions quiesce — GCC before 2016.
+	// Does not support proxy privatization (Listing 1).
+	QuiesceWriters
+	// QuiesceNone: no transaction quiesces — the paper's unsafe "NoQ"
+	// configuration. Transactions that free memory still quiesce, since the
+	// allocator requires it.
+	QuiesceNone
+)
+
+func (p QuiescePolicy) String() string {
+	switch p {
+	case QuiesceAll:
+		return "all"
+	case QuiesceWriters:
+		return "writers"
+	case QuiesceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ErrRetry is returned by Atomic when the block's body called Tx.Retry: the
+// transaction aborted cleanly because a predicate it waits on is false.
+// The caller decides how to wait before re-executing (spin or condvar).
+var ErrRetry = errors.New("tm: transaction requested retry")
+
+// Config parameterises an Engine.
+type Config struct {
+	// Mode selects STM or HTM execution. Default ModeSTM.
+	Mode Mode
+	// MemWords sizes the simulated heap (default 1<<22 words = 32 MiB).
+	MemWords int
+	// Quiesce selects the STM quiescence policy. Default QuiesceAll.
+	Quiesce QuiescePolicy
+	// HonorNoQuiesce enables the paper's TM.NoQuiesce API: a transaction
+	// that calls Tx.NoQuiesce skips post-commit quiescence. With
+	// Quiesce=QuiesceAll this is the paper's "SelectNoQ" configuration.
+	// The STM is always free to ignore the call (Section IV.B); disabling
+	// this reproduces the baseline "STM" configuration.
+	HonorNoQuiesce bool
+	// MaxRetries is the number of aborted attempts before an atomic block
+	// falls back to serial-irrevocable execution. The paper's HTM falls
+	// back "after hardware transactions fail twice"; GCC's STM retries
+	// longer. Defaults: 2 for HTM, 8 for STM.
+	MaxRetries int
+	// OrecSizeLog2 and StripeShift configure the STM orec table.
+	OrecSizeLog2 int
+	StripeShift  int
+	// WriteBack selects the redo-log STM variant instead of the default
+	// ml_wt write-through algorithm (the DESIGN.md undo-vs-redo ablation).
+	WriteBack bool
+	// CM selects the STM contention manager (stm.CMSuicide, stm.CMPolite,
+	// stm.CMTimestamp) — the programmer-specified conflict policy the
+	// paper's conclusion asks the TMTS to expose.
+	CM stm.CM
+	// RaceDetect enables the T-Rex-style privatization-race detector
+	// (racecheck.go): non-transactional accesses and frees that touch
+	// speculatively-owned words are recorded in RaceReports.
+	RaceDetect bool
+	// HTM configures the hardware simulation.
+	HTM htm.Config
+}
+
+// Engine is one TM instance.
+type Engine struct {
+	cfg    Config
+	mem    *memseg.Memory
+	stm    *stm.STM
+	htm    *htm.HTM
+	epochs *epoch.Manager
+	serial serialLock
+	reg    *stats.Registry
+	nextID atomic.Uint64
+	races  raceState
+
+	// freeIDs recycles thread ids released by Thread.Release — under HTM
+	// the id space is the hardware context space (htm.MaxThreads), so
+	// short-lived worker threads must return their ids.
+	freeIDs struct {
+		sync.Mutex
+		ids []uint64
+	}
+}
+
+// New constructs an engine. The zero Config selects STM with quiescence
+// after every transaction (the GCC default the paper measures against).
+func New(cfg Config) *Engine {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 22
+	}
+	if cfg.MaxRetries == 0 {
+		if cfg.Mode == ModeHTM {
+			cfg.MaxRetries = 2
+		} else {
+			cfg.MaxRetries = 8
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		mem:    memseg.New(cfg.MemWords),
+		epochs: epoch.NewManager(),
+		reg:    stats.NewRegistry(),
+	}
+	switch cfg.Mode {
+	case ModeSTM:
+		e.stm = stm.New(e.mem, stm.Config{
+			OrecSizeLog2: cfg.OrecSizeLog2,
+			StripeShift:  cfg.StripeShift,
+			CM:           cfg.CM,
+		})
+	case ModeHTM:
+		e.htm = htm.New(e.mem, cfg.HTM)
+	default:
+		panic(fmt.Sprintf("tm: unknown mode %d", cfg.Mode))
+	}
+	return e
+}
+
+// Mode reports the engine's execution mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Memory exposes the simulated heap for non-transactional setup (loading
+// input data, reading results after workers have quiesced).
+func (e *Engine) Memory() *memseg.Memory { return e.mem }
+
+// Stats returns the engine's statistics registry.
+func (e *Engine) Stats() *stats.Registry { return e.reg }
+
+// Snapshot is shorthand for Stats().Snapshot().
+func (e *Engine) Snapshot() stats.Snapshot { return e.reg.Snapshot() }
+
+// Load performs a non-transactional read. Under HTM it is strongly
+// isolated: it participates in conflict detection like a real cache access.
+// Under STM it is a plain read — privatization safety is the caller's
+// responsibility, via quiescence.
+func (e *Engine) Load(a memseg.Addr) uint64 {
+	if e.htm != nil {
+		return e.htm.NontxLoad(a)
+	}
+	if e.cfg.RaceDetect {
+		e.checkNontx("load", a)
+	}
+	return e.mem.Load(a)
+}
+
+// Store performs a non-transactional write (strongly isolated under HTM).
+func (e *Engine) Store(a memseg.Addr, v uint64) {
+	if e.htm != nil {
+		e.htm.NontxStore(a, v)
+		return
+	}
+	if e.cfg.RaceDetect {
+		e.checkNontx("store", a)
+	}
+	e.mem.Store(a, v)
+}
+
+// Alloc allocates a block non-transactionally (setup code).
+func (e *Engine) Alloc(n int) memseg.Addr {
+	a, ok := e.mem.Alloc(n)
+	if !ok {
+		panic("tm: simulated heap exhausted")
+	}
+	return a
+}
+
+// Free releases a block non-transactionally. The caller must guarantee no
+// transaction can still reach it.
+func (e *Engine) Free(a memseg.Addr) { e.mem.Free(a) }

@@ -1,0 +1,127 @@
+package tmclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gotle/internal/memseg"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	if c.Read() != 0 {
+		t.Fatal("clock does not start at 0")
+	}
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		v := c.Tick()
+		if v <= prev {
+			t.Fatalf("Tick not monotonic: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if c.Read() != prev {
+		t.Fatalf("Read = %d, want %d", c.Read(), prev)
+	}
+}
+
+func TestClockConcurrentTicksUnique(t *testing.T) {
+	var c Clock
+	const threads, per = 8, 5000
+	seen := make([]map[uint64]bool, threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		seen[i] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(m map[uint64]bool) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m[c.Tick()] = true
+			}
+		}(seen[i])
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, threads*per)
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("timestamp %d issued twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != threads*per {
+		t.Fatalf("issued %d timestamps, want %d", len(all), threads*per)
+	}
+}
+
+func TestLockWordEncoding(t *testing.T) {
+	f := func(id uint32) bool {
+		w := LockWord(uint64(id))
+		return Locked(w) && Owner(w) == uint64(id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Locked(42) {
+		t.Error("plain version reads as locked")
+	}
+}
+
+func TestTableMapsStably(t *testing.T) {
+	tab := NewTable(8, 0)
+	a := memseg.Addr(1234)
+	if tab.For(a) != tab.For(a) {
+		t.Fatal("same address mapped to different orecs")
+	}
+}
+
+func TestTableStriping(t *testing.T) {
+	tab := NewTable(10, 3) // 8 words per stripe
+	if tab.Index(0) != tab.Index(7) {
+		t.Error("words 0 and 7 should share a stripe at shift 3")
+	}
+	if tab.Index(0) == tab.Index(8) {
+		t.Error("words 0 and 8 should be on different stripes at shift 3")
+	}
+}
+
+func TestTableWrapsByMask(t *testing.T) {
+	tab := NewTable(4, 0) // 16 orecs
+	if tab.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tab.Len())
+	}
+	if tab.Index(3) != tab.Index(3+16) {
+		t.Error("addresses 16 apart must collide in a 16-entry table")
+	}
+}
+
+func TestTableSizeClamps(t *testing.T) {
+	if NewTable(0, 0).Len() != 1<<4 {
+		t.Error("tiny table not clamped up")
+	}
+	if NewTable(40, 0).Len() != 1<<26 {
+		t.Error("huge table not clamped down")
+	}
+	if NewTable(8, -3).Index(1) != 1 {
+		t.Error("negative stripe shift not clamped to 0")
+	}
+}
+
+func TestAtAliasesFor(t *testing.T) {
+	tab := NewTable(8, 0)
+	a := memseg.Addr(77)
+	if tab.At(tab.Index(a)) != tab.For(a) {
+		t.Fatal("At(Index(a)) != For(a)")
+	}
+}
+
+func BenchmarkClockTick(b *testing.B) {
+	var c Clock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Tick()
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package tmds
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+// Hash is a fixed-bucket hash set of int64 keys; each bucket is a sorted
+// linked chain of [key, next] nodes. With 8-bit keys and 64+ buckets,
+// chains stay short and transactions on different buckets are disjoint —
+// the low-conflict regime of Figure 5c/5d.
+type Hash struct {
+	buckets memseg.Addr // array of nBuckets chain heads
+	n       uint64
+}
+
+// NewHash allocates a hash set with nBuckets power-of-two buckets.
+func NewHash(e *tm.Engine, nBuckets int) *Hash {
+	if nBuckets < 2 {
+		nBuckets = 2
+	}
+	// Round up to a power of two for mask hashing.
+	n := 2
+	for n < nBuckets {
+		n *= 2
+	}
+	b := e.Alloc(n)
+	return &Hash{buckets: b, n: uint64(n)}
+}
+
+func (h *Hash) bucket(key int64) memseg.Addr {
+	// Multiplicative hash, then mask.
+	x := uint64(key) * 0x9E3779B97F4A7C15
+	return h.buckets + memseg.Addr((x>>32)&(h.n-1))
+}
+
+// findInChain walks the bucket chain; returns the address of the link word
+// pointing at cur, and cur itself (Nil when past the end).
+func (h *Hash) findInChain(tx tm.Tx, key int64) (linkAt, cur memseg.Addr) {
+	linkAt = h.bucket(key)
+	cur = memseg.Addr(tx.Load(linkAt))
+	for cur != memseg.Nil && memseg.DecodeInt(tx.Load(cur+listKey)) < key {
+		linkAt = cur + listNext
+		cur = memseg.Addr(tx.Load(linkAt))
+	}
+	return linkAt, cur
+}
+
+// Contains reports whether key is in the set.
+func (h *Hash) Contains(tx tm.Tx, key int64) bool {
+	_, cur := h.findInChain(tx, key)
+	return cur != memseg.Nil && memseg.DecodeInt(tx.Load(cur+listKey)) == key
+}
+
+// Insert adds key; it reports false if already present.
+func (h *Hash) Insert(tx tm.Tx, key int64) bool {
+	linkAt, cur := h.findInChain(tx, key)
+	if cur != memseg.Nil && memseg.DecodeInt(tx.Load(cur+listKey)) == key {
+		return false
+	}
+	n := tx.Alloc(listNode)
+	tx.Store(n+listKey, memseg.EncodeInt(key))
+	tx.Store(n+listNext, uint64(cur))
+	tx.Store(linkAt, uint64(n))
+	return true
+}
+
+// Remove deletes key; it reports false if absent.
+func (h *Hash) Remove(tx tm.Tx, key int64) bool {
+	linkAt, cur := h.findInChain(tx, key)
+	if cur == memseg.Nil || memseg.DecodeInt(tx.Load(cur+listKey)) != key {
+		return false
+	}
+	tx.Store(linkAt, tx.Load(cur+listNext))
+	tx.Free(cur)
+	return true
+}
+
+// Size counts the elements (linear, for tests).
+func (h *Hash) Size(tx tm.Tx) int {
+	n := 0
+	for b := memseg.Addr(0); uint64(b) < h.n; b++ {
+		cur := memseg.Addr(tx.Load(h.buckets + b))
+		for cur != memseg.Nil {
+			n++
+			cur = memseg.Addr(tx.Load(cur + listNext))
+		}
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+// Package tmds provides transactional data structures over the simulated TM
+// heap. Every operation takes a tm.Tx and therefore runs identically under
+// all five lock-elision policies — the lock-based baseline, the STM
+// variants and the simulated HTM.
+//
+// The three sets (sorted linked list, hash set, BST) are the paper's
+// Figure 5 microbenchmark structures: "a list-based set storing 6-bit keys,
+// a hash-based set storing 8-bit keys, and a tree-based set storing 8-bit
+// keys" (Section VII.C). The queues implement the pipeline communication in
+// the PBZip2 and x265 studies, including the ready-flag queue of Listing 4
+// that restores two-phase locking.
+package tmds
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+// List is a sorted singly-linked list set of int64 keys with head and tail
+// sentinels. Layout per node: [key, next].
+type List struct {
+	head memseg.Addr
+}
+
+const (
+	listKey  = 0
+	listNext = 1
+	listNode = 2 // words per node
+)
+
+// NewList allocates an empty list (non-transactional setup).
+func NewList(e *tm.Engine) *List {
+	head := e.Alloc(listNode)
+	tail := e.Alloc(listNode)
+	e.Store(head+listKey, memseg.EncodeInt(-1<<62))
+	e.Store(head+listNext, uint64(tail))
+	e.Store(tail+listKey, memseg.EncodeInt(1<<62-1))
+	e.Store(tail+listNext, uint64(memseg.Nil))
+	return &List{head: head}
+}
+
+// find returns the nodes (prev, cur) such that prev.key < key <= cur.key.
+func (l *List) find(tx tm.Tx, key int64) (prev, cur memseg.Addr) {
+	prev = l.head
+	cur = memseg.Addr(tx.Load(prev + listNext))
+	for memseg.DecodeInt(tx.Load(cur+listKey)) < key {
+		prev = cur
+		cur = memseg.Addr(tx.Load(cur + listNext))
+	}
+	return prev, cur
+}
+
+// Contains reports whether key is in the set.
+func (l *List) Contains(tx tm.Tx, key int64) bool {
+	_, cur := l.find(tx, key)
+	return memseg.DecodeInt(tx.Load(cur+listKey)) == key
+}
+
+// Insert adds key; it reports false if the key was already present.
+func (l *List) Insert(tx tm.Tx, key int64) bool {
+	prev, cur := l.find(tx, key)
+	if memseg.DecodeInt(tx.Load(cur+listKey)) == key {
+		return false
+	}
+	n := tx.Alloc(listNode)
+	tx.Store(n+listKey, memseg.EncodeInt(key))
+	tx.Store(n+listNext, uint64(cur))
+	tx.Store(prev+listNext, uint64(n))
+	return true
+}
+
+// Remove deletes key; it reports false if the key was absent. The removed
+// node is freed at commit (privatization: the committing transaction
+// quiesces before the allocator recycles it).
+func (l *List) Remove(tx tm.Tx, key int64) bool {
+	prev, cur := l.find(tx, key)
+	if memseg.DecodeInt(tx.Load(cur+listKey)) != key {
+		return false
+	}
+	tx.Store(prev+listNext, tx.Load(cur+listNext))
+	tx.Free(cur)
+	return true
+}
+
+// Size counts the elements (linear, for tests and reporting).
+func (l *List) Size(tx tm.Tx) int {
+	n := 0
+	cur := memseg.Addr(tx.Load(l.head + listNext))
+	for memseg.Addr(tx.Load(cur+listNext)) != memseg.Nil {
+		n++
+		cur = memseg.Addr(tx.Load(cur + listNext))
+	}
+	return n
+}
+
+// Keys returns the sorted contents (tests).
+func (l *List) Keys(tx tm.Tx) []int64 {
+	var out []int64
+	cur := memseg.Addr(tx.Load(l.head + listNext))
+	for memseg.Addr(tx.Load(cur+listNext)) != memseg.Nil {
+		out = append(out, memseg.DecodeInt(tx.Load(cur+listKey)))
+		cur = memseg.Addr(tx.Load(cur + listNext))
+	}
+	return out
+}

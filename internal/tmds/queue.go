@@ -1,0 +1,154 @@
+package tmds
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+// Ring is a bounded FIFO of uint64 values, the shape of PBZip2's
+// inter-stage queues ("the main source of contention is for the locks
+// protecting the inter-stage queues", Section III). Layout:
+// [head, tail, cap, slots...].
+type Ring struct {
+	base memseg.Addr
+	cap  uint64
+}
+
+const (
+	ringHead  = 0
+	ringTail  = 1
+	ringCap   = 2
+	ringSlots = 3
+)
+
+// NewRing allocates a ring with capacity slots.
+func NewRing(e *tm.Engine, capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base := e.Alloc(ringSlots + capacity)
+	e.Store(base+ringCap, uint64(capacity))
+	return &Ring{base: base, cap: uint64(capacity)}
+}
+
+// Len reports the current number of queued items.
+func (r *Ring) Len(tx tm.Tx) int {
+	return int(tx.Load(r.base+ringTail) - tx.Load(r.base+ringHead))
+}
+
+// Cap reports the ring's capacity.
+func (r *Ring) Cap() int { return int(r.cap) }
+
+// Enqueue appends v; it reports false when the ring is full.
+func (r *Ring) Enqueue(tx tm.Tx, v uint64) bool {
+	head := tx.Load(r.base + ringHead)
+	tail := tx.Load(r.base + ringTail)
+	if tail-head >= r.cap {
+		return false
+	}
+	tx.Store(r.base+ringSlots+memseg.Addr(tail%r.cap), v)
+	tx.Store(r.base+ringTail, tail+1)
+	return true
+}
+
+// Dequeue removes and returns the oldest item; ok is false when empty.
+func (r *Ring) Dequeue(tx tm.Tx) (v uint64, ok bool) {
+	head := tx.Load(r.base + ringHead)
+	tail := tx.Load(r.base + ringTail)
+	if head == tail {
+		return 0, false
+	}
+	v = tx.Load(r.base + ringSlots + memseg.Addr(head%r.cap))
+	tx.Store(r.base+ringHead, head+1)
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (r *Ring) Peek(tx tm.Tx) (v uint64, ok bool) {
+	head := tx.Load(r.base + ringHead)
+	tail := tx.Load(r.base + ringTail)
+	if head == tail {
+		return 0, false
+	}
+	return tx.Load(r.base + ringSlots + memseg.Addr(head%r.cap)), true
+}
+
+// LinkedQueue is an unbounded FIFO of nodes carrying a value and a ready
+// flag — the paper's Listing 4 structure. The x265 producer enqueues a
+// not-yet-ready node in one short critical section, produces the element
+// outside any lock, then marks it ready in a second short critical section;
+// the consumer dequeues only ready nodes. This restores two-phase locking
+// and makes the code elidable.
+//
+// Node layout: [value, ready, next] in a 4-word class.
+// Queue layout: [headAddr, tailAddr, length].
+type LinkedQueue struct {
+	base memseg.Addr
+}
+
+const (
+	lqHead = 0
+	lqTail = 1
+	lqLen  = 2
+
+	nodeValue = 0
+	nodeReady = 1
+	nodeNext  = 2
+	nodeSize  = 3
+)
+
+// NewLinkedQueue allocates an empty queue.
+func NewLinkedQueue(e *tm.Engine) *LinkedQueue {
+	return &LinkedQueue{base: e.Alloc(3)}
+}
+
+// Enqueue appends a node holding v with ready=false and returns the node's
+// address, which the producer uses later with MarkReady.
+func (q *LinkedQueue) Enqueue(tx tm.Tx, v uint64) memseg.Addr {
+	n := tx.Alloc(nodeSize)
+	tx.Store(n+nodeValue, v)
+	tail := memseg.Addr(tx.Load(q.base + lqTail))
+	if tail == memseg.Nil {
+		tx.Store(q.base+lqHead, uint64(n))
+	} else {
+		tx.Store(tail+nodeNext, uint64(n))
+	}
+	tx.Store(q.base+lqTail, uint64(n))
+	tx.Store(q.base+lqLen, tx.Load(q.base+lqLen)+1)
+	return n
+}
+
+// MarkReady sets the node's ready flag (the producer's second critical
+// section in Listing 4).
+func (q *LinkedQueue) MarkReady(tx tm.Tx, node memseg.Addr) {
+	tx.Store(node+nodeReady, 1)
+}
+
+// SetValue updates a node's value before it is marked ready.
+func (q *LinkedQueue) SetValue(tx tm.Tx, node memseg.Addr, v uint64) {
+	tx.Store(node+nodeValue, v)
+}
+
+// DequeueReady removes the head node if it exists and is ready, returning
+// its value. ok is false when the queue is empty or the head is not ready —
+// the consumer's "if out_queue.peek().ready then dequeue" of Listing 4.
+func (q *LinkedQueue) DequeueReady(tx tm.Tx) (v uint64, ok bool) {
+	head := memseg.Addr(tx.Load(q.base + lqHead))
+	if head == memseg.Nil || tx.Load(head+nodeReady) == 0 {
+		return 0, false
+	}
+	v = tx.Load(head + nodeValue)
+	next := tx.Load(head + nodeNext)
+	tx.Store(q.base+lqHead, next)
+	if memseg.Addr(next) == memseg.Nil {
+		tx.Store(q.base+lqTail, uint64(memseg.Nil))
+	}
+	tx.Store(q.base+lqLen, tx.Load(q.base+lqLen)-1)
+	tx.Free(head)
+	return v, true
+}
+
+// Len reports the number of nodes (ready or not).
+func (q *LinkedQueue) Len(tx tm.Tx) int {
+	return int(tx.Load(q.base + lqLen))
+}

@@ -1,0 +1,127 @@
+package tmds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Property: any sequence of enqueue/dequeue operations on the Ring matches
+// a slice-backed model, including full/empty refusals.
+func TestRingMatchesModelQuick(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 18})
+	th := r.NewThread()
+	m := r.NewMutex("ringq")
+	f := func(ops []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%7) + 1
+		q := NewRing(r.Engine(), capacity)
+		var model []uint64
+		ok := true
+		for i, op := range ops {
+			v := uint64(i) + 1
+			err := m.Do(th, func(tx tm.Tx) error {
+				if op%2 == 0 { // enqueue
+					got := q.Enqueue(tx, v)
+					want := len(model) < capacity
+					if got != want {
+						ok = false
+					}
+					if got {
+						model = append(model, v)
+					}
+				} else { // dequeue
+					got, gotOk := q.Dequeue(tx)
+					if gotOk != (len(model) > 0) {
+						ok = false
+					}
+					if gotOk {
+						if got != model[0] {
+							ok = false
+						}
+						model = model[1:]
+					}
+				}
+				if q.Len(tx) != len(model) {
+					ok = false
+				}
+				return nil
+			})
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LinkedQueue preserves FIFO order over any mark-ready schedule —
+// DequeueReady yields a prefix of the enqueue order, gated by readiness of
+// the head.
+func TestLinkedQueueFIFOPrefixQuick(t *testing.T) {
+	r := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 18})
+	th := r.NewThread()
+	m := r.NewMutex("lq")
+	f := func(readyOrder []uint8) bool {
+		n := len(readyOrder)
+		if n == 0 {
+			return true
+		}
+		if n > 24 {
+			readyOrder = readyOrder[:24]
+			n = 24
+		}
+		q := NewLinkedQueue(r.Engine())
+		nodes := make([]addrType, n)
+		m.Do(th, func(tx tm.Tx) error {
+			for i := 0; i < n; i++ {
+				nodes[i] = q.Enqueue(tx, uint64(i))
+			}
+			return nil
+		})
+		ready := make([]bool, n)
+		var drained []uint64
+		next := 0
+		for _, pick := range readyOrder {
+			idx := int(pick) % n
+			m.Do(th, func(tx tm.Tx) error {
+				// A drained node has been freed; only mark live nodes.
+				if idx >= len(drained) && !ready[idx] {
+					q.MarkReady(tx, nodes[idx])
+					ready[idx] = true
+				}
+				for {
+					v, ok := q.DequeueReady(tx)
+					if !ok {
+						break
+					}
+					drained = append(drained, v)
+				}
+				return nil
+			})
+			// Drained values must be exactly 0..k-1 where k = longest ready
+			// prefix.
+			for next < n && ready[next] {
+				next++
+			}
+			if len(drained) != next {
+				return false
+			}
+			for i, v := range drained {
+				if v != uint64(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// addrType aliases memseg.Addr (shared with tmds_test.go helpers).

@@ -1,0 +1,479 @@
+package tmds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"gotle/internal/htm"
+	"gotle/internal/memseg"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// eachPolicy runs a subtest with a fresh runtime per elision policy.
+func eachPolicy(t *testing.T, fn func(t *testing.T, r *tle.Runtime)) {
+	t.Helper()
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			fn(t, tle.New(p, tle.Config{
+				MemWords: 1 << 18,
+				HTM:      htm.Config{EventAbortPerMillion: -1},
+			}))
+		})
+	}
+}
+
+// set abstracts the three set types for shared test logic.
+type set interface {
+	Insert(tx tm.Tx, key int64) bool
+	Remove(tx tm.Tx, key int64) bool
+	Contains(tx tm.Tx, key int64) bool
+	Size(tx tm.Tx) int
+}
+
+func makeSets(r *tle.Runtime) map[string]set {
+	return map[string]set{
+		"list": NewList(r.Engine()),
+		"hash": NewHash(r.Engine(), 64),
+		"tree": NewTree(r.Engine()),
+	}
+}
+
+func TestSetBasicOps(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		for name, s := range makeSets(r) {
+			t.Run(name, func(t *testing.T) {
+				th := r.NewThread()
+				m := r.NewMutex(name)
+				do := func(fn func(tx tm.Tx) error) {
+					if err := m.Do(th, fn); err != nil {
+						t.Fatal(err)
+					}
+				}
+				do(func(tx tm.Tx) error {
+					if !s.Insert(tx, 5) || !s.Insert(tx, 3) || !s.Insert(tx, 9) {
+						t.Error("fresh inserts failed")
+					}
+					if s.Insert(tx, 5) {
+						t.Error("duplicate insert succeeded")
+					}
+					return nil
+				})
+				do(func(tx tm.Tx) error {
+					if !s.Contains(tx, 3) || !s.Contains(tx, 5) || !s.Contains(tx, 9) {
+						t.Error("inserted keys missing")
+					}
+					if s.Contains(tx, 4) {
+						t.Error("absent key found")
+					}
+					if s.Size(tx) != 3 {
+						t.Errorf("Size = %d, want 3", s.Size(tx))
+					}
+					return nil
+				})
+				do(func(tx tm.Tx) error {
+					if !s.Remove(tx, 5) {
+						t.Error("remove of present key failed")
+					}
+					if s.Remove(tx, 5) {
+						t.Error("remove of absent key succeeded")
+					}
+					return nil
+				})
+				do(func(tx tm.Tx) error {
+					if s.Contains(tx, 5) || s.Size(tx) != 2 {
+						t.Error("remove left stale state")
+					}
+					return nil
+				})
+			})
+		}
+	})
+}
+
+// Model check: random op sequences must match a map-based reference.
+func TestSetMatchesModel(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		for name, s := range makeSets(r) {
+			t.Run(name, func(t *testing.T) {
+				th := r.NewThread()
+				m := r.NewMutex(name)
+				model := make(map[int64]bool)
+				rng := rand.New(rand.NewSource(42))
+				for i := 0; i < 3000; i++ {
+					key := int64(rng.Intn(256))
+					op := rng.Intn(3)
+					var got, want bool
+					err := m.Do(th, func(tx tm.Tx) error {
+						switch op {
+						case 0:
+							got = s.Insert(tx, key)
+						case 1:
+							got = s.Remove(tx, key)
+						default:
+							got = s.Contains(tx, key)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					switch op {
+					case 0:
+						want = !model[key]
+						model[key] = true
+					case 1:
+						want = model[key]
+						delete(model, key)
+					default:
+						want = model[key]
+					}
+					if got != want {
+						t.Fatalf("op %d key %d: got %v want %v (step %d)", op, key, got, want, i)
+					}
+				}
+				err := m.Do(th, func(tx tm.Tx) error {
+					if s.Size(tx) != len(model) {
+						t.Errorf("final Size = %d, model %d", s.Size(tx), len(model))
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	})
+}
+
+func TestListKeysSorted(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 16})
+	l := NewList(r.Engine())
+	th := r.NewThread()
+	m := r.NewMutex("list")
+	keys := []int64{9, 1, 7, 3, 5}
+	for _, k := range keys {
+		k := k
+		if err := m.Do(th, func(tx tm.Tx) error { l.Insert(tx, k); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	m.Do(th, func(tx tm.Tx) error { got = l.Keys(tx); return nil })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("keys not sorted: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d keys", len(got))
+	}
+}
+
+func TestTreeKeysSortedAfterRemovals(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 16})
+	tr := NewTree(r.Engine())
+	th := r.NewThread()
+	m := r.NewMutex("tree")
+	rng := rand.New(rand.NewSource(7))
+	model := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Intn(128))
+		if rng.Intn(2) == 0 {
+			m.Do(th, func(tx tm.Tx) error { tr.Insert(tx, k); return nil })
+			model[k] = true
+		} else {
+			m.Do(th, func(tx tm.Tx) error { tr.Remove(tx, k); return nil })
+			delete(model, k)
+		}
+	}
+	var got []int64
+	m.Do(th, func(tx tm.Tx) error { got = tr.Keys(tx); return nil })
+	var want []int64
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Concurrent set stress: per-thread delta accounting must match final size.
+func TestSetConcurrentDeltas(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		for name, s := range makeSets(r) {
+			t.Run(name, func(t *testing.T) {
+				m := r.NewMutex(name)
+				const threads, per = 6, 600
+				deltas := make([]int, threads)
+				var wg sync.WaitGroup
+				for i := 0; i < threads; i++ {
+					th := r.NewThread()
+					rng := rand.New(rand.NewSource(int64(i + 1)))
+					wg.Add(1)
+					go func(i int, th *tm.Thread, rng *rand.Rand) {
+						defer wg.Done()
+						for j := 0; j < per; j++ {
+							key := int64(rng.Intn(64))
+							ins := rng.Intn(2) == 0
+							var changed bool
+							err := m.Do(th, func(tx tm.Tx) error {
+								if ins {
+									changed = s.Insert(tx, key)
+								} else {
+									changed = s.Remove(tx, key)
+								}
+								return nil
+							})
+							if err != nil {
+								t.Errorf("Do: %v", err)
+								return
+							}
+							if changed {
+								if ins {
+									deltas[i]++
+								} else {
+									deltas[i]--
+								}
+							}
+						}
+					}(i, th, rng)
+				}
+				wg.Wait()
+				total := 0
+				for _, d := range deltas {
+					total += d
+				}
+				th := r.NewThread()
+				var size int
+				m.Do(th, func(tx tm.Tx) error { size = s.Size(tx); return nil })
+				if size != total {
+					t.Fatalf("size %d != sum of deltas %d", size, total)
+				}
+			})
+		}
+	})
+}
+
+func TestRingFIFO(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		q := NewRing(r.Engine(), 4)
+		th := r.NewThread()
+		m := r.NewMutex("ring")
+		do := func(fn func(tx tm.Tx) error) {
+			if err := m.Do(th, fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		do(func(tx tm.Tx) error {
+			for i := uint64(1); i <= 4; i++ {
+				if !q.Enqueue(tx, i) {
+					t.Errorf("enqueue %d failed", i)
+				}
+			}
+			if q.Enqueue(tx, 5) {
+				t.Error("enqueue into full ring succeeded")
+			}
+			if q.Len(tx) != 4 {
+				t.Errorf("Len = %d", q.Len(tx))
+			}
+			return nil
+		})
+		do(func(tx tm.Tx) error {
+			if v, ok := q.Peek(tx); !ok || v != 1 {
+				t.Errorf("Peek = %d,%v", v, ok)
+			}
+			for i := uint64(1); i <= 4; i++ {
+				v, ok := q.Dequeue(tx)
+				if !ok || v != i {
+					t.Errorf("dequeue = %d,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(tx); ok {
+				t.Error("dequeue from empty ring succeeded")
+			}
+			if _, ok := q.Peek(tx); ok {
+				t.Error("peek on empty ring succeeded")
+			}
+			return nil
+		})
+	})
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 16})
+	q := NewRing(r.Engine(), 3)
+	th := r.NewThread()
+	m := r.NewMutex("ring")
+	next := uint64(1)
+	expect := uint64(1)
+	for round := 0; round < 50; round++ {
+		m.Do(th, func(tx tm.Tx) error {
+			for q.Enqueue(tx, next) {
+				next++
+			}
+			return nil
+		})
+		m.Do(th, func(tx tm.Tx) error {
+			for {
+				v, ok := q.Dequeue(tx)
+				if !ok {
+					break
+				}
+				if v != expect {
+					t.Fatalf("wraparound order: got %d want %d", v, expect)
+				}
+				expect++
+			}
+			return nil
+		})
+	}
+}
+
+func TestLinkedQueueReadyFlag(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		q := NewLinkedQueue(r.Engine())
+		th := r.NewThread()
+		m := r.NewMutex("lq")
+		var n1, n2 uint32
+		// Enqueue two not-ready nodes.
+		m.Do(th, func(tx tm.Tx) error {
+			n1 = uint32(q.Enqueue(tx, 10))
+			n2 = uint32(q.Enqueue(tx, 20))
+			return nil
+		})
+		m.Do(th, func(tx tm.Tx) error {
+			if _, ok := q.DequeueReady(tx); ok {
+				t.Error("dequeued a not-ready head")
+			}
+			return nil
+		})
+		// Mark the SECOND ready: head still blocks (in-order delivery).
+		m.Do(th, func(tx tm.Tx) error { q.MarkReady(tx, addr(n2)); return nil })
+		m.Do(th, func(tx tm.Tx) error {
+			if _, ok := q.DequeueReady(tx); ok {
+				t.Error("out-of-order dequeue")
+			}
+			return nil
+		})
+		// Mark head ready: both drain in order.
+		m.Do(th, func(tx tm.Tx) error { q.MarkReady(tx, addr(n1)); return nil })
+		m.Do(th, func(tx tm.Tx) error {
+			v1, ok1 := q.DequeueReady(tx)
+			v2, ok2 := q.DequeueReady(tx)
+			if !ok1 || !ok2 || v1 != 10 || v2 != 20 {
+				t.Errorf("drain = %d,%v %d,%v", v1, ok1, v2, ok2)
+			}
+			if q.Len(tx) != 0 {
+				t.Errorf("Len = %d", q.Len(tx))
+			}
+			if _, ok := q.DequeueReady(tx); ok {
+				t.Error("dequeue from empty queue")
+			}
+			return nil
+		})
+	})
+}
+
+func TestLinkedQueueSetValue(t *testing.T) {
+	r := tle.New(tle.PolicyHTMCondVar, tle.Config{
+		MemWords: 1 << 16, HTM: htm.Config{EventAbortPerMillion: -1}})
+	q := NewLinkedQueue(r.Engine())
+	th := r.NewThread()
+	m := r.NewMutex("lq")
+	var n uint32
+	m.Do(th, func(tx tm.Tx) error { n = uint32(q.Enqueue(tx, 0)); return nil })
+	m.Do(th, func(tx tm.Tx) error {
+		q.SetValue(tx, addr(n), 99)
+		q.MarkReady(tx, addr(n))
+		return nil
+	})
+	m.Do(th, func(tx tm.Tx) error {
+		if v, ok := q.DequeueReady(tx); !ok || v != 99 {
+			t.Errorf("got %d,%v", v, ok)
+		}
+		return nil
+	})
+}
+
+// Concurrent ring: producers and consumers preserve the multiset and
+// per-producer FIFO order.
+func TestRingConcurrent(t *testing.T) {
+	eachPolicy(t, func(t *testing.T, r *tle.Runtime) {
+		q := NewRing(r.Engine(), 8)
+		m := r.NewMutex("ring")
+		notEmpty, notFull := r.NewCond(), r.NewCond()
+		const producers, perProducer = 3, 300
+		var consumed sync.Map
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			th := r.NewThread()
+			wg.Add(1)
+			go func(p int, th *tm.Thread) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					v := uint64(p)<<32 | uint64(i)
+					err := m.Await(th, notFull, 0, func(tx tm.Tx) error {
+						if !q.Enqueue(tx, v) {
+							tx.Retry()
+						}
+						notEmpty.SignalTx(tx)
+						return nil
+					})
+					if err != nil {
+						t.Errorf("produce: %v", err)
+						return
+					}
+				}
+			}(p, th)
+		}
+		for c := 0; c < 2; c++ {
+			th := r.NewThread()
+			wg.Add(1)
+			go func(th *tm.Thread) {
+				defer wg.Done()
+				count := 0
+				for count < producers*perProducer/2 {
+					var v uint64
+					err := m.Await(th, notEmpty, 0, func(tx tm.Tx) error {
+						var ok bool
+						v, ok = q.Dequeue(tx)
+						if !ok {
+							tx.Retry()
+						}
+						notFull.SignalTx(tx)
+						return nil
+					})
+					if err != nil {
+						t.Errorf("consume: %v", err)
+						return
+					}
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("value %x consumed twice", v)
+						return
+					}
+					count++
+				}
+			}(th)
+		}
+		wg.Wait()
+		n := 0
+		consumed.Range(func(_, _ any) bool { n++; return true })
+		if n != producers*perProducer {
+			t.Fatalf("consumed %d distinct values, want %d", n, producers*perProducer)
+		}
+	})
+}
+
+// addr converts a test-held uint32 back to a heap address.
+func addr(v uint32) (a addrType) { return addrType(v) }
+
+// addrType aliases memseg.Addr for the helper above.
+type addrType = memseg.Addr

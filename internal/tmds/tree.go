@@ -1,0 +1,135 @@
+package tmds
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+// Tree is an (unbalanced) binary search tree set of int64 keys, the paper's
+// "tree-based set storing 8-bit keys". With uniformly random 8-bit keys the
+// expected depth is logarithmic; no rebalancing keeps transactions small,
+// matching the microbenchmark's intent. Layout per node:
+// [key, left, right] in a 4-word class.
+type Tree struct {
+	rootLink memseg.Addr // one word holding the root address
+}
+
+const (
+	treeKey   = 0
+	treeLeft  = 1
+	treeRight = 2
+	treeNode  = 3
+)
+
+// NewTree allocates an empty tree.
+func NewTree(e *tm.Engine) *Tree {
+	link := e.Alloc(2)
+	return &Tree{rootLink: link}
+}
+
+// findLink descends to the link word that holds (or would hold) key's node.
+func (t *Tree) findLink(tx tm.Tx, key int64) (linkAt, node memseg.Addr) {
+	linkAt = t.rootLink
+	node = memseg.Addr(tx.Load(linkAt))
+	for node != memseg.Nil {
+		k := memseg.DecodeInt(tx.Load(node + treeKey))
+		switch {
+		case key < k:
+			linkAt = node + treeLeft
+		case key > k:
+			linkAt = node + treeRight
+		default:
+			return linkAt, node
+		}
+		node = memseg.Addr(tx.Load(linkAt))
+	}
+	return linkAt, memseg.Nil
+}
+
+// Contains reports whether key is in the set.
+func (t *Tree) Contains(tx tm.Tx, key int64) bool {
+	_, node := t.findLink(tx, key)
+	return node != memseg.Nil
+}
+
+// Insert adds key; it reports false if already present.
+func (t *Tree) Insert(tx tm.Tx, key int64) bool {
+	linkAt, node := t.findLink(tx, key)
+	if node != memseg.Nil {
+		return false
+	}
+	n := tx.Alloc(treeNode)
+	tx.Store(n+treeKey, memseg.EncodeInt(key))
+	tx.Store(linkAt, uint64(n))
+	return true
+}
+
+// Remove deletes key using standard BST deletion (successor replacement
+// for two-child nodes); it reports false if absent.
+func (t *Tree) Remove(tx tm.Tx, key int64) bool {
+	linkAt, node := t.findLink(tx, key)
+	if node == memseg.Nil {
+		return false
+	}
+	left := memseg.Addr(tx.Load(node + treeLeft))
+	right := memseg.Addr(tx.Load(node + treeRight))
+	switch {
+	case left == memseg.Nil:
+		tx.Store(linkAt, uint64(right))
+	case right == memseg.Nil:
+		tx.Store(linkAt, uint64(left))
+	default:
+		// Two children: splice in the in-order successor (leftmost node of
+		// the right subtree).
+		succLink := node + treeRight
+		succ := right
+		for {
+			l := memseg.Addr(tx.Load(succ + treeLeft))
+			if l == memseg.Nil {
+				break
+			}
+			succLink = succ + treeLeft
+			succ = l
+		}
+		tx.Store(succLink, tx.Load(succ+treeRight))
+		tx.Store(succ+treeLeft, uint64(left))
+		tx.Store(succ+treeRight, tx.Load(node+treeRight))
+		tx.Store(linkAt, uint64(succ))
+	}
+	tx.Free(node)
+	return true
+}
+
+// Size counts the elements (iterative traversal, for tests).
+func (t *Tree) Size(tx tm.Tx) int {
+	n := 0
+	stack := []memseg.Addr{memseg.Addr(tx.Load(t.rootLink))}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if node == memseg.Nil {
+			continue
+		}
+		n++
+		stack = append(stack,
+			memseg.Addr(tx.Load(node+treeLeft)),
+			memseg.Addr(tx.Load(node+treeRight)))
+	}
+	return n
+}
+
+// Keys returns the sorted contents (tests); validates BST order as it goes.
+func (t *Tree) Keys(tx tm.Tx) []int64 {
+	var out []int64
+	var walk func(node memseg.Addr)
+	walk = func(node memseg.Addr) {
+		if node == memseg.Nil {
+			return
+		}
+		walk(memseg.Addr(tx.Load(node + treeLeft)))
+		out = append(out, memseg.DecodeInt(tx.Load(node+treeKey)))
+		walk(memseg.Addr(tx.Load(node + treeRight)))
+	}
+	walk(memseg.Addr(tx.Load(t.rootLink)))
+	return out
+}

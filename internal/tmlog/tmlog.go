@@ -1,0 +1,95 @@
+// Package tmlog provides transaction-safe diagnostic logging.
+//
+// Section VI.c: both study applications "can be configured to produce
+// diagnostic output to logs while locks are held. Such output cannot be
+// rolled back, and hence ought to serialize transactions." Like the
+// memcached and Atomic Quake ports the paper cites, the applications do
+// not need ordering between log records — "log messages are timestamped,
+// the order can be determined post-mortem" — so the paper defers the
+// output to transaction end instead of serializing.
+//
+// Logger implements exactly that: Printf inside a transaction captures the
+// record (with a timestamp taken at capture time) and registers a commit
+// action; the record reaches the sink only if the transaction commits.
+// Records from aborted attempts vanish, records from retried attempts
+// appear once per commit, and nothing ever forces irrevocability.
+package tmlog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gotle/internal/tm"
+)
+
+// Record is one captured log entry.
+type Record struct {
+	// When is the capture time (inside the transaction). Post-mortem
+	// ordering sorts on this, not on arrival order.
+	When time.Time
+	// Thread is the logging thread's id.
+	Thread uint64
+	// Msg is the formatted message.
+	Msg string
+}
+
+// Logger collects commit-time log records. Safe for concurrent use.
+type Logger struct {
+	mu   sync.Mutex
+	sink io.Writer // optional live sink
+	recs []Record
+	// clock is overridable for deterministic tests.
+	clock func() time.Time
+}
+
+// New returns a logger. sink may be nil to only buffer records.
+func New(sink io.Writer) *Logger {
+	return &Logger{sink: sink, clock: time.Now}
+}
+
+// Printf captures a log record inside a transaction; it is emitted only
+// when tx commits. Outside the deferred action nothing is shared, so the
+// call itself never causes conflicts or serialization.
+func (l *Logger) Printf(tx tm.Tx, th *tm.Thread, format string, args ...any) {
+	rec := Record{
+		When:   l.clock(),
+		Thread: th.ID(),
+		Msg:    fmt.Sprintf(format, args...),
+	}
+	tx.Defer(func() { l.emit(rec) })
+}
+
+// Emit writes a record immediately (non-transactional contexts).
+func (l *Logger) Emit(th *tm.Thread, format string, args ...any) {
+	l.emit(Record{When: l.clock(), Thread: th.ID(), Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Logger) emit(rec Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, rec)
+	if l.sink != nil {
+		fmt.Fprintf(l.sink, "%s [t%d] %s\n", rec.When.Format(time.RFC3339Nano), rec.Thread, rec.Msg)
+	}
+}
+
+// Records returns a copy of the captured records in arrival order.
+func (l *Logger) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// Len reports the number of emitted records.
+func (l *Logger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(fn func() time.Time) { l.clock = fn }

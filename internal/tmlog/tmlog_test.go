@@ -1,0 +1,154 @@
+package tmlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gotle/internal/tm"
+)
+
+func newEngine() *tm.Engine {
+	return tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 14})
+}
+
+func TestPrintfEmitsOnCommit(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	e := newEngine()
+	th := e.NewThread()
+	a := e.Alloc(1)
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		tx.Store(a, 1)
+		l.Printf(tx, th, "stored %d", 1)
+		if l.Len() != 0 {
+			t.Error("record emitted before commit")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("records = %d", l.Len())
+	}
+	if !strings.Contains(buf.String(), "stored 1") {
+		t.Fatalf("sink = %q", buf.String())
+	}
+}
+
+func TestPrintfSuppressedOnCancel(t *testing.T) {
+	l := New(nil)
+	e := newEngine()
+	th := e.NewThread()
+	boom := errors.New("boom")
+	e.Atomic(th, func(tx tm.Tx) error {
+		l.Printf(tx, th, "should never appear")
+		return boom
+	})
+	if l.Len() != 0 {
+		t.Fatalf("cancelled transaction logged %d records", l.Len())
+	}
+}
+
+func TestPrintfSuppressedOnRetry(t *testing.T) {
+	l := New(nil)
+	e := newEngine()
+	th := e.NewThread()
+	a := e.Alloc(1)
+	err := e.Atomic(th, func(tx tm.Tx) error {
+		l.Printf(tx, th, "waiting")
+		if tx.Load(a) == 0 {
+			tx.Retry()
+		}
+		return nil
+	})
+	if !errors.Is(err, tm.ErrRetry) {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("retried transaction logged %d records", l.Len())
+	}
+}
+
+func TestRecordsCarryThreadAndTimestamp(t *testing.T) {
+	l := New(nil)
+	fake := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return fake })
+	e := newEngine()
+	th := e.NewThread()
+	if err := e.Atomic(th, func(tx tm.Tx) error {
+		l.Printf(tx, th, "hello")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Thread != th.ID() || !recs[0].When.Equal(fake) || recs[0].Msg != "hello" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestEmitImmediate(t *testing.T) {
+	l := New(nil)
+	e := newEngine()
+	th := e.NewThread()
+	l.Emit(th, "direct %s", "write")
+	if l.Len() != 1 || l.Records()[0].Msg != "direct write" {
+		t.Fatalf("records = %+v", l.Records())
+	}
+}
+
+// Timestamps allow post-mortem ordering even when commit order differs
+// from capture order (the paper's "order can be determined post-mortem").
+func TestPostMortemOrdering(t *testing.T) {
+	l := New(nil)
+	var seq int64
+	l.SetClock(func() time.Time {
+		seq++
+		return time.Unix(0, seq)
+	})
+	e := newEngine()
+	th := e.NewThread()
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Atomic(th, func(tx tm.Tx) error {
+			l.Printf(tx, th, "msg %d", i)
+			return nil
+		})
+	}
+	recs := l.Records()
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].When.Before(recs[i].When) {
+			t.Fatalf("timestamps not monotonic at %d", i)
+		}
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	l := New(nil)
+	e := newEngine()
+	a := e.Alloc(1)
+	const threads, per = 6, 300
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		th := e.NewThread()
+		wg.Add(1)
+		go func(th *tm.Thread) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				e.Atomic(th, func(tx tm.Tx) error {
+					tx.Store(a, tx.Load(a)+1)
+					l.Printf(tx, th, "inc")
+					return nil
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	if l.Len() != threads*per {
+		t.Fatalf("records = %d, want %d (exactly one per commit)", l.Len(), threads*per)
+	}
+}

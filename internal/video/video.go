@@ -1,0 +1,188 @@
+// Package video generates synthetic video and provides the pixel-level
+// kernels the wavefront encoder (package x265sim) runs per CTU: sum of
+// absolute differences (SAD) motion search, an 8×8 integer DCT, and
+// quantisation.
+//
+// The paper's x265 study needs realistic per-CTU CPU work whose cost
+// dwarfs the critical sections coordinating the wavefront; actual HEVC
+// entropy coding is irrelevant to the synchronization behaviour under
+// study, so the "encoder" here computes motion-compensated residual cost —
+// deterministic for a given input, which gives every policy-comparison run
+// a correctness oracle (identical total cost).
+package video
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Frame is one luma-only frame.
+type Frame struct {
+	W, H int
+	Y    []uint8 // row-major, len W*H
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the frame edge
+// (HEVC-style border extension for motion search).
+func (f *Frame) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Y[y*f.W+x]
+}
+
+// Generate produces count frames of w×h video with spatial structure and
+// temporal motion: a textured background panning slowly plus a few moving
+// rectangles, with mild noise. Deterministic for a seed.
+func Generate(w, h, count int, seed int64) []*Frame {
+	rng := rand.New(rand.NewSource(seed))
+	type sprite struct {
+		x, y, vx, vy, w, h int
+		lum                uint8
+	}
+	sprites := make([]sprite, 4)
+	for i := range sprites {
+		sprites[i] = sprite{
+			x: rng.Intn(w), y: rng.Intn(h),
+			vx: rng.Intn(5) - 2, vy: rng.Intn(5) - 2,
+			w: 8 + rng.Intn(24), h: 8 + rng.Intn(24),
+			lum: uint8(64 + rng.Intn(128)),
+		}
+	}
+	frames := make([]*Frame, count)
+	for t := 0; t < count; t++ {
+		f := &Frame{W: w, H: h, Y: make([]uint8, w*h)}
+		panX, panY := t, t/2
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				// Textured background: cheap deterministic pattern.
+				v := uint8((x+panX)>>2) ^ uint8((y+panY)>>3)
+				f.Y[y*f.W+x] = 96 + (v & 63)
+			}
+		}
+		for _, s := range sprites {
+			sx, sy := (s.x+t*s.vx)%w, (s.y+t*s.vy)%h
+			if sx < 0 {
+				sx += w
+			}
+			if sy < 0 {
+				sy += h
+			}
+			for dy := 0; dy < s.h; dy++ {
+				for dx := 0; dx < s.w; dx++ {
+					x, y := (sx+dx)%w, (sy+dy)%h
+					f.Y[y*f.W+x] = s.lum
+				}
+			}
+		}
+		// Mild sensor noise.
+		for i := 0; i < w*h/64; i++ {
+			p := rng.Intn(w * h)
+			f.Y[p] = uint8(int(f.Y[p]) + rng.Intn(7) - 3)
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// SAD computes the sum of absolute differences between a size×size block of
+// cur at (cx, cy) and ref at (rx, ry), with edge clamping on ref.
+func SAD(cur, ref *Frame, cx, cy, rx, ry, size int) int {
+	sum := 0
+	for dy := 0; dy < size; dy++ {
+		for dx := 0; dx < size; dx++ {
+			a := int(cur.At(cx+dx, cy+dy))
+			b := int(ref.At(rx+dx, ry+dy))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// MotionSearch finds the best (dx, dy) within ±rangePx minimising SAD for
+// the size×size block at (cx, cy), using a full search (the paper notes
+// x265's "parallel motion estimation" lock protects these searches).
+func MotionSearch(cur, ref *Frame, cx, cy, size, rangePx int) (bestDx, bestDy, bestSAD int) {
+	bestSAD = 1 << 30
+	for dy := -rangePx; dy <= rangePx; dy++ {
+		for dx := -rangePx; dx <= rangePx; dx++ {
+			s := SAD(cur, ref, cx, cy, cx+dx, cy+dy, size)
+			if s < bestSAD || (s == bestSAD && (dy < bestDy || (dy == bestDy && dx < bestDx))) {
+				bestSAD, bestDx, bestDy = s, dx, dy
+			}
+		}
+	}
+	return bestDx, bestDy, bestSAD
+}
+
+// dct8Basis holds the integer cosine basis used by DCT8 (HEVC-style
+// integer approximation).
+var dct8Basis = [8][8]int32{}
+
+func init() {
+	// Integer DCT-II basis scaled by 64, rounded to nearest.
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			v := math.Cos(float64((2*n+1)*k) * math.Pi / 16)
+			dct8Basis[k][n] = int32(math.Round(v * 64))
+		}
+	}
+}
+
+// DCT8 applies the 8×8 integer DCT to the residual block (row-major 64
+// coefficients), in place into out.
+func DCT8(residual *[64]int32, out *[64]int32) {
+	var tmp [64]int32
+	// Rows.
+	for r := 0; r < 8; r++ {
+		for k := 0; k < 8; k++ {
+			var acc int32
+			for n := 0; n < 8; n++ {
+				acc += dct8Basis[k][n] * residual[r*8+n]
+			}
+			tmp[r*8+k] = acc >> 6
+		}
+	}
+	// Columns.
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 8; k++ {
+			var acc int32
+			for n := 0; n < 8; n++ {
+				acc += dct8Basis[k][n] * tmp[n*8+c]
+			}
+			out[k*8+c] = acc >> 6
+		}
+	}
+}
+
+// Quantize divides coefficients by the quantiser step and returns the count
+// of nonzero levels plus the absolute level sum — the "bit cost" proxy the
+// encoder accumulates.
+func Quantize(coeffs *[64]int32, qp int) (nonzero int, levelSum int64) {
+	step := int32(1) << (uint(qp)/6 + 2)
+	for i, c := range coeffs {
+		lv := c / step
+		coeffs[i] = lv
+		if lv != 0 {
+			nonzero++
+			if lv < 0 {
+				lv = -lv
+			}
+			levelSum += int64(lv)
+		}
+	}
+	return nonzero, levelSum
+}

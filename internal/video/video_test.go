@@ -1,0 +1,161 @@
+package video
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(64, 48, 3, 5)
+	b := Generate(64, 48, 3, 5)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("frame counts %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		for p := range a[i].Y {
+			if a[i].Y[p] != b[i].Y[p] {
+				t.Fatalf("frame %d pixel %d differs", i, p)
+			}
+		}
+	}
+}
+
+func TestGenerateTemporalCorrelation(t *testing.T) {
+	frames := Generate(128, 96, 2, 9)
+	// Consecutive frames must be similar (small mean abs diff) but not
+	// identical — otherwise motion search is either trivial or pointless.
+	diff, same := 0, 0
+	for p := range frames[0].Y {
+		d := int(frames[0].Y[p]) - int(frames[1].Y[p])
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		if d == 0 {
+			same++
+		}
+	}
+	mean := float64(diff) / float64(len(frames[0].Y))
+	if mean > 30 {
+		t.Fatalf("mean frame diff %.1f — no temporal correlation", mean)
+	}
+	if same == len(frames[0].Y) {
+		t.Fatal("frames identical — no motion")
+	}
+}
+
+func TestAtClamps(t *testing.T) {
+	f := &Frame{W: 4, H: 4, Y: make([]uint8, 16)}
+	f.Y[0] = 11
+	f.Y[15] = 22
+	if f.At(-5, -5) != 11 {
+		t.Fatal("top-left clamp failed")
+	}
+	if f.At(100, 100) != 22 {
+		t.Fatal("bottom-right clamp failed")
+	}
+}
+
+func TestSADZeroForIdenticalBlocks(t *testing.T) {
+	f := Generate(64, 64, 1, 3)[0]
+	if s := SAD(f, f, 8, 8, 8, 8, 16); s != 0 {
+		t.Fatalf("self-SAD = %d", s)
+	}
+}
+
+func TestMotionSearchFindsTranslation(t *testing.T) {
+	// ref is cur shifted by (3, 2): search must find (-3, -2) or an
+	// equally-scoring vector with SAD below the zero-motion SAD.
+	cur := Generate(96, 96, 1, 4)[0]
+	ref := &Frame{W: 96, H: 96, Y: make([]uint8, 96*96)}
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			ref.Y[y*96+x] = cur.At(x+3, y+2)
+		}
+	}
+	dx, dy, sad := MotionSearch(cur, ref, 32, 32, 16, 8)
+	if dx != -3 || dy != -2 {
+		if sad >= SAD(cur, ref, 32, 32, 32, 32, 16) {
+			t.Fatalf("search found (%d,%d) sad=%d, no better than zero motion", dx, dy, sad)
+		}
+	}
+	if sad != 0 {
+		t.Fatalf("pure translation should give SAD 0, got %d at (%d,%d)", sad, dx, dy)
+	}
+}
+
+func TestDCT8DCTermAndEnergy(t *testing.T) {
+	var res, out [64]int32
+	for i := range res {
+		res[i] = 10
+	}
+	DCT8(&res, &out)
+	// A flat block concentrates energy in the DC coefficient.
+	if out[0] == 0 {
+		t.Fatal("DC term zero for flat block")
+	}
+	for i := 1; i < 64; i++ {
+		if abs32(out[i]) > abs32(out[0])/4 {
+			t.Fatalf("AC coefficient %d = %d vs DC %d — energy not compacted", i, out[i], out[0])
+		}
+	}
+}
+
+func TestDCT8ZeroInput(t *testing.T) {
+	var res, out [64]int32
+	DCT8(&res, &out)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("coefficient %d = %d for zero input", i, v)
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	var c [64]int32
+	c[0] = 100
+	c[1] = -100
+	c[2] = 1
+	nz, sum := Quantize(&c, 0) // step 4
+	if nz != 2 {
+		t.Fatalf("nonzero = %d", nz)
+	}
+	if sum != 50 {
+		t.Fatalf("levelSum = %d", sum)
+	}
+	if c[2] != 0 {
+		t.Fatal("small coefficient not quantised to zero")
+	}
+	// Higher QP quantises more to zero.
+	var d [64]int32
+	d[0] = 100
+	nz2, _ := Quantize(&d, 30) // step 4<<5 = 128
+	if nz2 != 0 {
+		t.Fatalf("qp30 nonzero = %d", nz2)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func BenchmarkMotionSearch16(b *testing.B) {
+	frames := Generate(128, 128, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MotionSearch(frames[1], frames[0], 48, 48, 16, 8)
+	}
+}
+
+func BenchmarkDCT8(b *testing.B) {
+	var res, out [64]int32
+	for i := range res {
+		res[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DCT8(&res, &out)
+	}
+}

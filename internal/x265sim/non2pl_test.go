@@ -1,0 +1,108 @@
+package x265sim
+
+import (
+	"errors"
+	"testing"
+
+	"gotle/internal/htm"
+	"gotle/internal/lockcheck"
+	"gotle/internal/tle"
+)
+
+// Listing 3 must complete under the pthread baseline: real locks allow the
+// inner critical sections to communicate while the outer lock is held.
+func TestListing3WorksUnderPthread(t *testing.T) {
+	r := newRuntime(tle.PolicyPthread)
+	vals, err := RunListing3(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("produced %d items", len(vals))
+	}
+	for i, v := range vals {
+		if v != uint64(i+1) {
+			t.Fatalf("item %d = %d", i, v)
+		}
+	}
+}
+
+// Listing 3 must FAIL under every transactional policy — the paper's
+// Section V finding: "if the outer lock was replaced with a transaction,
+// the program could not complete".
+func TestListing3StallsUnderElision(t *testing.T) {
+	for _, p := range tle.Policies[1:] {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := tle.New(p, tle.Config{
+				MemWords: 1 << 18,
+				HTM:      htm.Config{EventAbortPerMillion: -1},
+			})
+			_, err := RunListing3(r, 1)
+			if !errors.Is(err, ErrStalled) {
+				t.Fatalf("err = %v, want ErrStalled", err)
+			}
+		})
+	}
+}
+
+// Listing 4 (the ready-flag refactoring) must complete under every policy.
+func TestListing4WorksEverywhere(t *testing.T) {
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := tle.New(p, tle.Config{
+				MemWords: 1 << 18,
+				HTM:      htm.Config{EventAbortPerMillion: -1},
+			})
+			vals, err := RunListing4(r, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vals) != 5 {
+				t.Fatalf("produced %d items", len(vals))
+			}
+			for i, v := range vals {
+				if v != uint64(i+1)*2 {
+					t.Fatalf("item %d = %d, want %d", i, v, (i+1)*2)
+				}
+			}
+		})
+	}
+}
+
+// The lockcheck tracer must flag Listing 3 as a two-phase-locking
+// violation and pass Listing 4 as clean — the runtime analogue of the
+// paper's open question about when naive transactionalization is safe.
+func TestLockcheckClassifiesListings(t *testing.T) {
+	c3 := lockcheck.New()
+	r3 := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 18, Tracer: c3})
+	if _, err := RunListing3(r3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c3.Clean() {
+		t.Fatal("lockcheck missed the Listing-3 2PL violation")
+	}
+
+	c4 := lockcheck.New()
+	r4 := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 18, Tracer: c4})
+	if _, err := RunListing4(r4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !c4.Clean() {
+		t.Fatalf("lockcheck flagged Listing 4: %v", c4.Violations())
+	}
+}
+
+// The full encoder (which uses the Listing-4 structure throughout) must be
+// 2PL-clean, i.e. elidable without refactoring.
+func TestEncoderIs2PLClean(t *testing.T) {
+	c := lockcheck.New()
+	r := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 20, Tracer: c})
+	if _, err := Encode(r, smallVideo(2), Config{Workers: 2, FrameThreads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Clean() {
+		t.Fatalf("encoder violates 2PL: %v %v", c.Violations(), c.Errors())
+	}
+}

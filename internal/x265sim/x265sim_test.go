@@ -1,0 +1,221 @@
+package x265sim
+
+import (
+	"testing"
+	"time"
+
+	"gotle/internal/htm"
+	"gotle/internal/tle"
+	"gotle/internal/video"
+)
+
+func newRuntime(p tle.Policy) *tle.Runtime {
+	return tle.New(p, tle.Config{
+		MemWords: 1 << 20,
+		HTM:      htm.Config{EventAbortPerMillion: 2},
+	})
+}
+
+func smallVideo(frames int) []*video.Frame {
+	return video.Generate(96, 64, frames, 11)
+}
+
+func TestEncodeAllPoliciesIdenticalOutput(t *testing.T) {
+	frames := smallVideo(5)
+	var refCosts []int64
+	var refTotal int64
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := newRuntime(p)
+			res, err := Encode(r, frames, Config{Workers: 3, FrameThreads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.FrameCosts) != 5 {
+				t.Fatalf("FrameCosts = %v", res.FrameCosts)
+			}
+			for i, f := range res.OutputOrder {
+				if f != i {
+					t.Fatalf("output order %v — frame %d out of place", res.OutputOrder, f)
+				}
+			}
+			var sum int64
+			for _, c := range res.FrameCosts {
+				if c <= 0 {
+					t.Fatalf("frame cost %d — no work done?", c)
+				}
+				sum += c
+			}
+			if sum != res.TotalCost {
+				t.Fatalf("TotalCost %d != sum of frame costs %d (cost-lock accounting lost updates)",
+					res.TotalCost, sum)
+			}
+			if refCosts == nil {
+				refCosts = res.FrameCosts
+				refTotal = res.TotalCost
+				return
+			}
+			if res.TotalCost != refTotal {
+				t.Fatalf("TotalCost %d differs from reference %d — elision changed program output",
+					res.TotalCost, refTotal)
+			}
+			for i := range refCosts {
+				if res.FrameCosts[i] != refCosts[i] {
+					t.Fatalf("frame %d cost %d != reference %d", i, res.FrameCosts[i], refCosts[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeWorkerSweep(t *testing.T) {
+	frames := smallVideo(4)
+	var ref int64
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := newRuntime(tle.PolicySTMCondVar)
+		res, err := Encode(r, frames, Config{Workers: workers, FrameThreads: 3})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			t.Fatalf("workers=%d changed TotalCost: %d vs %d", workers, res.TotalCost, ref)
+		}
+	}
+}
+
+func TestEncodeFrameThreadSweep(t *testing.T) {
+	frames := smallVideo(6)
+	var ref int64
+	for _, ft := range []int{1, 2, 4} {
+		r := newRuntime(tle.PolicyHTMCondVar)
+		res, err := Encode(r, frames, Config{Workers: 2, FrameThreads: ft})
+		if err != nil {
+			t.Fatalf("frameThreads=%d: %v", ft, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			t.Fatalf("frameThreads=%d changed TotalCost", ft)
+		}
+	}
+}
+
+// Slice parallelism must not change the encoded output, for any slice
+// count including degenerate ones.
+func TestEncodeSliceSweep(t *testing.T) {
+	frames := smallVideo(4)
+	var ref int64
+	for _, slices := range []int{1, 2, 4, 100} { // 100 > rows: clamped
+		r := newRuntime(tle.PolicySTMCondVar)
+		res, err := Encode(r, frames, Config{Workers: 3, FrameThreads: 2, Slices: slices})
+		if err != nil {
+			t.Fatalf("slices=%d: %v", slices, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			t.Fatalf("slices=%d changed TotalCost: %d vs %d", slices, res.TotalCost, ref)
+		}
+		for i, f := range res.OutputOrder {
+			if f != i {
+				t.Fatalf("slices=%d broke output order: %v", slices, res.OutputOrder)
+			}
+		}
+	}
+}
+
+func TestEncodeSlicesAllPolicies(t *testing.T) {
+	frames := smallVideo(3)
+	var ref int64
+	for _, p := range tle.Policies {
+		r := newRuntime(p)
+		res, err := Encode(r, frames, Config{Workers: 2, FrameThreads: 2, Slices: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if ref == 0 {
+			ref = res.TotalCost
+		} else if res.TotalCost != ref {
+			t.Fatalf("%s: sliced encode diverged", p)
+		}
+	}
+}
+
+func TestEncodeSingleFrame(t *testing.T) {
+	r := newRuntime(tle.PolicyPthread)
+	res, err := Encode(r, smallVideo(1), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OutputOrder) != 1 || res.OutputOrder[0] != 0 {
+		t.Fatalf("order = %v", res.OutputOrder)
+	}
+}
+
+func TestEncodeNoFrames(t *testing.T) {
+	r := newRuntime(tle.PolicyPthread)
+	res, err := Encode(r, nil, Config{Workers: 2})
+	if err != nil || res.TotalCost != 0 {
+		t.Fatalf("empty encode: %v, %d", err, res.TotalCost)
+	}
+}
+
+func TestEncodeRejectsHugeGrids(t *testing.T) {
+	r := newRuntime(tle.PolicyPthread)
+	huge := &video.Frame{W: 20000, H: 16, Y: make([]uint8, 20000*16)}
+	if _, err := Encode(r, []*video.Frame{huge}, Config{Workers: 1, CTUSize: 16}); err == nil {
+		t.Fatal("oversized CTU grid accepted")
+	}
+}
+
+func TestEncodeIntraVsInterCosts(t *testing.T) {
+	// Frame 0 (intra, flat predictor) should cost more than inter frames,
+	// which benefit from motion compensation on correlated content.
+	r := newRuntime(tle.PolicyPthread)
+	res, err := Encode(r, smallVideo(3), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameCosts[0] <= res.FrameCosts[1] {
+		t.Logf("intra cost %d vs inter %d — motion compensation not helping?",
+			res.FrameCosts[0], res.FrameCosts[1])
+	}
+}
+
+func TestTaskPacking(t *testing.T) {
+	for _, c := range []struct{ f, r, col int }{{0, 0, 0}, {5, 3, 7}, {1000, 1023, 1023}} {
+		f, r, col := unpackTask(packTask(c.f, c.r, c.col))
+		if f != c.f || r != c.r || col != c.col {
+			t.Fatalf("pack/unpack (%d,%d,%d) = (%d,%d,%d)", c.f, c.r, c.col, f, r, col)
+		}
+	}
+}
+
+func TestEncodeTransactionStats(t *testing.T) {
+	r := newRuntime(tle.PolicySTMCondVar)
+	before := r.Engine().Snapshot()
+	if _, err := Encode(r, smallVideo(3), Config{Workers: 3, FrameThreads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Engine().Snapshot().Sub(before)
+	if s.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	// CTU-grained transactions: at least one progress update per CTU.
+	minCommits := uint64(3 * (96 / 16) * (64 / 16))
+	if s.Commits < minCommits {
+		t.Fatalf("commits = %d, want >= %d", s.Commits, minCommits)
+	}
+}
+
+func TestEncodeTimedWaitsConfigurable(t *testing.T) {
+	r := newRuntime(tle.PolicySTMSpin)
+	if _, err := Encode(r, smallVideo(2), Config{
+		Workers: 2, WaitTimeout: 500 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
