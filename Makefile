@@ -1,0 +1,42 @@
+# Build and verification targets. `make test` is the tier-1 gate;
+# `make race` is the same suite under the race detector and should be run
+# before merging anything that touches the TM stack.
+
+GO ?= go
+FUZZTIME ?= 10s
+CHAOS_RUNS ?= 5
+CHAOS_SEED ?= 1
+
+.PHONY: all build test race fuzz-short chaos chaos-teeth clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the full unit/property suite.
+test:
+	$(GO) test ./...
+
+# Tier-1 under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Short bursts of the native fuzz targets (long-form: go test -fuzz=X -fuzztime=10m).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzPackUnpack -fuzztime $(FUZZTIME) ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/bzlike
+	$(GO) test -run '^$$' -fuzz FuzzCompressRoundTrip -fuzztime $(FUZZTIME) ./internal/bzlike
+
+# Chaos sweep: every policy x fault mix under seeded fault injection, with
+# linearizability checking. A failure prints the seed to replay.
+chaos:
+	$(GO) test . -run TestChaos -v
+	$(GO) run ./cmd/chaosbench -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
+
+# Prove the chaos checker still bites: a sabotaged engine must be caught.
+chaos-teeth:
+	$(GO) run ./cmd/chaosbench -break-undo -policy stm-cv -faults none -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
+
+clean:
+	$(GO) clean ./...

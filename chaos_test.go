@@ -1,0 +1,182 @@
+package gotle_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"gotle/internal/chaos"
+	"gotle/internal/harness"
+	"gotle/internal/tle"
+)
+
+// The chaos suite: run the mixed kvstore + elided-counter workload under a
+// seeded fault injector across all five policies and every fault mix, and
+// require the recorded histories to linearize. A failing run logs its seed;
+// re-running with GOTLE_CHAOS_SEED=<seed> replays the same fault decisions
+// (see internal/chaos for the exact replay contract).
+
+// chaosSeed returns the suite seed: GOTLE_CHAOS_SEED when set, else 1.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("GOTLE_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad GOTLE_CHAOS_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// TestChaosSweep is the acceptance sweep: 5 policies × fault mixes, zero
+// linearizability violations expected.
+func TestChaosSweep(t *testing.T) {
+	seed := chaosSeed(t)
+	for _, policy := range tle.Policies {
+		for _, mix := range harness.FaultMixes {
+			t.Run(policy.String()+"/"+mix, func(t *testing.T) {
+				t.Parallel()
+				rates, err := harness.MixRates(mix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := harness.RunChaos(harness.ChaosConfig{
+					Policy:       policy,
+					Threads:      4,
+					OpsPerThread: 150,
+					Keys:         16,
+					Seed:         seed,
+					Rates:        rates,
+				})
+				t.Logf("%v", res)
+				if res.Err != nil {
+					t.Fatalf("seed %d: workload error: %v", seed, res.Err)
+				}
+				if !res.KV.OK {
+					t.Fatalf("seed %d: kv history violation:\n%v", seed, res.KV)
+				}
+				if !res.Counter.OK {
+					t.Fatalf("seed %d: counter history violation:\n%v", seed, res.Counter)
+				}
+				// The heavy mix must actually have injected something on the
+				// transactional policies, or the sweep proves nothing.
+				if mix == harness.FaultsHeavy && policy.Transactional() {
+					faults := uint64(0)
+					for _, n := range res.FaultCounts {
+						faults += n
+					}
+					if faults == 0 {
+						t.Fatalf("seed %d: heavy mix fired no faults on %v", seed, policy)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSeedReplay: a single-threaded run is fully deterministic, so the
+// same seed must reproduce the identical fault sequence — equal injector
+// fingerprints and equal per-point fire counts.
+func TestChaosSeedReplay(t *testing.T) {
+	seed := chaosSeed(t)
+	rates, err := harness.MixRates(harness.FaultsHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy tle.Policy) harness.ChaosResult {
+		return harness.RunChaos(harness.ChaosConfig{
+			Policy:       policy,
+			Threads:      1,
+			OpsPerThread: 300,
+			Keys:         16,
+			Seed:         seed,
+			Rates:        rates,
+		})
+	}
+	for _, policy := range []tle.Policy{tle.PolicySTMCondVar, tle.PolicyHTMCondVar} {
+		a, b := run(policy), run(policy)
+		t.Logf("%v", a)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("seed %d: replay runs errored: %v / %v", seed, a.Err, b.Err)
+		}
+		if a.Fingerprint == 0 {
+			t.Fatalf("seed %d: no faults fired on %v; replay test is vacuous", seed, policy)
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d on %v does not replay: fingerprints %#x vs %#x",
+				seed, policy, a.Fingerprint, b.Fingerprint)
+		}
+		for p, n := range a.FaultCounts {
+			if b.FaultCounts[p] != n {
+				t.Fatalf("seed %d on %v: %v fired %d then %d times",
+					seed, policy, p, n, b.FaultCounts[p])
+			}
+		}
+	}
+}
+
+// TestChaosDistinctSeedsDiffer: different seeds must explore different fault
+// sequences, or the sweep keeps re-testing one schedule.
+func TestChaosDistinctSeedsDiffer(t *testing.T) {
+	rates, err := harness.MixRates(harness.FaultsHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) uint64 {
+		res := harness.RunChaos(harness.ChaosConfig{
+			Policy:       tle.PolicySTMCondVar,
+			Threads:      1,
+			OpsPerThread: 200,
+			Seed:         seed,
+			Rates:        rates,
+		})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Fingerprint
+	}
+	if run(11) == run(12) {
+		t.Fatal("seeds 11 and 12 produced identical fault fingerprints")
+	}
+}
+
+// TestChaosBrokenEngineCaught proves the harness has teeth: arming the
+// SkipUndo sabotage point makes STM rollback leave aborted write-through
+// state in memory, and the linearizability checker must catch the resulting
+// phantom updates. If this test ever "passes the checker", the checker is
+// broken, not the engine.
+func TestChaosBrokenEngineCaught(t *testing.T) {
+	seed := chaosSeed(t)
+	violated := false
+	// Forced validation aborts guarantee rollbacks happen; SkipUndo makes
+	// every rollback wrong. Sweep a few seeds so the test does not hinge on
+	// one schedule producing a conflicting interleaving.
+	for offset := int64(0); offset < 5 && !violated; offset++ {
+		res := harness.RunChaos(harness.ChaosConfig{
+			Policy:       tle.PolicySTMCondVar,
+			Threads:      4,
+			OpsPerThread: 150,
+			Seed:         seed + offset,
+			Rates: chaos.Rates{
+				chaos.STMValidate: 300_000,
+			},
+			BreakUndo:   true,
+			CounterOnly: true,
+		})
+		t.Logf("%v", res)
+		if res.KV.OK && res.Counter.OK && res.Err == nil {
+			continue
+		}
+		violated = true
+		if !res.Counter.OK {
+			t.Logf("counter violation (expected):\n%v", res.Counter)
+		}
+		if !res.KV.OK {
+			t.Logf("kv violation (expected):\n%v", res.KV)
+		}
+	}
+	if !violated {
+		t.Fatal("deliberately-broken engine (undo-log skip) passed the linearizability checker: the harness has no teeth")
+	}
+}

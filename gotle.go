@@ -26,6 +26,7 @@
 package gotle
 
 import (
+	"gotle/internal/chaos"
 	"gotle/internal/condvar"
 	"gotle/internal/lockcheck"
 	"gotle/internal/memseg"
@@ -56,6 +57,16 @@ type (
 	// LockChecker is the dynamic two-phase-locking checker; pass it as
 	// Config.Tracer to audit a workload's critical-section structure.
 	LockChecker = lockcheck.Checker
+	// FaultInjector is the chaos fault-injection layer; pass one as
+	// Config.FaultInjector to force rare TM interleavings (seeded,
+	// deterministic aborts/stalls) in stress tests. See internal/chaos.
+	FaultInjector = chaos.Injector
+	// FaultConfig parameterises a FaultInjector (seed, per-point rates).
+	FaultConfig = chaos.Config
+	// FaultPoint names one injection site (chaos.STMValidate, ...).
+	FaultPoint = chaos.Point
+	// FaultRates maps fault points to firing rates in parts per million.
+	FaultRates = chaos.Rates
 )
 
 // The five execution policies of the paper's evaluation (Section VII).
@@ -82,3 +93,8 @@ func ParsePolicy(s string) (Policy, error) { return tle.ParsePolicy(s) }
 
 // NewLockChecker returns an empty two-phase-locking checker.
 func NewLockChecker() *LockChecker { return lockcheck.New() }
+
+// NewFaultInjector returns a seeded chaos fault injector for use as
+// Config.FaultInjector. All methods are nil-safe, so a disabled injector
+// costs the engine one pointer test per fault point.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return chaos.New(cfg) }

@@ -1,0 +1,158 @@
+package condvar_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gotle/internal/chaos"
+	"gotle/internal/condvar"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Edge cases for the timed-wait surface. This file is an external test
+// package so it can drive condition variables through the full tle stack
+// (tle imports condvar, so these tests cannot live in package condvar).
+
+// TestWaitNonPositiveTimeoutMeansForever: zero and negative timeouts are the
+// "wait indefinitely" form, not an instant poll — a stored ticket satisfies
+// them immediately, and an empty condvar blocks them until a signal.
+func TestWaitNonPositiveTimeoutMeansForever(t *testing.T) {
+	for _, timeout := range []time.Duration{0, -time.Second} {
+		c := condvar.New()
+		c.Signal()
+		if !c.Wait(timeout) {
+			t.Fatalf("Wait(%v) with a stored ticket returned false", timeout)
+		}
+		// No ticket: must block until one arrives, not return.
+		done := make(chan bool, 1)
+		go func() { done <- c.Wait(timeout) }()
+		select {
+		case <-done:
+			t.Fatalf("Wait(%v) on an empty condvar returned without a signal", timeout)
+		case <-time.After(20 * time.Millisecond):
+		}
+		c.Signal()
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatalf("Wait(%v) returned false after a signal", timeout)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("Wait(%v) never woke after a signal", timeout)
+		}
+	}
+}
+
+// TestSignalRacingDeadlineNeverLosesTicket: when a signal races a timed
+// wait's deadline, exactly one of the two outcomes may happen — the waiter
+// consumes the ticket, or it times out and the ticket stays stored for the
+// next waiter. A signal must never evaporate.
+func TestSignalRacingDeadlineNeverLosesTicket(t *testing.T) {
+	c := condvar.New()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		// Vary which side of the deadline the signal lands on.
+		delay := time.Duration(i%5) * 200 * time.Microsecond
+		go func() {
+			time.Sleep(delay)
+			c.Signal()
+		}()
+		if c.Wait(500 * time.Microsecond) {
+			continue // waiter got the ticket
+		}
+		// Timed out: the racing signal's ticket must still be there (the
+		// signal may not have fired yet, so poll).
+		deadline := time.Now().Add(time.Second)
+		for !c.TryWait() {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: ticket lost in signal/deadline race", i)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	if c.TryWait() {
+		t.Fatal("more tickets consumed than signals sent")
+	}
+}
+
+// TestBroadcastClampsBelowOne: Broadcast(n<1) must still wake someone —
+// it clamps to one ticket, mirroring BroadcastTx.
+func TestBroadcastClampsBelowOne(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		c := condvar.New()
+		c.Broadcast(n)
+		if !c.TryWait() {
+			t.Fatalf("Broadcast(%d) released no ticket", n)
+		}
+		if c.TryWait() {
+			t.Fatalf("Broadcast(%d) released more than one ticket", n)
+		}
+	}
+}
+
+// TestBroadcastDuringQuiesce: a committing broadcaster must finish post-
+// commit quiescence before its deferred BroadcastTx releases tickets, and
+// every blocked waiter must still wake even when chaos injection stalls
+// epoch-slot exits to stretch the quiescence window across the broadcast.
+func TestBroadcastDuringQuiesce(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed:       7,
+		Rates:      chaos.Rates{chaos.EpochStall: 1_000_000},
+		StallIters: 32,
+	})
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{
+		MemWords:      1 << 16,
+		FaultInjector: inj,
+	})
+	m := r.NewMutex("quiesce-bcast")
+	cv := r.NewCond()
+	flag := r.Engine().Alloc(1)
+
+	const waiters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		th := r.NewThread()
+		wg.Add(1)
+		go func(th *tm.Thread) {
+			defer wg.Done()
+			errs <- m.Await(th, cv, 5*time.Millisecond, func(tx tm.Tx) error {
+				if tx.Load(flag) == 0 {
+					tx.Retry()
+				}
+				return nil
+			})
+		}(th)
+	}
+
+	// Let the waiters reach their predicate checks and block.
+	time.Sleep(10 * time.Millisecond)
+
+	th := r.NewThread()
+	if err := m.Do(th, func(tx tm.Tx) error {
+		tx.Store(flag, 1)
+		cv.BroadcastTx(tx, waiters)
+		return nil
+	}); err != nil {
+		t.Fatalf("broadcaster failed: %v", err)
+	}
+	if inj.Fired(chaos.EpochStall) == 0 {
+		t.Fatal("epoch-stall injection never fired; the quiesce window was not stretched")
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters still blocked after broadcast during stalled quiesce")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("waiter returned error: %v", err)
+		}
+	}
+}

@@ -25,8 +25,18 @@ import (
 // Enter/Exit on a slot; any goroutine may observe it.
 type Slot struct {
 	seq atomic.Uint64
-	_   [56]byte // keep slots on separate cache lines
+	// exitHook, when set, runs at the top of Exit — while the slot still
+	// reads as active. The TM engine installs a chaos-injection stall here
+	// so a stress run can hold slots active past their transactions and
+	// force quiescers to wait. Set before the slot is shared; nil costs one
+	// predictable branch.
+	exitHook func()
+	_        [48]byte // keep slots on separate cache lines
 }
+
+// SetExitHook installs fn to run at the start of every Exit, before the slot
+// transitions to inactive. Must be called before the slot's thread runs.
+func (s *Slot) SetExitHook(fn func()) { s.exitHook = fn }
 
 // Enter marks the owning thread as inside a transaction.
 func (s *Slot) Enter() {
@@ -38,6 +48,9 @@ func (s *Slot) Enter() {
 // previous Enter; the transaction's undo/cleanup must be complete before
 // Exit, since observers treat Exit as "no longer able to race".
 func (s *Slot) Exit() {
+	if s.exitHook != nil {
+		s.exitHook()
+	}
 	s.seq.Add(1)
 }
 

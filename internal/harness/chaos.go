@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gotle/internal/chaos"
+	"gotle/internal/htm"
+	"gotle/internal/kvstore"
+	"gotle/internal/linearize"
+	"gotle/internal/stats"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Chaos stress driver: runs a mixed kvstore + elided-counter workload under
+// a seeded fault injector and checks the recorded histories for
+// linearizability. This is the adversarial counterpart to the throughput
+// harnesses — it does not measure speed, it tries to make the engine
+// observably wrong and proves it failed to.
+//
+// Determinism contract: each worker's operation sequence is a pure function
+// of (Seed, worker index), and the injector's fault decisions are a pure
+// function of (Seed, thread, point, consultation index). A single-threaded
+// run is therefore fully reproducible — same seed, same fault sequence, same
+// injector fingerprint — which is the form a minimized reproduction takes.
+// Multi-threaded runs replay the same decision streams, though contention-
+// driven retries can shift how far into each stream a thread gets.
+
+// Fault mixes for the sweep.
+const (
+	// FaultsNone runs the workload with an injector wired in but every rate
+	// zero: the control arm, plus coverage of the hook overhead itself.
+	FaultsNone = "none"
+	// FaultsLight approximates a busy machine: occasional forced aborts.
+	FaultsLight = "light"
+	// FaultsHeavy forces every failure class often, including serial entry.
+	FaultsHeavy = "heavy"
+)
+
+// FaultMixes lists the sweep's mixes in order.
+var FaultMixes = []string{FaultsNone, FaultsLight, FaultsHeavy}
+
+// MixRates returns the injector rates for a named mix.
+func MixRates(mix string) (chaos.Rates, error) {
+	switch mix {
+	case FaultsNone:
+		return chaos.Rates{}, nil
+	case FaultsLight:
+		return chaos.Rates{
+			chaos.STMValidate:  20_000, // 2% of commits/extensions
+			chaos.STMLockStall: 10_000,
+			chaos.HTMConflict:  5_000,
+			chaos.HTMCapacity:  2_000,
+			chaos.EpochStall:   10_000,
+			chaos.SerialEntry:  2_000,
+		}, nil
+	case FaultsHeavy:
+		return chaos.Rates{
+			chaos.STMValidate:  150_000,
+			chaos.STMLockStall: 80_000,
+			chaos.HTMConflict:  60_000,
+			chaos.HTMCapacity:  30_000,
+			chaos.EpochStall:   80_000,
+			chaos.SerialEntry:  20_000,
+		}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown fault mix %q", mix)
+	}
+}
+
+// ChaosConfig parameterises one chaos run.
+type ChaosConfig struct {
+	Policy tle.Policy
+	// Threads is the worker count (default 4).
+	Threads int
+	// OpsPerThread is each worker's operation count (default 200).
+	OpsPerThread int
+	// Keys bounds the kvstore key space (default 16). Kept far below shard
+	// capacity so no LRU eviction occurs — the KV model requires it.
+	Keys int
+	// Seed drives both the workload and the injector.
+	Seed int64
+	// Rates configures the injector (nil = all zero).
+	Rates chaos.Rates
+	// BreakUndo arms the SkipUndo sabotage point (checker-teeth tests).
+	BreakUndo bool
+	// CounterOnly restricts the workload to the elided counter. Sabotage
+	// runs use it: a skipped undo corrupts kvstore chain pointers into
+	// crashes, whereas on the counter it yields a clean, checkable
+	// linearizability violation.
+	CounterOnly bool
+	// MemWords sizes the simulated heap (default 1<<20).
+	MemWords int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 200
+	}
+	if c.Keys == 0 {
+		c.Keys = 16
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 20
+	}
+	return c
+}
+
+// ChaosResult reports one chaos run.
+type ChaosResult struct {
+	Policy      tle.Policy
+	Seed        int64
+	Fingerprint uint64
+	// FaultCounts maps each point to how often it fired.
+	FaultCounts map[chaos.Point]uint64
+	// KV and Counter are the linearizability verdicts for the two recorded
+	// histories.
+	KV, Counter linearize.Result
+	// Stats is the engine's counter snapshot after the run.
+	Stats stats.Snapshot
+	// Err records a workload-level failure (an operation returning an
+	// unexpected error), which is a finding in its own right.
+	Err error
+}
+
+// OK reports whether both histories linearized and the workload ran clean.
+func (r ChaosResult) OK() bool { return r.Err == nil && r.KV.OK && r.Counter.OK }
+
+// String renders a one-line summary.
+func (r ChaosResult) String() string {
+	verdict := "LINEARIZABLE"
+	if !r.OK() {
+		verdict = "VIOLATION"
+	}
+	return fmt.Sprintf("%-10s seed=%d fingerprint=%#016x faults=%d kvops=%d ctrops=%d commits=%d aborts=%d serial=%d -> %s",
+		r.Policy, r.Seed, r.Fingerprint, total(r.FaultCounts),
+		r.KV.Checked, r.Counter.Checked,
+		r.Stats.Commits, r.Stats.TotalAborts(), r.Stats.SerialRuns, verdict)
+}
+
+func total(m map[chaos.Point]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// RunChaos executes one seeded chaos run and checks its histories.
+func RunChaos(cfg ChaosConfig) ChaosResult {
+	cfg = cfg.withDefaults()
+	rates := chaos.Rates{}
+	for p, r := range cfg.Rates {
+		rates[p] = r
+	}
+	if cfg.BreakUndo {
+		rates[chaos.SkipUndo] = 1_000_000
+	}
+	inj := chaos.New(chaos.Config{Seed: cfg.Seed, Rates: rates})
+	r := tle.New(cfg.Policy, tle.Config{
+		MemWords:      cfg.MemWords,
+		FaultInjector: inj,
+		// Pin the HTM event RNG to the run seed so hardware-event aborts
+		// replay too.
+		HTM: htm.Config{Seed: cfg.Seed, EventAbortPerMillion: 5},
+	})
+	store := kvstore.New(r, kvstore.Config{
+		Shards: 4,
+		// Working set stays far below capacity: no evictions, so per-key
+		// linearizability checking is sound (see linearize.KVModel).
+		MaxItemsPerShard: 4 * cfg.Keys,
+	})
+	ctrMu := r.NewMutex("chaos-counter")
+	ctr := r.Engine().Alloc(1)
+
+	kvRec := linearize.NewRecorder()
+	ctrRec := linearize.NewRecorder()
+
+	res := ChaosResult{Policy: cfg.Policy, Seed: cfg.Seed}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		th := r.NewThread()
+		wg.Add(1)
+		go func(w int, th *tm.Thread) {
+			defer wg.Done()
+			// A sabotaged engine may corrupt structures into a panic;
+			// record it as a finding instead of killing the test binary.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("worker %d panicked: %v", w, r))
+				}
+			}()
+			// The worker's op sequence depends only on (Seed, w): the
+			// replay contract.
+			rng := rand.New(rand.NewSource(cfg.Seed<<8 ^ int64(w)))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				key := fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+				// Values are unique per (worker, op): a stale or phantom
+				// read can never alias a legal one.
+				val := fmt.Sprintf("w%d.%d", w, i)
+				roll := rng.Intn(100)
+				if cfg.CounterOnly {
+					// Map the same roll stream onto counter ops only.
+					if roll < 70 {
+						roll = 75 // inc
+					} else {
+						roll = 95 // read
+					}
+				}
+				switch {
+				case roll < 35: // get
+					id := kvRec.Invoke(w, "get", key, nil)
+					got, found, err := store.Get(th, []byte(key))
+					if err != nil {
+						fail(fmt.Errorf("get %s: %w", key, err))
+						return
+					}
+					kvRec.Complete(id, string(got), found)
+				case roll < 60: // set
+					id := kvRec.Invoke(w, "set", key, val)
+					if err := store.Set(th, []byte(key), []byte(val)); err != nil {
+						fail(fmt.Errorf("set %s: %w", key, err))
+						return
+					}
+					kvRec.Complete(id, nil, true)
+				case roll < 70: // delete
+					id := kvRec.Invoke(w, "delete", key, nil)
+					removed, err := store.Delete(th, []byte(key))
+					if err != nil {
+						fail(fmt.Errorf("delete %s: %w", key, err))
+						return
+					}
+					kvRec.Complete(id, nil, removed)
+				case roll < 90: // counter increment through Mutex.Do
+					id := ctrRec.Invoke(w, "inc", "", nil)
+					var pre uint64
+					err := ctrMu.Do(th, func(tx tm.Tx) error {
+						pre = tx.Load(ctr)
+						tx.Store(ctr, pre+1)
+						return nil
+					})
+					if err != nil {
+						fail(fmt.Errorf("inc: %w", err))
+						return
+					}
+					ctrRec.Complete(id, pre, true)
+				default: // counter read through Mutex.Do
+					id := ctrRec.Invoke(w, "read", "", nil)
+					var v uint64
+					err := ctrMu.Do(th, func(tx tm.Tx) error {
+						v = tx.Load(ctr)
+						return nil
+					})
+					if err != nil {
+						fail(fmt.Errorf("read: %w", err))
+						return
+					}
+					ctrRec.Complete(id, v, true)
+				}
+			}
+		}(w, th)
+	}
+	wg.Wait()
+
+	res.Err = firstErr
+	res.Fingerprint = inj.Fingerprint()
+	res.FaultCounts = map[chaos.Point]uint64{}
+	for p := 0; p < chaos.NumPoints; p++ {
+		if n := inj.Fired(chaos.Point(p)); n > 0 {
+			res.FaultCounts[chaos.Point(p)] = n
+		}
+	}
+	res.Stats = r.Engine().Snapshot()
+	res.KV = linearize.Check(linearize.KVModel{}, kvRec.History())
+	res.Counter = linearize.Check(linearize.RegisterModel{}, ctrRec.History())
+
+	// Belt and braces: the final counter value must equal the number of
+	// committed increments even if the per-op history linearizes.
+	if res.Err == nil && res.Counter.OK {
+		finalTh := r.NewThread()
+		var final uint64
+		err := ctrMu.Do(finalTh, func(tx tm.Tx) error {
+			final = tx.Load(ctr)
+			return nil
+		})
+		incs := uint64(0)
+		for _, o := range ctrRec.History() {
+			if o.Kind == "inc" {
+				incs++
+			}
+		}
+		if err != nil {
+			res.Err = err
+		} else if final != incs {
+			res.Counter.OK = false
+			res.Counter.Explanation = fmt.Sprintf(
+				"final counter %d does not match %d committed increments", final, incs)
+		}
+	}
+	return res
+}

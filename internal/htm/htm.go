@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"gotle/internal/abortsig"
+	"gotle/internal/chaos"
 	"gotle/internal/memseg"
 	"gotle/internal/spinwait"
 	"gotle/internal/stats"
@@ -72,6 +73,12 @@ type Config struct {
 	EventAbortPerMillion int
 	// Seed seeds the per-transaction event RNGs.
 	Seed int64
+	// Injector, when non-nil, is consulted at the chaos fault points
+	// (forced conflict aborts on loads, forced capacity aborts on stores).
+	// Unlike EventAbortPerMillion's per-descriptor RNG, injector decisions
+	// are deterministic per (seed, thread, access index) and replayable by
+	// seed. Nil disables injection.
+	Injector *chaos.Injector
 }
 
 func (c *Config) withDefaults() Config {
@@ -244,6 +251,10 @@ func (h *HTM) DoomAll(cause stats.AbortCause) {
 func (t *Tx) Load(a memseg.Addr) uint64 {
 	t.checkDoom()
 	t.maybeEvent()
+	if t.h.cfg.Injector.Fire(uint64(t.id), chaos.HTMConflict) {
+		// Injected coherence conflict: another core's request took our line.
+		t.abort(stats.Conflict)
+	}
 	if v, ok := t.writeBuf[a]; ok {
 		return v
 	}
@@ -289,6 +300,11 @@ func (t *Tx) Load(a memseg.Addr) uint64 {
 func (t *Tx) Store(a memseg.Addr, v uint64) {
 	t.checkDoom()
 	t.maybeEvent()
+	if t.h.cfg.Injector.Fire(uint64(t.id), chaos.HTMCapacity) {
+		// Injected capacity abort: the write set overflowed early, as a
+		// best-effort HTM is always allowed to decide.
+		t.abort(stats.Capacity)
+	}
 	line := a.Line()
 	if _, tracked := t.writeLines[line]; !tracked {
 		if len(t.writeLines) >= t.h.cfg.WriteCapacityLines {

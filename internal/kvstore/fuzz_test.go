@@ -1,0 +1,77 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"gotle/internal/memseg"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// FuzzPackUnpack: record packing into heap words must round-trip any
+// key/value payload, and adjacent records must not bleed into each other.
+// Run the stored corpus in normal test runs, or explore with
+// `go test -fuzz=FuzzPackUnpack ./internal/kvstore`.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0}, []byte{0xFF})
+	f.Add([]byte("12345678"), []byte("87654321")) // exact word boundary
+	f.Add([]byte("123456789"), []byte("9"))       // word boundary + 1
+	f.Add(bytes.Repeat([]byte{0xAA}, 255), bytes.Repeat([]byte{0x55}, 1024))
+	f.Add([]byte("k\x00ey"), []byte("v\x00al")) // embedded NULs
+
+	r := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 20})
+	th := r.NewThread()
+	m := r.NewMutex("fuzz-pack")
+
+	f.Fuzz(func(t *testing.T, key, val []byte) {
+		if len(key) > MaxKeyLen {
+			key = key[:MaxKeyLen]
+		}
+		if len(val) > MaxValLen {
+			val = val[:MaxValLen]
+		}
+		err := m.Do(th, func(tx tm.Tx) error {
+			// Lay the record out exactly as Set does: key bytes, then value
+			// bytes, each starting on a word boundary.
+			keyWords := (len(key) + 7) / 8
+			words := wordsFor(len(key), len(val))
+			item := tx.Alloc(words)
+			// Poison the record so round-trip can't pass by reading stale
+			// zeroes, then a sentinel word after it to catch overruns.
+			for w := 0; w < words; w++ {
+				tx.Store(item+memseg.Addr(w), 0xDEADBEEFDEADBEEF)
+			}
+			sentinel := tx.Alloc(1)
+			tx.Store(sentinel, 0x5EA15EA15EA15EA1)
+
+			tx.Store(item+itMeta, uint64(len(key))<<32|uint64(len(val)))
+			packBytes(tx, item+itData, key)
+			packBytes(tx, item+itData+memseg.Addr(keyWords), val)
+
+			meta := tx.Load(item + itMeta)
+			gotKey := unpackBytes(tx, item+itData, int(meta>>32))
+			gotVal := unpackBytes(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF))
+			if !bytes.Equal(gotKey, key) {
+				t.Errorf("key round trip: packed %q, unpacked %q", key, gotKey)
+			}
+			if !bytes.Equal(gotVal, val) {
+				t.Errorf("val round trip: packed %q, unpacked %q", val, gotVal)
+			}
+			if !keyMatches(tx, item, key) {
+				t.Errorf("packed record does not match its own key %q", key)
+			}
+			if tx.Load(sentinel) != 0x5EA15EA15EA15EA1 {
+				t.Errorf("packing %d/%d bytes overran its %d-word record", len(key), len(val), words)
+			}
+			tx.Free(sentinel)
+			tx.Free(item)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("pack transaction failed: %v", err)
+		}
+	})
+}

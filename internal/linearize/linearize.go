@@ -1,0 +1,271 @@
+// Package linearize checks recorded concurrent histories for
+// linearizability against a sequential model, in the style of Wing & Gong's
+// algorithm with Lowe's state-memoization refinement.
+//
+// The chaos harness records every kvstore operation and every Mutex.Do
+// critical section as an Op — invocation timestamp, response timestamp,
+// inputs, observed outputs — and asks Check whether some total order of the
+// operations (a) respects real time (an operation that returned before
+// another was invoked must be ordered first) and (b) replays correctly on
+// the sequential model. If no such order exists, the elision engine let two
+// critical sections interleave observably: the one bug class the whole TM
+// stack exists to prevent.
+//
+// The search is exponential in the worst case but tame in practice: at any
+// point only operations whose invocations precede every pending response are
+// candidates (a window bounded by the thread count), and visited
+// (linearized-set, model-state) pairs are memoized. Models additionally
+// partition histories into independent sub-histories (per key for the KV
+// model), which keeps each search small.
+//
+// On violation, Check greedily minimizes the failing sub-history — dropping
+// every operation whose removal keeps the history non-linearizable — so the
+// counterexample a test prints is usually a handful of operations rather
+// than hundreds.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is one completed operation in a concurrent history.
+type Op struct {
+	// Client identifies the recording thread (diagnostics only; the checker
+	// derives ordering from timestamps alone).
+	Client int
+	// Call and Return are logical timestamps from the Recorder's global
+	// clock: Call is taken immediately before the operation starts, Return
+	// immediately after it completes. Return > Call always.
+	Call, Return int64
+	// Kind names the operation ("get", "set", "delete", "inc", "read", ...).
+	Kind string
+	// Key selects the model partition ("" for single-partition models).
+	Key string
+	// Input and Output are the operation's argument and observed result;
+	// their interpretation belongs to the Model.
+	Input, Output any
+	// OK carries a boolean result component (found / removed).
+	OK bool
+}
+
+func (o Op) String() string {
+	out := o.Output
+	if out == nil {
+		out = "-"
+	}
+	in := o.Input
+	if in == nil {
+		in = "-"
+	}
+	return fmt.Sprintf("[%4d,%4d] t%d %s(%s %v) -> (%v, ok=%v)",
+		o.Call, o.Return, o.Client, o.Kind, o.Key, in, out, o.OK)
+}
+
+// Model is a sequential specification.
+type Model interface {
+	// Init returns the initial state.
+	Init() any
+	// Step applies op to state. It returns the successor state and whether
+	// op's recorded output is legal from state.
+	Step(state any, op Op) (any, bool)
+	// Hash fingerprints a state for memoization. Equal states must hash
+	// equally.
+	Hash(state any) string
+	// Partition splits a history into independently checkable sub-histories
+	// (operations in different partitions must commute in the model).
+	Partition(ops []Op) [][]Op
+}
+
+// Result reports a linearizability check.
+type Result struct {
+	// OK is true when every partition is linearizable.
+	OK bool
+	// Checked counts the operations examined.
+	Checked int
+	// Violation holds the minimized non-linearizable sub-history (empty when
+	// OK). Operations are sorted by invocation time.
+	Violation []Op
+	// Explanation is a human-readable account of the failure.
+	Explanation string
+}
+
+// String renders the result; on violation it includes the minimized history.
+func (r Result) String() string {
+	if r.OK {
+		return fmt.Sprintf("linearizable (%d ops)", r.Checked)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "NOT linearizable: %s\nminimized counterexample (%d ops):\n",
+		r.Explanation, len(r.Violation))
+	for _, o := range r.Violation {
+		fmt.Fprintf(&b, "  %v\n", o)
+	}
+	return b.String()
+}
+
+// Check verifies that the history is linearizable with respect to the model.
+// Only completed operations may appear (Return must be set); the harness
+// joins its workers before checking, so pending operations do not arise.
+func Check(m Model, ops []Op) Result {
+	res := Result{OK: true, Checked: len(ops)}
+	for _, part := range m.Partition(ops) {
+		if len(part) == 0 {
+			continue
+		}
+		if ok := checkPartition(m, part); !ok {
+			min := minimize(m, part)
+			sort.Slice(min, func(i, j int) bool { return min[i].Call < min[j].Call })
+			res.OK = false
+			res.Violation = min
+			res.Explanation = fmt.Sprintf(
+				"no sequential order of %d operations on partition %q matches the model (shown minimized to %d)",
+				len(part), part[0].Key, len(min))
+			return res
+		}
+	}
+	return res
+}
+
+// bitset is a fixed-capacity bitmask over operation indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) key() string {
+	var sb strings.Builder
+	for _, w := range b {
+		fmt.Fprintf(&sb, "%016x", w)
+	}
+	return sb.String()
+}
+
+// checkPartition runs the Wing–Gong search on one partition.
+func checkPartition(m Model, ops []Op) bool {
+	n := len(ops)
+	sorted := make([]Op, n)
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	done := newBitset(n)
+	memo := map[string]bool{}
+
+	var search func(state any, remaining int) bool
+	search = func(state any, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		key := done.key() + "|" + m.Hash(state)
+		if memo[key] {
+			return false // this frontier was already explored and failed
+		}
+		// An op is a candidate for the next linearization point iff no other
+		// unlinearized op returned before it was invoked.
+		minReturn := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if !done.has(i) && sorted[i].Return < minReturn {
+				minReturn = sorted[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done.has(i) || sorted[i].Call > minReturn {
+				continue
+			}
+			next, legal := m.Step(state, sorted[i])
+			if !legal {
+				continue
+			}
+			done.set(i)
+			if search(next, remaining-1) {
+				return true
+			}
+			done.clear(i)
+		}
+		memo[key] = true
+		return false
+	}
+	return search(m.Init(), n)
+}
+
+// minimize greedily removes operations whose absence keeps the partition
+// non-linearizable. Quadratic in history length, but only runs on failures.
+func minimize(m Model, ops []Op) []Op {
+	cur := make([]Op, len(ops))
+	copy(cur, ops)
+	for i := 0; i < len(cur); {
+		trial := make([]Op, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		if !checkPartition(m, trial) {
+			cur = trial // still failing without op i: drop it for good
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// ---- Recorder ----
+
+// Recorder collects a concurrent history. Methods are safe for concurrent
+// use; each worker calls Invoke immediately before an operation and Complete
+// immediately after, so the logical clock order is consistent with real time.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Invoke records the start of an operation and returns its handle.
+func (r *Recorder) Invoke(client int, kind, key string, input any) int {
+	ts := r.clock.Add(1)
+	r.mu.Lock()
+	id := len(r.ops)
+	r.ops = append(r.ops, Op{
+		Client: client, Call: ts, Kind: kind, Key: key, Input: input,
+	})
+	r.mu.Unlock()
+	return id
+}
+
+// Complete records the response of a previously invoked operation.
+func (r *Recorder) Complete(id int, output any, ok bool) {
+	ts := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops[id].Return = ts
+	r.ops[id].Output = output
+	r.ops[id].OK = ok
+	r.mu.Unlock()
+}
+
+// History returns the completed operations. Invoked-but-never-completed
+// operations (a worker died mid-call) are dropped; the harness treats any
+// such death as a failure on its own.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, 0, len(r.ops))
+	for _, o := range r.ops {
+		if o.Return != 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Len reports the number of recorded invocations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -1,0 +1,218 @@
+package linearize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seq builds a completed op with explicit timestamps.
+func op(client int, call, ret int64, kind, key string, in, out any, ok bool) Op {
+	return Op{Client: client, Call: call, Return: ret, Kind: kind, Key: key,
+		Input: in, Output: out, OK: ok}
+}
+
+func TestRegisterSequentialHistoryOK(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "inc", "", nil, uint64(0), true),
+		op(0, 3, 4, "inc", "", nil, uint64(1), true),
+		op(0, 5, 6, "read", "", nil, uint64(2), true),
+	}
+	res := Check(RegisterModel{}, ops)
+	if !res.OK {
+		t.Fatalf("sequential inc history rejected: %v", res)
+	}
+	if res.Checked != 3 {
+		t.Fatalf("checked %d, want 3", res.Checked)
+	}
+}
+
+// Two overlapping incs may linearize in either order; both observing 0 is
+// impossible (a lost update).
+func TestRegisterLostUpdateCaught(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 4, "inc", "", nil, uint64(0), true),
+		op(1, 2, 5, "inc", "", nil, uint64(0), true),
+		op(0, 6, 7, "read", "", nil, uint64(2), true),
+	}
+	res := Check(RegisterModel{}, ops)
+	if res.OK {
+		t.Fatal("lost update not caught")
+	}
+	if len(res.Violation) == 0 || len(res.Violation) > 3 {
+		t.Fatalf("violation not minimized sensibly: %d ops", len(res.Violation))
+	}
+	if !strings.Contains(res.String(), "NOT linearizable") {
+		t.Fatalf("String lacks verdict: %s", res.String())
+	}
+}
+
+// A gap in observed values (0 then 2 with only two incs) means an increment
+// happened that no operation performed — the skipped-undo signature.
+func TestRegisterPhantomIncrementCaught(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "inc", "", nil, uint64(0), true),
+		op(1, 3, 4, "inc", "", nil, uint64(2), true),
+	}
+	if res := Check(RegisterModel{}, ops); res.OK {
+		t.Fatal("phantom increment not caught")
+	}
+}
+
+// Overlapping ops must be allowed to linearize against invocation order.
+func TestOverlapReordersLegally(t *testing.T) {
+	// Client 0 invokes first but linearizes second.
+	ops := []Op{
+		op(0, 1, 6, "inc", "", nil, uint64(1), true),
+		op(1, 2, 3, "inc", "", nil, uint64(0), true),
+	}
+	if res := Check(RegisterModel{}, ops); !res.OK {
+		t.Fatalf("legal reordering rejected: %v", res)
+	}
+}
+
+// Real-time order must be respected: if op A returned before op B was
+// invoked, B cannot linearize before A.
+func TestRealTimeOrderEnforced(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "inc", "", nil, uint64(1), true), // returns before B starts
+		op(1, 3, 4, "inc", "", nil, uint64(0), true),
+	}
+	if res := Check(RegisterModel{}, ops); res.OK {
+		t.Fatal("real-time violation not caught")
+	}
+}
+
+func TestKVBasicHistory(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "set", "a", "1", nil, true),
+		op(1, 3, 4, "get", "a", nil, "1", true),
+		op(0, 5, 6, "delete", "a", nil, nil, true),
+		op(1, 7, 8, "get", "a", nil, "", false),
+		op(1, 9, 10, "delete", "a", nil, nil, false),
+	}
+	if res := Check(KVModel{}, ops); !res.OK {
+		t.Fatalf("legal kv history rejected: %v", res)
+	}
+}
+
+func TestKVPhantomReadCaught(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "get", "a", nil, "ghost", true), // read before any set
+		op(1, 3, 4, "set", "a", "real", nil, true),
+	}
+	if res := Check(KVModel{}, ops); res.OK {
+		t.Fatal("phantom read not caught")
+	}
+}
+
+func TestKVStaleReadAfterOverwrite(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "set", "a", "old", nil, true),
+		op(0, 3, 4, "set", "a", "new", nil, true),
+		op(1, 5, 6, "get", "a", nil, "old", true), // stale: "new" already committed
+	}
+	if res := Check(KVModel{}, ops); res.OK {
+		t.Fatal("stale read not caught")
+	}
+}
+
+// Keys partition independently: a violation on one key must not implicate
+// ops on other keys, and the minimized counterexample stays on one key.
+func TestKVPartitioning(t *testing.T) {
+	ops := []Op{
+		op(0, 1, 2, "set", "good", "x", nil, true),
+		op(1, 3, 4, "get", "good", nil, "x", true),
+		op(0, 5, 6, "get", "bad", nil, "ghost", true),
+	}
+	res := Check(KVModel{}, ops)
+	if res.OK {
+		t.Fatal("violation missed")
+	}
+	for _, o := range res.Violation {
+		if o.Key != "bad" {
+			t.Fatalf("minimized history leaked key %q", o.Key)
+		}
+	}
+}
+
+// Concurrent get overlapping a set may see either the old or new value.
+func TestKVConcurrentGetEitherValue(t *testing.T) {
+	for _, out := range []struct {
+		val string
+		ok  bool
+	}{{"", false}, {"v", true}} {
+		ops := []Op{
+			op(0, 1, 6, "set", "a", "v", nil, true),
+			op(1, 2, 3, "get", "a", nil, out.val, out.ok),
+		}
+		if res := Check(KVModel{}, ops); !res.OK {
+			t.Fatalf("legal concurrent get (%q,%v) rejected: %v", out.val, out.ok, res)
+		}
+	}
+}
+
+func TestMinimizeShrinksCounterexample(t *testing.T) {
+	// 20 healthy ops plus one bad read: the minimized violation must drop
+	// (nearly) all of the healthy prefix.
+	var ops []Op
+	ts := int64(1)
+	for i := 0; i < 20; i++ {
+		ops = append(ops, op(0, ts, ts+1, "inc", "", nil, uint64(i), true))
+		ts += 2
+	}
+	ops = append(ops, op(1, ts, ts+1, "read", "", nil, uint64(99), true))
+	res := Check(RegisterModel{}, ops)
+	if res.OK {
+		t.Fatal("bad read not caught")
+	}
+	if len(res.Violation) > 2 {
+		t.Fatalf("counterexample not minimized: %d ops remain", len(res.Violation))
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := r.Invoke(c, "inc", "", nil)
+				r.Complete(id, uint64(i), true)
+			}
+		}(c)
+	}
+	wg.Wait()
+	hist := r.History()
+	if len(hist) != 400 || r.Len() != 400 {
+		t.Fatalf("history %d / recorded %d, want 400", len(hist), r.Len())
+	}
+	for _, o := range hist {
+		if o.Return <= o.Call {
+			t.Fatalf("non-causal timestamps: %v", o)
+		}
+	}
+}
+
+func TestRecorderDropsPending(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(0, "inc", "", nil) // never completed
+	id := r.Invoke(0, "read", "", nil)
+	r.Complete(id, uint64(0), true)
+	if got := len(r.History()); got != 1 {
+		t.Fatalf("history kept %d ops, want 1", got)
+	}
+}
+
+// An empty or single-op history is trivially linearizable.
+func TestTrivialHistories(t *testing.T) {
+	if res := Check(KVModel{}, nil); !res.OK {
+		t.Fatal("empty history rejected")
+	}
+	one := []Op{op(0, 1, 2, "set", "a", "v", nil, true)}
+	if res := Check(KVModel{}, one); !res.OK {
+		t.Fatal("single-op history rejected")
+	}
+}

@@ -1,0 +1,120 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KVModel is the sequential specification of internal/kvstore: a map from
+// string keys to string values with get/set/delete. Operations on distinct
+// keys commute, so histories partition per key — the standard decomposition
+// that keeps Wing–Gong search tractable on large histories.
+//
+// Op encoding: Kind "get" (Output = value, OK = found), "set" (Input =
+// value), "delete" (OK = removed). The model assumes the store performs no
+// LRU eviction during the recorded run (the harness sizes shard capacity
+// above the working set); an eviction would be reported as a violation,
+// which is the conservative direction.
+type KVModel struct{}
+
+type kvState struct {
+	present bool
+	val     string
+}
+
+// Init returns the absent-key state (partitions are per key, so state is a
+// single cell).
+func (KVModel) Init() any { return kvState{} }
+
+// Step applies one kv operation.
+func (KVModel) Step(state any, op Op) (any, bool) {
+	s := state.(kvState)
+	switch op.Kind {
+	case "get":
+		if !s.present {
+			return s, !op.OK
+		}
+		out, _ := op.Output.(string)
+		return s, op.OK && out == s.val
+	case "set":
+		in, _ := op.Input.(string)
+		return kvState{present: true, val: in}, true
+	case "delete":
+		if s.present != op.OK {
+			return s, false
+		}
+		return kvState{}, true
+	default:
+		return s, false
+	}
+}
+
+// Hash fingerprints the cell state.
+func (KVModel) Hash(state any) string {
+	s := state.(kvState)
+	if !s.present {
+		return "-"
+	}
+	return "v:" + s.val
+}
+
+// Partition groups operations by key.
+func (KVModel) Partition(ops []Op) [][]Op {
+	byKey := map[string][]Op{}
+	for _, o := range ops {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]Op, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// RegisterModel is the sequential specification of a fetch-and-add counter
+// guarded by one Mutex: the exact shape of a critical section under lock
+// elision. Kind "inc" fetches the current value (Output) and adds Input
+// (uint64, default 1); Kind "read" observes the value. A single skipped or
+// doubled increment anywhere makes the whole history non-linearizable, which
+// is what gives the chaos harness teeth against rollback bugs.
+type RegisterModel struct{}
+
+// Init returns the zero counter.
+func (RegisterModel) Init() any { return uint64(0) }
+
+// Step applies one counter operation.
+func (RegisterModel) Step(state any, op Op) (any, bool) {
+	v := state.(uint64)
+	out, _ := op.Output.(uint64)
+	switch op.Kind {
+	case "inc":
+		delta, _ := op.Input.(uint64)
+		if delta == 0 {
+			delta = 1
+		}
+		return v + delta, out == v
+	case "read":
+		return v, out == v
+	default:
+		return v, false
+	}
+}
+
+// Hash fingerprints the counter value.
+func (RegisterModel) Hash(state any) string {
+	return fmt.Sprintf("%d", state.(uint64))
+}
+
+// Partition keeps the whole history together: every operation touches the
+// one register.
+func (RegisterModel) Partition(ops []Op) [][]Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	return [][]Op{ops}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"gotle/internal/abortsig"
+	"gotle/internal/chaos"
 	"gotle/internal/memseg"
 	"gotle/internal/stats"
 	"gotle/internal/tmclock"
@@ -49,6 +50,10 @@ type Config struct {
 	CM CM
 	// PoliteSpins bounds CMPolite's wait (default 64).
 	PoliteSpins int
+	// Injector, when non-nil, is consulted at the chaos fault points
+	// (forced validation aborts, delayed orec release, and the skip-undo
+	// sabotage point). Nil disables injection.
+	Injector *chaos.Injector
 }
 
 // STM is the shared state of one software TM instance.
@@ -58,6 +63,7 @@ type STM struct {
 	orecs       *tmclock.Table
 	cm          CM
 	politeSpins int
+	inj         *chaos.Injector
 	prio        [prioSlots]atomic.Uint64
 }
 
@@ -75,6 +81,7 @@ func New(mem *memseg.Memory, cfg Config) *STM {
 		orecs:       tmclock.NewTable(cfg.OrecSizeLog2, cfg.StripeShift),
 		cm:          cfg.CM,
 		politeSpins: cfg.PoliteSpins,
+		inj:         cfg.Injector,
 	}
 }
 
@@ -193,7 +200,7 @@ func (t *Tx) validate() bool {
 // revalidating the read set; aborts the attempt on failure.
 func (t *Tx) extend() {
 	now := t.s.clock.Read()
-	if !t.validate() {
+	if t.s.inj.Fire(t.id, chaos.STMValidate) || !t.validate() {
 		t.abort(stats.Validation)
 	}
 	t.rv = now
@@ -275,6 +282,11 @@ func (t *Tx) Commit() (readOnly bool) {
 	if !t.live {
 		panic("stm: Commit without Begin")
 	}
+	if t.s.inj.Fire(t.id, chaos.STMValidate) {
+		// Injected validation failure: indistinguishable from a real one to
+		// the engine, which must roll back and retry.
+		t.abort(stats.Validation)
+	}
 	if t.writeBack {
 		return t.wbCommit()
 	}
@@ -289,6 +301,9 @@ func (t *Tx) Commit() (readOnly bool) {
 		// holds. Roll back (the engine's recover path calls OnAbort).
 		t.abort(stats.Validation)
 	}
+	// Injected delay between clock tick and orec release: concurrent readers
+	// and writers of these stripes see the locks held longer.
+	t.s.inj.Stall(t.id, chaos.STMLockStall)
 	for i := range t.locks {
 		t.locks[i].orec.Store(wv)
 	}
@@ -306,6 +321,15 @@ func (t *Tx) OnAbort() {
 		t.wbOnAbort()
 		return
 	}
+	if t.s.inj.Fire(t.id, chaos.SkipUndo) {
+		// SABOTAGE (checker-teeth tests only): drop the undo log, leaving
+		// the aborted attempt's write-through state in committed memory.
+		t.undo = t.undo[:0]
+	}
+	// Injected delay before rollback completes: the epoch slot stays active
+	// and the orecs stay locked while quiescers and conflicting transactions
+	// wait out the undo — the window Section IV's argument is about.
+	t.s.inj.Stall(t.id, chaos.STMLockStall)
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		t.s.mem.Store(t.undo[i].addr, t.undo[i].old)
 	}

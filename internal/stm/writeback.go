@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"gotle/internal/chaos"
 	"gotle/internal/memseg"
 	"gotle/internal/stats"
 	"gotle/internal/tmclock"
@@ -112,6 +113,9 @@ func (t *Tx) wbCommit() (readOnly bool) {
 	if wv != t.rv+1 && !t.validate() {
 		t.abort(stats.Validation)
 	}
+	// Injected delay with the write set locked (chaos parity with the
+	// write-through commit path).
+	t.s.inj.Stall(t.id, chaos.STMLockStall)
 	for _, a := range t.redoOrder {
 		t.s.mem.Store(a, t.redo[a])
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gotle/internal/abortsig"
+	"gotle/internal/chaos"
 	"gotle/internal/condvar"
 	"gotle/internal/htm"
 	"gotle/internal/memseg"
@@ -98,6 +99,13 @@ type Config struct {
 	// Tracer, when non-nil, observes lock acquire/release events (the
 	// two-phase-locking checker in package lockcheck implements it).
 	Tracer Tracer
+	// FaultInjector, when non-nil, threads the chaos fault-injection layer
+	// (package chaos) through the TM stack: seeded, deterministic forced
+	// aborts, stalls and serial entries at the engine's named fault points.
+	// Production configurations leave it nil (zero overhead beyond a
+	// pointer test per site); the chaos stress suite and cmd/chaosbench set
+	// it to shake out interleaving bugs.
+	FaultInjector *chaos.Injector
 }
 
 // Tracer observes critical-section structure for analysis tools.
@@ -127,6 +135,7 @@ func New(policy Policy, cfg Config) *Runtime {
 		OrecSizeLog2: cfg.OrecSizeLog2,
 		StripeShift:  cfg.StripeShift,
 		HTM:          cfg.HTM,
+		Injector:     cfg.FaultInjector,
 	}
 	switch policy {
 	case PolicyPthread:

@@ -2,6 +2,7 @@ package tm
 
 import (
 	"gotle/internal/abortsig"
+	"gotle/internal/chaos"
 	"gotle/internal/memseg"
 	"gotle/internal/spinwait"
 	"gotle/internal/stats"
@@ -42,6 +43,13 @@ func (e *Engine) AtomicRetries(th *Thread, maxRetries int, fn func(Tx) error) er
 		th.depth++
 		defer func() { th.depth-- }()
 		return fn(th.cur)
+	}
+	if e.inj.Fire(th.id, chaos.SerialEntry) {
+		// Injected serial-mode entry: proceed as if the retry budget were
+		// already spent. Under HTM this dooms every running transaction;
+		// under STM it drains them — either way the whole engine feels it
+		// (the "lock erasure" effect the chaos suite must show is safe).
+		return e.runSerial(th, fn)
 	}
 	var backoff spinwait.Backoff
 	retries := 0

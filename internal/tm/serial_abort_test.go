@@ -1,0 +1,131 @@
+package tm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gotle/internal/stats"
+)
+
+// Tests for the serial-irrevocable abort path: what happens to OTHER
+// threads' transactions when one thread takes the serial lock's write side.
+
+// TestSynchronizedDoomsActiveHTMWithCauseSerial: under HTM, a thread
+// entering serial mode dooms every active hardware transaction (the
+// onWaiting hook runs DoomAll with cause Serial, mirroring a fallback-lock
+// write aborting all TSX transactions subscribed to it). The doomed thread
+// must abort with cause Serial, the abort must be recorded, and its retry
+// must still commit exactly once after the serial section ends.
+func TestSynchronizedDoomsActiveHTMWithCauseSerial(t *testing.T) {
+	e := New(Config{Mode: ModeHTM, MemWords: 1 << 16})
+	thA := e.NewThread()
+	thB := e.NewThread()
+	a := e.Alloc(2)
+
+	inTxn := make(chan struct{})
+	var once sync.Once
+	var released atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Atomic(thA, func(tx Tx) error {
+			tx.Store(a, tx.Load(a)+1)
+			once.Do(func() { close(inTxn) })
+			// Park inside the transaction. The first attempt spins here
+			// until the serial writer dooms it; the retry (which starts
+			// only after the writer unlocks) spins until the main goroutine
+			// releases it.
+			for !released.Load() {
+				tx.Load(a + 1)
+				runtime.Gosched()
+			}
+			return nil
+		})
+	}()
+	<-inTxn
+
+	if err := e.Synchronized(thB, func(tx Tx) error {
+		tx.Store(a+1, 7)
+		return nil
+	}); err != nil {
+		t.Fatalf("synchronized block failed: %v", err)
+	}
+	released.Store(true)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("doomed transaction's retry failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("doomed transaction never finished")
+	}
+
+	s := e.Snapshot()
+	if s.Aborts[stats.Serial] == 0 {
+		t.Fatalf("no abort with cause Serial recorded: %+v", s)
+	}
+	if s.SerialRuns < 1 {
+		t.Fatalf("SerialRuns = %d, want >= 1: %+v", s.SerialRuns, s)
+	}
+	// The doomed attempt's store must have rolled back: one increment total.
+	if got := e.Load(a); got != 1 {
+		t.Fatalf("counter = %d after doom+retry, want exactly 1", got)
+	}
+	if got := e.Load(a + 1); got != 7 {
+		t.Fatalf("serial write lost: %d, want 7", got)
+	}
+}
+
+// TestSynchronizedDrainsActiveSTM: under STM there is no dooming — the
+// serial writer waits for active transactions to drain, so a synchronized
+// block must observe every prior transaction's commit.
+func TestSynchronizedDrainsActiveSTM(t *testing.T) {
+	e := New(Config{Mode: ModeSTM, MemWords: 1 << 16})
+	thA := e.NewThread()
+	thB := e.NewThread()
+	a := e.Alloc(1)
+
+	inTxn := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Atomic(thA, func(tx Tx) error {
+			tx.Store(a, 5)
+			once.Do(func() { close(inTxn) })
+			<-release
+			return nil
+		})
+	}()
+	<-inTxn
+
+	var seen uint64
+	syncDone := make(chan error, 1)
+	go func() {
+		syncDone <- e.Synchronized(thB, func(tx Tx) error {
+			seen = tx.Load(a)
+			return nil
+		})
+	}()
+	// The writer must be blocked behind thA's read lock, not running.
+	select {
+	case <-syncDone:
+		t.Fatal("synchronized block ran while an STM transaction was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("drained transaction failed: %v", err)
+	}
+	if err := <-syncDone; err != nil {
+		t.Fatalf("synchronized block failed: %v", err)
+	}
+	if seen != 5 {
+		t.Fatalf("synchronized block read %d, want the drained commit's 5", seen)
+	}
+	if s := e.Snapshot(); s.Aborts[stats.Serial] != 0 {
+		t.Fatalf("STM drain recorded Serial aborts: %+v", s)
+	}
+}

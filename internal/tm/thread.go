@@ -1,6 +1,7 @@
 package tm
 
 import (
+	"gotle/internal/chaos"
 	"gotle/internal/epoch"
 	"gotle/internal/htm"
 	"gotle/internal/memseg"
@@ -47,6 +48,13 @@ func (e *Engine) NewThread() *Thread {
 		id:   id,
 		st:   e.reg.Register(),
 		slot: e.epochs.Register(),
+	}
+	if e.inj != nil {
+		// Chaos: the stall runs at the top of Exit, while the slot still
+		// reads as active — committing quiescers must wait it out, exactly
+		// the window the paper's Section IV quiescence argument covers.
+		tid := id
+		th.slot.SetExitHook(func() { e.inj.Stall(tid, chaos.EpochStall) })
 	}
 	if e.stm != nil {
 		th.stx = e.stm.NewTx(id)

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gotle/internal/chaos"
 	"gotle/internal/epoch"
 	"gotle/internal/htm"
 	"gotle/internal/memseg"
@@ -125,6 +126,13 @@ type Config struct {
 	RaceDetect bool
 	// HTM configures the hardware simulation.
 	HTM htm.Config
+	// Injector, when non-nil, threads the chaos fault-injection layer
+	// through the whole stack: the engine consults it for forced
+	// serial-mode entry and epoch-slot stalls and hands it down to the STM
+	// (validation aborts, delayed orec release) and the HTM (conflict and
+	// capacity aborts). Nil disables injection at zero overhead beyond a
+	// pointer test per site.
+	Injector *chaos.Injector
 }
 
 // Engine is one TM instance.
@@ -136,6 +144,7 @@ type Engine struct {
 	epochs *epoch.Manager
 	serial serialLock
 	reg    *stats.Registry
+	inj    *chaos.Injector
 	nextID atomic.Uint64
 	races  raceState
 
@@ -166,6 +175,7 @@ func New(cfg Config) *Engine {
 		mem:    memseg.New(cfg.MemWords),
 		epochs: epoch.NewManager(),
 		reg:    stats.NewRegistry(),
+		inj:    cfg.Injector,
 	}
 	switch cfg.Mode {
 	case ModeSTM:
@@ -173,14 +183,20 @@ func New(cfg Config) *Engine {
 			OrecSizeLog2: cfg.OrecSizeLog2,
 			StripeShift:  cfg.StripeShift,
 			CM:           cfg.CM,
+			Injector:     cfg.Injector,
 		})
 	case ModeHTM:
-		e.htm = htm.New(e.mem, cfg.HTM)
+		hcfg := cfg.HTM
+		hcfg.Injector = cfg.Injector
+		e.htm = htm.New(e.mem, hcfg)
 	default:
 		panic(fmt.Sprintf("tm: unknown mode %d", cfg.Mode))
 	}
 	return e
 }
+
+// Injector returns the engine's fault injector (nil when chaos is disabled).
+func (e *Engine) Injector() *chaos.Injector { return e.inj }
 
 // Mode reports the engine's execution mode.
 func (e *Engine) Mode() Mode { return e.cfg.Mode }

@@ -1,0 +1,150 @@
+package tmclock
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the global version clock. The clock is the STM's single
+// source of commit order, so its contract has to hold under any interleaving:
+// ticks are dense and unique, concurrent readers observe a non-decreasing
+// sequence, and versions never collide with the orec lock-bit encoding until
+// the (astronomically distant) wraparound documented below.
+
+// TestClockDenseUnderConcurrentBumps: for any (threads, perThread) shape, the
+// issued timestamps are exactly 1..N with no gaps or duplicates — Tick is a
+// fetch-and-add, not a racy read-modify-write.
+func TestClockDenseUnderConcurrentBumps(t *testing.T) {
+	f := func(threads8, per8 uint8) bool {
+		threads := int(threads8)%8 + 1
+		per := int(per8)%500 + 1
+		var c Clock
+		got := make([][]uint64, threads)
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			got[i] = make([]uint64, 0, per)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					got[i] = append(got[i], c.Tick())
+				}
+			}(i)
+		}
+		wg.Wait()
+		n := uint64(threads * per)
+		seen := make(map[uint64]bool, n)
+		for i := range got {
+			prev := uint64(0)
+			for _, v := range got[i] {
+				if v == 0 || v > n || seen[v] {
+					return false // gap past N, duplicate, or zero
+				}
+				if v <= prev {
+					return false // per-thread view must be monotonic
+				}
+				seen[v] = true
+				prev = v
+			}
+		}
+		return c.Read() == n && uint64(len(seen)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockReadersMonotonic: a reader polling Read while other threads Tick
+// must never observe time running backwards.
+func TestClockReadersMonotonic(t *testing.T) {
+	var c Clock
+	const readers, bumpers, ticks = 4, 4, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan uint64, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := c.Read()
+				if v < prev {
+					errc <- v
+					return
+				}
+				prev = v
+			}
+		}()
+	}
+	var bw sync.WaitGroup
+	for i := 0; i < bumpers; i++ {
+		bw.Add(1)
+		go func() {
+			defer bw.Done()
+			for j := 0; j < ticks; j++ {
+				c.Tick()
+			}
+		}()
+	}
+	bw.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case v := <-errc:
+		t.Fatalf("reader observed time running backwards (to %d)", v)
+	default:
+	}
+	if c.Read() != bumpers*ticks {
+		t.Fatalf("final time %d, want %d", c.Read(), bumpers*ticks)
+	}
+}
+
+// TestClockLockBitHeadroom documents the wraparound hazard: orec values use
+// the top bit to distinguish lock words from versions, so the instant the
+// clock reaches 1<<63 every committed version aliases a lock word. The test
+// pins the exact boundary — versions below lockBit are clean, the first tick
+// at the boundary is not — and shows why the engine does not defend against
+// it: at one tick per nanosecond the boundary is ~292 years away.
+func TestClockLockBitHeadroom(t *testing.T) {
+	var c Clock
+	c.v.Store(lockBit - 3)
+	for i := 0; i < 2; i++ {
+		v := c.Tick()
+		if Locked(v) {
+			t.Fatalf("version %#x below the lock bit reads as a lock word", v)
+		}
+	}
+	v := c.Tick() // crosses into 1<<63
+	if v != lockBit {
+		t.Fatalf("boundary tick = %#x, want %#x", v, lockBit)
+	}
+	if !Locked(v) {
+		t.Fatal("version at 1<<63 must alias a lock word — that IS the hazard")
+	}
+	// Owner() would then misread the stale version's low bits as a thread id.
+	if Owner(v) != 0 {
+		t.Fatalf("aliased lock word decodes owner %d, want 0", Owner(v))
+	}
+}
+
+// TestClockUint64Wraparound: past MaxUint64 the clock silently wraps to 0
+// and monotonicity is gone. Pinned so a future change to saturating or
+// panicking behaviour shows up as a deliberate test update, not a surprise.
+func TestClockUint64Wraparound(t *testing.T) {
+	var c Clock
+	c.v.Store(math.MaxUint64)
+	if v := c.Tick(); v != 0 {
+		t.Fatalf("Tick past MaxUint64 = %d, want wrap to 0", v)
+	}
+	if v := c.Tick(); v != 1 {
+		t.Fatalf("Tick after wrap = %d, want 1", v)
+	}
+}
