@@ -7,7 +7,14 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 5
 CHAOS_SEED ?= 1
 
-.PHONY: all build test race fuzz-short chaos chaos-teeth clean
+.PHONY: all build test race fuzz-short chaos chaos-teeth bench clean
+
+# Perf trajectory settings: fixed so BENCH_<date>.json files are comparable
+# across PRs and feedable to benchstat via the raw .txt artifacts.
+BENCHTIME ?= 300ms
+BENCHCOUNT ?= 3
+BENCHDATE ?= $(shell date +%Y-%m-%d)
+BENCHDIR ?= bench-out
 
 all: build test
 
@@ -33,6 +40,21 @@ fuzz-short:
 chaos:
 	$(GO) test . -run TestChaos -v
 	$(GO) run ./cmd/chaosbench -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
+
+# Paper-figure + commit-pipeline benchmarks with pinned -benchtime/-count.
+# Raw text goes to $(BENCHDIR)/current.txt (benchstat-compatible); the JSON
+# summary lands in BENCH_$(BENCHDATE).json. To also fold in a pre-change
+# capture, add baseline=<file> via BENCH_BASELINE, e.g.
+#   make bench BENCH_BASELINE=/tmp/bench_baseline.txt
+bench:
+	mkdir -p $(BENCHDIR)
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkFig2Compress|BenchmarkFig2Decompress|BenchmarkFig3X265|BenchmarkFig5Sets|BenchmarkQuiescenceCost' \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | tee $(BENCHDIR)/current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedGrace' \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/epoch | tee -a $(BENCHDIR)/current.txt
+	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json \
+		$(if $(BENCH_BASELINE),baseline=$(BENCH_BASELINE)) current=$(BENCHDIR)/current.txt
 
 # Prove the chaos checker still bites: a sabotaged engine must be caught.
 chaos-teeth:

@@ -339,9 +339,10 @@ func BenchmarkKVCache(b *testing.B) {
 
 // BenchmarkQuiescenceCost: the raw cost of the epoch wait as concurrency
 // grows — the "cache misses linear in the number of threads" of
-// Section IV.C.
+// Section IV.C. The sharedGP% metric is the fraction of quiesces satisfied
+// by a concurrent committer's grace period instead of a private scan.
 func BenchmarkQuiescenceCost(b *testing.B) {
-	for _, threads := range []int{1, 4, 8, 16} {
+	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			e := tm.New(tm.Config{Mode: tm.ModeSTM, MemWords: 1 << 18, Quiesce: tm.QuiesceAll})
 			a := e.Alloc(2)
@@ -364,6 +365,7 @@ func BenchmarkQuiescenceCost(b *testing.B) {
 				}(th)
 			}
 			th := e.NewThread()
+			before := e.Snapshot()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := e.Atomic(th, func(tx tm.Tx) error {
@@ -374,6 +376,10 @@ func BenchmarkQuiescenceCost(b *testing.B) {
 				}
 			}
 			b.StopTimer()
+			s := e.Snapshot().Sub(before)
+			if s.Quiesces > 0 {
+				b.ReportMetric(100*float64(s.SharedGrace)/float64(s.Quiesces), "sharedGP%")
+			}
 			close(stop)
 			time.Sleep(time.Millisecond)
 		})

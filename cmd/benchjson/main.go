@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record for the repo's performance trajectory (`make bench` writes
+// BENCH_<date>.json). The raw text inputs remain the benchstat-compatible
+// artifacts; the JSON carries the same numbers plus labels so future PRs
+// can diff baselines programmatically.
+//
+// Usage:
+//
+//	benchjson -out BENCH_2026-08-05.json baseline=old.txt current=new.txt
+//
+// Each positional argument is label=path; repeating a label appends to it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one `BenchmarkX...` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run groups the benchmarks of one labelled input file.
+type Run struct {
+	Label      string      `json:"label"`
+	Source     string      `json:"source"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the top-level BENCH_<date>.json document.
+type File struct {
+	Generated string `json:"generated"`
+	Runs      []*Run `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-out file] label=path [label=path...]")
+		os.Exit(2)
+	}
+	doc := File{Generated: time.Now().UTC().Format(time.RFC3339)}
+	byLabel := map[string]*Run{}
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=path\n", arg)
+			os.Exit(2)
+		}
+		run := byLabel[label]
+		if run == nil {
+			run = &Run{Label: label}
+			byLabel[label] = run
+			doc.Runs = append(doc.Runs, run)
+		}
+		if err := parseFile(path, run); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if run.Source == "" {
+			run.Source = path
+		} else {
+			run.Source += "," + path
+		}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string, run *Run) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				run.Benchmarks = append(run.Benchmarks, b)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-8  123  45.6 ns/op  7 B/op ...".
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -8,9 +8,21 @@
 // privatized.
 //
 // Each registered thread owns a sequence slot: even = outside any
-// transaction, odd = inside one. Quiesce loads every slot once (the "cache
-// misses linear in the number of threads" of Section IV.C) and waits for the
-// odd ones to move.
+// transaction, odd = inside one. A quiescer loads every slot once (the
+// "cache misses linear in the number of threads" of Section IV.C) and waits
+// for the odd ones to move.
+//
+// Grace-period sharing: the scan-and-wait above is a grace period in the
+// RCU sense, and grace periods compose — a scan that *starts* after a
+// quiescer's entry and completes covers everything that quiescer is obliged
+// to wait for. When a quiescer finds an active slot it takes a ticket
+// (gpStarted), re-snapshots the slots *after* the ticket, and on finishing
+// its wait publishes the ticket as completed (gpCompleted, the RCU gp_seq
+// analogue). Any quiescer that observes a completed ticket larger than its
+// own was covered by that later-started scan and stops waiting immediately.
+// The uncontended path — no transaction in flight anywhere — takes no
+// ticket and publishes nothing, so it performs no read-modify-write on
+// shared counters at all: just the slot loads the paper's design requires.
 package epoch
 
 import (
@@ -61,6 +73,21 @@ func (s *Slot) Active() bool { return s.seq.Load()%2 == 1 }
 type Manager struct {
 	mu    sync.Mutex
 	slots atomic.Pointer[[]*Slot]
+	_     [40]byte // keep the grace counters off the slots pointer's line
+
+	// gpStarted issues one ticket per contended quiescer, in entry order.
+	// A scan whose ticket is larger than ours took its slot snapshot after
+	// our ticket was issued, so its completion covers every transaction we
+	// must wait for.
+	gpStarted atomic.Uint64
+	_         [56]byte
+
+	// gpCompleted is the monotonically increasing completed-grace-period
+	// counter (the RCU gp_seq analogue): the largest ticket whose scan ran
+	// to completion. Waiting quiescers poll this single word instead of
+	// re-scanning the whole slot array.
+	gpCompleted atomic.Uint64
+	_           [56]byte
 }
 
 // NewManager returns an empty manager.
@@ -106,35 +133,125 @@ func (m *Manager) Unregister(s *Slot) {
 // Threads reports the number of registered slots.
 func (m *Manager) Threads() int { return len(*m.slots.Load()) }
 
+// GracePeriods reports the tickets issued to contended quiescers — those
+// that found at least one active slot — and the largest completed ticket
+// (for tests and observability; both are monotone). Uncontended quiesces
+// take no ticket.
+func (m *Manager) GracePeriods() (started, completed uint64) {
+	return m.gpStarted.Load(), m.gpCompleted.Load()
+}
+
+// Result describes one quiescence.
+type Result struct {
+	// Wait is the time spent waiting on active slots (zero when none were
+	// active or the shared fast path hit).
+	Wait time.Duration
+	// Shared reports that the wait was satisfied by a concurrent
+	// quiescer's grace period rather than by this caller's own scan.
+	Shared bool
+	// Scanned reports that the caller performed its own snapshot scan of
+	// the slot array. Shared && !Scanned is the fast path that was covered
+	// before taking a snapshot: it returns without waiting on any slot.
+	Scanned bool
+}
+
+// Scratch is a reusable snapshot buffer for QuiesceWith. Each quiescing
+// thread owns one; the zero value is ready. Reusing it across commits makes
+// the quiesce path allocation-free in steady state (the seed allocated two
+// slices per writer commit here).
+type Scratch struct {
+	pend []pendingSlot
+}
+
+type pendingSlot struct {
+	s    *Slot
+	seen uint64
+}
+
 // Quiesce waits until every transaction that was active when Quiesce was
 // called has finished (committed or aborted and cleaned up). self, if
 // non-nil, is skipped: the caller has already committed and its slot may
-// still read as active. The returned duration is the time spent waiting,
-// for the stats registry.
-func (m *Manager) Quiesce(self *Slot) time.Duration {
+// still read as active.
+//
+// Sharing contract: a caller's own transaction, if any, must already have
+// finished its commit/abort cleanup before calling Quiesce (the engine
+// guarantees this by exiting the slot first). That is what lets one
+// quiescer's completed scan stand in for another's.
+func (m *Manager) Quiesce(self *Slot) Result {
+	var sc Scratch
+	return m.QuiesceWith(self, &sc)
+}
+
+// QuiesceWith is Quiesce with a caller-owned scratch buffer, avoiding the
+// per-call snapshot allocation on the engine's commit path.
+func (m *Manager) QuiesceWith(self *Slot, sc *Scratch) Result {
+	// Probe pass: with no transaction in flight — the common case under
+	// light load, and the path every commit pays — quiesce must cost
+	// nothing beyond the slot loads themselves. No ticket, no publish, no
+	// read-modify-write on a shared counter.
 	slots := *m.slots.Load()
-	// Snapshot pass: record the sequence of every active slot.
-	var pending []*Slot
-	var pendingSeq []uint64
+	busy := false
+	for _, s := range slots {
+		if s != self && s.seq.Load()%2 == 1 {
+			busy = true
+			break
+		}
+	}
+	if !busy {
+		return Result{Scanned: true}
+	}
+
+	start := time.Now()
+	ticket := m.gpStarted.Add(1)
+	if m.gpCompleted.Load() > ticket {
+		// A scan with a later ticket — begun after our entry — already ran
+		// to completion: everything we must wait out has finished.
+		return Result{Shared: true}
+	}
+	// A caller honouring the sharing contract (slot exited before Quiesce)
+	// may publish its scan for others; a legacy caller whose own slot still
+	// reads active must not — its grace period would omit its own
+	// still-visible transaction.
+	publish := self == nil || self.seq.Load()%2 == 0
+	// Snapshot pass, after the ticket: a scan published under this ticket
+	// must have observed every slot later than any quiescer the ticket can
+	// cover. (The probe above ran before the ticket and proves nothing.)
+	pend := sc.pend[:0]
 	for _, s := range slots {
 		if s == self {
 			continue
 		}
-		v := s.seq.Load()
-		if v%2 == 1 {
-			pending = append(pending, s)
-			pendingSeq = append(pendingSeq, v)
+		if v := s.seq.Load(); v%2 == 1 {
+			pend = append(pend, pendingSlot{s: s, seen: v})
 		}
 	}
-	if len(pending) == 0 {
-		return 0
-	}
-	start := time.Now()
-	var b spinwait.Backoff
-	for i, s := range pending {
-		for s.seq.Load() == pendingSeq[i] {
+	sc.pend = pend
+	for i := range pend {
+		// Fresh backoff per slot: a long wait on slot i must not start
+		// slot i+1 at the maximum backoff step.
+		var b spinwait.Backoff
+		for pend[i].s.seq.Load() == pend[i].seen {
+			if m.gpCompleted.Load() > ticket {
+				// A later-ticket scan finished while we waited; its grace
+				// period covers ours.
+				return Result{Wait: time.Since(start), Shared: true, Scanned: true}
+			}
 			b.Wait()
 		}
 	}
-	return time.Since(start)
+	if publish {
+		m.completeGP(ticket)
+	}
+	return Result{Wait: time.Since(start), Scanned: true}
+}
+
+// completeGP publishes a finished scan: advance gpCompleted to ticket unless
+// a later scan already did.
+func (m *Manager) completeGP(ticket uint64) {
+	for {
+		cur := m.gpCompleted.Load()
+		if cur >= ticket || m.gpCompleted.CompareAndSwap(cur, ticket) {
+			return
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package epoch
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -28,8 +29,8 @@ func TestQuiesceNoActiveReturnsImmediately(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		m.Register()
 	}
-	if d := m.Quiesce(nil); d != 0 {
-		t.Fatalf("Quiesce with no active slots waited %v", d)
+	if res := m.Quiesce(nil); res.Wait != 0 {
+		t.Fatalf("Quiesce with no active slots waited %v", res.Wait)
 	}
 }
 
@@ -37,7 +38,7 @@ func TestQuiesceSkipsSelf(t *testing.T) {
 	m := NewManager()
 	s := m.Register()
 	s.Enter()
-	done := make(chan time.Duration)
+	done := make(chan Result)
 	go func() { done <- m.Quiesce(s) }()
 	select {
 	case <-done:
@@ -129,6 +130,7 @@ func TestQuiesceStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc Scratch
 			for {
 				select {
 				case <-stop:
@@ -137,7 +139,7 @@ func TestQuiesceStress(t *testing.T) {
 				}
 				s.Enter()
 				s.Exit()
-				m.Quiesce(s)
+				m.QuiesceWith(s, &sc)
 			}
 		}()
 	}
@@ -164,14 +166,239 @@ func TestConcurrentRegister(t *testing.T) {
 	}
 }
 
+// Register/Unregister racing Quiesce and the shared-grace path: slots come
+// and go while quiescers scan and share grace periods. Run under -race this
+// checks the copy-on-write slot list and the gp counters together.
+func TestRegisterUnregisterQuiesceRace(t *testing.T) {
+	m := NewManager()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churners: register, run a few transactions, unregister.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Register()
+				for j := 0; j < 3; j++ {
+					s.Enter()
+					s.Exit()
+				}
+				m.Unregister(s)
+			}
+		}()
+	}
+	// Quiescers: scan concurrently, sometimes hitting the shared path.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc Scratch
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.QuiesceWith(nil, &sc)
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	started, completed := m.GracePeriods()
+	if completed > started {
+		t.Fatalf("completed grace periods (%d) exceed started (%d)", completed, started)
+	}
+}
+
+// Shared-grace correctness: while one slot holds a transaction open, no
+// quiescer that entered before the slot exits may return — shared or not.
+// The watcher flag flips just before Exit; a quiescer returning earlier
+// proves a grace period was claimed without covering the active slot.
+func TestSharedGraceNeverReturnsEarly(t *testing.T) {
+	m := NewManager()
+	busy := m.Register()
+	var released atomic.Bool
+	const quiescers = 8
+	errs := make(chan error, quiescers)
+	var wg sync.WaitGroup
+	busy.Enter()
+	for i := 0; i < quiescers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := m.Quiesce(nil)
+			if !released.Load() {
+				errs <- fmt.Errorf("quiescer returned (shared=%v scanned=%v) before the active slot exited", res.Shared, res.Scanned)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	released.Store(true)
+	busy.Exit()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// Teeth test (SkipUndo-style): sabotage the shared-grace counter directly
+// and prove the detector above would catch a broken implementation — i.e.
+// a quiescer that trusts a bogus completed-grace-period value returns while
+// the active slot is still inside its transaction.
+func TestSharedGraceTeeth(t *testing.T) {
+	m := NewManager()
+	busy := m.Register()
+	busy.Enter()
+	defer busy.Exit()
+	// SABOTAGE: claim that a scan far in the future has completed. Every
+	// quiescer now takes the shared fast path without looking at the slots.
+	m.gpCompleted.Store(1 << 40)
+	res := m.Quiesce(nil)
+	if !res.Shared || res.Scanned {
+		t.Fatalf("sabotaged manager did not take the shared fast path: %+v", res)
+	}
+	// The detector from TestSharedGraceNeverReturnsEarly fires: the quiescer
+	// returned while the slot was active. This proves the check has teeth.
+	if !busy.Active() {
+		t.Fatal("slot unexpectedly inactive; teeth test proves nothing")
+	}
+}
+
+// The scan of one quiescer must publish a grace period that a concurrent
+// quiescer entering *before* the scan can consume — but only contended scans
+// take tickets; the uncontended fast path must leave the counters untouched.
+func TestSharedGracePublishes(t *testing.T) {
+	m := NewManager()
+	self := m.Register()
+	for i := 0; i < 3; i++ {
+		m.Register()
+	}
+	var sc Scratch
+	for i := 0; i < 10; i++ {
+		res := m.QuiesceWith(self, &sc)
+		if !res.Scanned {
+			t.Fatalf("uncontended quiesce %d did not scan: %+v", i, res)
+		}
+	}
+	if started, completed := m.GracePeriods(); started != 0 || completed != 0 {
+		t.Fatalf("uncontended quiesces touched the gp counters: (%d, %d), want (0, 0)", started, completed)
+	}
+	// Contended: an active slot forces the ticketed path, and finishing the
+	// wait must publish the ticket for concurrent quiescers to consume.
+	busy := m.Register()
+	busy.Enter()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		busy.Exit()
+	}()
+	if res := m.QuiesceWith(self, &sc); !res.Scanned {
+		t.Fatalf("contended quiesce did not scan: %+v", res)
+	}
+	started, completed := m.GracePeriods()
+	if started == 0 || completed != started {
+		t.Fatalf("contended quiesce did not publish its ticket: (%d, %d)", started, completed)
+	}
+}
+
+// QuiesceWith must not allocate once the scratch has warmed up.
+func TestQuiesceWithDoesNotAllocate(t *testing.T) {
+	m := NewManager()
+	self := m.Register()
+	others := make([]*Slot, 6)
+	for i := range others {
+		others[i] = m.Register()
+		others[i].Enter() // active at snapshot: forces the pending path
+	}
+	var sc Scratch
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		for _, s := range others {
+			s.Exit()
+		}
+	}()
+	m.QuiesceWith(self, &sc) // warm the scratch
+	for _, s := range others {
+		s.Enter()
+		s.Exit()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.QuiesceWith(self, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("QuiesceWith allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func BenchmarkQuiesceIdle(b *testing.B) {
 	m := NewManager()
 	self := m.Register()
 	for i := 0; i < 12; i++ {
 		m.Register()
 	}
+	var sc Scratch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Quiesce(self)
+		m.QuiesceWith(self, &sc)
+	}
+}
+
+// BenchmarkSharedGrace: N quiescers racing over churning slots. The shared
+// grace-period counter collapses their concurrent scans; the reported
+// shared% metric is the fraction of quiesces satisfied by another's scan.
+func BenchmarkSharedGrace(b *testing.B) {
+	for _, quiescers := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("quiescers=%d", quiescers), func(b *testing.B) {
+			m := NewManager()
+			churn := m.Register()
+			stop := make(chan struct{})
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					churn.Enter()
+					churn.Exit()
+				}
+			}()
+			selfs := make([]*Slot, quiescers)
+			for i := range selfs {
+				selfs[i] = m.Register()
+			}
+			var next atomic.Int64
+			var shared atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < quiescers; i++ {
+				wg.Add(1)
+				go func(self *Slot) {
+					defer wg.Done()
+					var sc Scratch
+					n := int64(0)
+					for next.Add(1) <= int64(b.N) {
+						if m.QuiesceWith(self, &sc).Shared {
+							n++
+						}
+					}
+					shared.Add(n)
+				}(selfs[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			if b.N > 0 {
+				b.ReportMetric(100*float64(shared.Load())/float64(b.N), "shared%")
+			}
+		})
 	}
 }

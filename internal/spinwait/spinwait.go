@@ -39,6 +39,13 @@ const (
 //	for !tryAcquire() {
 //		b.Wait()
 //	}
+//
+// The spin phase is kept even when GOMAXPROCS=1: replacing it with immediate
+// yields looks strictly better on paper (a uniprocessor waiter can never
+// observe progress while spinning), but measured ~25-35% slower end-to-end
+// on the Fig. 3 pipeline — each Gosched hands the core to every other
+// runnable worker for a full slice before the waiter re-checks, while the
+// brief spin keeps short handoffs on the fast path.
 func (b *Backoff) Wait() {
 	switch {
 	case b.step < spinLimit:

@@ -10,8 +10,12 @@ func TestBackoffProgresses(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		b.Wait()
 	}
-	if b.Steps() != 20 {
-		t.Fatalf("Steps = %d, want 20", b.Steps())
+	// The schedule is the same length on every host: a single scheduling
+	// core swaps yields in for the busy-spin steps but does not shorten the
+	// ramp to the sleep phase.
+	want := 20
+	if b.Steps() != want {
+		t.Fatalf("Steps = %d, want %d", b.Steps(), want)
 	}
 	b.Reset()
 	if b.Steps() != 0 {

@@ -63,12 +63,15 @@ func (c AbortCause) String() string {
 // counters is one thread's slot. The padding keeps two threads' slots on
 // different cache lines.
 type counters struct {
-	starts       atomic.Uint64
+	abandoned    atomic.Uint64 // attempts unwound by a non-abort panic (see AbandonedStart)
 	commits      atomic.Uint64
 	serialRuns   atomic.Uint64 // attempts executed under the serial lock
 	quiesces     atomic.Uint64
 	quiesceNanos atomic.Uint64
 	noQuiesce    atomic.Uint64 // commits that skipped quiescence via NoQuiesce
+	sharedGrace  atomic.Uint64 // quiesces satisfied by a concurrent scanner's grace period
+	scansAvoided atomic.Uint64 // shared-grace hits that skipped the slot scan entirely
+	readsDeduped atomic.Uint64 // duplicate read-set entries suppressed by dedup
 	aborts       [numCauses]atomic.Uint64
 	readOnly     atomic.Uint64 // committed read-only transactions
 	_            [24]byte
@@ -97,8 +100,11 @@ func (r *Registry) Register() *Thread {
 	return &Thread{c: c}
 }
 
-// Start records the beginning of a transaction attempt.
-func (t *Thread) Start() { t.c.starts.Add(1) }
+// AbandonedStart records an attempt that terminated through a non-abort
+// panic, so it will never reach Commit or Abort. Every ordinary attempt ends
+// in exactly one of those two, which is why the hot path carries no separate
+// start counter: Snapshot derives Starts as commits + aborts + abandoned.
+func (t *Thread) AbandonedStart() { t.c.abandoned.Add(1) }
 
 // Commit records a successful commit; readOnly marks transactions that wrote
 // nothing (they skip quiescence under the writers-only policy).
@@ -132,6 +138,24 @@ func (t *Thread) Quiesce(d time.Duration) {
 // called Tx.NoQuiesce (the paper's TM.NoQuiesce API).
 func (t *Thread) NoQuiesce() { t.c.noQuiesce.Add(1) }
 
+// SharedGrace records a quiescence satisfied by a concurrent quiescer's
+// grace period; scanAvoided marks the fast path that returned without
+// touching a single epoch slot.
+func (t *Thread) SharedGrace(scanAvoided bool) {
+	t.c.sharedGrace.Add(1)
+	if scanAvoided {
+		t.c.scansAvoided.Add(1)
+	}
+}
+
+// ReadsDeduped records n duplicate read-set entries suppressed by the STM's
+// read-set deduplication.
+func (t *Thread) ReadsDeduped(n uint64) {
+	if n > 0 {
+		t.c.readsDeduped.Add(n)
+	}
+}
+
 // Snapshot is a merged, immutable view of all counters.
 type Snapshot struct {
 	Starts      uint64
@@ -141,7 +165,14 @@ type Snapshot struct {
 	Quiesces    uint64
 	QuiesceTime time.Duration
 	NoQuiesce   uint64
-	Aborts      [NumCauses]uint64
+	// SharedGrace counts quiesces satisfied by a concurrent quiescer's
+	// grace period; ScansAvoided is the subset that skipped the epoch-slot
+	// scan entirely. ReadsDeduped counts duplicate read-set entries the
+	// STM suppressed.
+	SharedGrace  uint64
+	ScansAvoided uint64
+	ReadsDeduped uint64
+	Aborts       [NumCauses]uint64
 }
 
 // Snapshot merges every thread's counters.
@@ -151,17 +182,23 @@ func (r *Registry) Snapshot() Snapshot {
 	slots := r.slots
 	r.mu.Unlock()
 	for _, c := range slots {
-		s.Starts += c.starts.Load()
+		// Starts is derived: every attempt ends in exactly one commit,
+		// abort, or abandonment, so the hot path never counts it directly.
+		s.Starts += c.abandoned.Load()
 		s.Commits += c.commits.Load()
 		s.ReadOnly += c.readOnly.Load()
 		s.SerialRuns += c.serialRuns.Load()
 		s.Quiesces += c.quiesces.Load()
 		s.QuiesceTime += time.Duration(c.quiesceNanos.Load())
 		s.NoQuiesce += c.noQuiesce.Load()
+		s.SharedGrace += c.sharedGrace.Load()
+		s.ScansAvoided += c.scansAvoided.Load()
+		s.ReadsDeduped += c.readsDeduped.Load()
 		for i := range s.Aborts {
 			s.Aborts[i] += c.aborts[i].Load()
 		}
 	}
+	s.Starts += s.Commits + s.TotalAborts()
 	return s
 }
 
@@ -171,13 +208,16 @@ func (r *Registry) Reset() {
 	slots := r.slots
 	r.mu.Unlock()
 	for _, c := range slots {
-		c.starts.Store(0)
+		c.abandoned.Store(0)
 		c.commits.Store(0)
 		c.readOnly.Store(0)
 		c.serialRuns.Store(0)
 		c.quiesces.Store(0)
 		c.quiesceNanos.Store(0)
 		c.noQuiesce.Store(0)
+		c.sharedGrace.Store(0)
+		c.scansAvoided.Store(0)
+		c.readsDeduped.Store(0)
 		for i := range c.aborts {
 			c.aborts[i].Store(0)
 		}
@@ -221,13 +261,16 @@ func (s Snapshot) SerialRate() float64 {
 // Sub returns the component-wise difference s - prev, for interval reporting.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Starts:      s.Starts - prev.Starts,
-		Commits:     s.Commits - prev.Commits,
-		ReadOnly:    s.ReadOnly - prev.ReadOnly,
-		SerialRuns:  s.SerialRuns - prev.SerialRuns,
-		Quiesces:    s.Quiesces - prev.Quiesces,
-		QuiesceTime: s.QuiesceTime - prev.QuiesceTime,
-		NoQuiesce:   s.NoQuiesce - prev.NoQuiesce,
+		Starts:       s.Starts - prev.Starts,
+		Commits:      s.Commits - prev.Commits,
+		ReadOnly:     s.ReadOnly - prev.ReadOnly,
+		SerialRuns:   s.SerialRuns - prev.SerialRuns,
+		Quiesces:     s.Quiesces - prev.Quiesces,
+		QuiesceTime:  s.QuiesceTime - prev.QuiesceTime,
+		NoQuiesce:    s.NoQuiesce - prev.NoQuiesce,
+		SharedGrace:  s.SharedGrace - prev.SharedGrace,
+		ScansAvoided: s.ScansAvoided - prev.ScansAvoided,
+		ReadsDeduped: s.ReadsDeduped - prev.ReadsDeduped,
 	}
 	for i := range d.Aborts {
 		d.Aborts[i] = s.Aborts[i] - prev.Aborts[i]
@@ -241,6 +284,12 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "starts=%d commits=%d aborts=%d (%.2f%%) serial=%d (%.2f%%) quiesces=%d quiesceTime=%v",
 		s.Starts, s.Commits, s.TotalAborts(), 100*s.AbortRate(),
 		s.SerialRuns, 100*s.SerialRate(), s.Quiesces, s.QuiesceTime)
+	if s.SharedGrace > 0 {
+		fmt.Fprintf(&b, " sharedGrace=%d scansAvoided=%d", s.SharedGrace, s.ScansAvoided)
+	}
+	if s.ReadsDeduped > 0 {
+		fmt.Fprintf(&b, " readsDeduped=%d", s.ReadsDeduped)
+	}
 	type kv struct {
 		k string
 		v uint64

@@ -11,11 +11,8 @@ func TestSnapshotMergesThreads(t *testing.T) {
 	r := NewRegistry()
 	a := r.Register()
 	b := r.Register()
-	a.Start()
 	a.Commit(false)
-	b.Start()
 	b.Abort(Conflict)
-	b.Start()
 	b.Commit(true)
 	s := r.Snapshot()
 	if s.Starts != 3 || s.Commits != 2 || s.ReadOnly != 1 {
@@ -29,8 +26,8 @@ func TestSnapshotMergesThreads(t *testing.T) {
 func TestAbortRate(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
-	for i := 0; i < 8; i++ {
-		th.Start()
+	for i := 0; i < 6; i++ {
+		th.Commit(false)
 	}
 	th.Abort(Capacity)
 	th.Abort(Event)
@@ -43,8 +40,8 @@ func TestAbortRate(t *testing.T) {
 func TestAbortRateExcludesExplicitRetries(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
-	for i := 0; i < 10; i++ {
-		th.Start()
+	for i := 0; i < 7; i++ {
+		th.Commit(false)
 	}
 	th.Abort(Explicit)
 	th.Abort(Explicit)
@@ -69,7 +66,6 @@ func TestSerialRate(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
 	for i := 0; i < 10; i++ {
-		th.Start()
 		th.Commit(false)
 	}
 	th.SerialRun()
@@ -91,10 +87,34 @@ func TestQuiesceAccounting(t *testing.T) {
 	}
 }
 
+func TestSharedGraceAndDedupAccounting(t *testing.T) {
+	r := NewRegistry()
+	th := r.Register()
+	th.SharedGrace(true)
+	th.SharedGrace(false)
+	th.ReadsDeduped(5)
+	th.ReadsDeduped(0) // no-op
+	s := r.Snapshot()
+	if s.SharedGrace != 2 || s.ScansAvoided != 1 || s.ReadsDeduped != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	out := s.String()
+	if !strings.Contains(out, "sharedGrace=2") || !strings.Contains(out, "readsDeduped=5") {
+		t.Fatalf("String() = %q, missing new counters", out)
+	}
+	diff := s.Sub(Snapshot{SharedGrace: 1, ScansAvoided: 1, ReadsDeduped: 2})
+	if diff.SharedGrace != 1 || diff.ScansAvoided != 0 || diff.ReadsDeduped != 3 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	r.Reset()
+	if s := r.Snapshot(); s.SharedGrace != 0 || s.ScansAvoided != 0 || s.ReadsDeduped != 0 {
+		t.Fatalf("snapshot after Reset = %+v", s)
+	}
+}
+
 func TestReset(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
-	th.Start()
 	th.Abort(Locked)
 	r.Reset()
 	s := r.Snapshot()
@@ -106,10 +126,8 @@ func TestReset(t *testing.T) {
 func TestSub(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
-	th.Start()
 	th.Commit(false)
 	before := r.Snapshot()
-	th.Start()
 	th.Abort(Validation)
 	diff := r.Snapshot().Sub(before)
 	if diff.Starts != 1 || diff.Commits != 0 || diff.Aborts[Validation] != 1 {
@@ -141,7 +159,6 @@ func TestAbortOutOfRangeClamped(t *testing.T) {
 func TestStringMentionsTopCause(t *testing.T) {
 	r := NewRegistry()
 	th := r.Register()
-	th.Start()
 	th.Abort(Capacity)
 	out := r.Snapshot().String()
 	if !strings.Contains(out, "capacity=1") {
@@ -159,7 +176,6 @@ func TestConcurrentCounting(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < per; j++ {
-				th.Start()
 				th.Commit(j%2 == 0)
 			}
 		}()

@@ -1,0 +1,83 @@
+package stm
+
+// Read-set deduplication. A transaction that loads the same stripe many
+// times (loop re-reads, container traversals re-touching the head) used to
+// append one readEntry per load, making validate() — and therefore every
+// extend() — O(raw loads) and repeated extends O(R²). The filter below
+// keeps the read set at one entry per distinct orec, so validation cost
+// scales with distinct stripes (Ravi's proportionality argument, PAPERS.md).
+//
+// The filter is an open-addressed hash set of orec indices with attempt
+// stamping: entries written by earlier attempts are dead without any
+// clearing pass, so Begin costs O(1). Collisions probe linearly; the table
+// doubles at 3/4 load. It is exact — a stripe is reported "already read"
+// iff it was inserted during the current attempt — which the dedup property
+// tests rely on.
+
+type readFilter struct {
+	entries []filterEntry
+	n       int // live entries under the current stamp
+}
+
+type filterEntry struct {
+	idx   uint32
+	stamp uint64
+}
+
+const minFilterSize = 64 // power of two
+
+// reset invalidates all entries (stamping makes this O(1); the caller
+// advances the stamp).
+func (f *readFilter) reset() { f.n = 0 }
+
+// add inserts idx under stamp, reporting whether it was absent.
+func (f *readFilter) add(idx uint32, stamp uint64) bool {
+	if len(f.entries) == 0 {
+		f.entries = make([]filterEntry, minFilterSize)
+	} else if f.n >= len(f.entries)-len(f.entries)/4 {
+		f.grow(stamp)
+	}
+	mask := uint32(len(f.entries) - 1)
+	h := mix32(idx) & mask
+	for {
+		e := &f.entries[h]
+		if e.stamp != stamp {
+			e.idx, e.stamp = idx, stamp
+			f.n++
+			return true
+		}
+		if e.idx == idx {
+			return false
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// grow doubles the table, carrying over only the current attempt's entries.
+func (f *readFilter) grow(stamp uint64) {
+	old := f.entries
+	f.entries = make([]filterEntry, 2*len(old))
+	f.n = 0
+	mask := uint32(len(f.entries) - 1)
+	for _, e := range old {
+		if e.stamp != stamp {
+			continue
+		}
+		h := mix32(e.idx) & mask
+		for f.entries[h].stamp == stamp {
+			h = (h + 1) & mask
+		}
+		f.entries[h] = e
+		f.n++
+	}
+}
+
+// mix32 is a 32-bit finalizer (lowbias32) spreading the orec index bits.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}

@@ -24,6 +24,7 @@ func (t *Tx) SetWriteBack(on bool) {
 		panic("stm: SetWriteBack during a live transaction")
 	}
 	t.writeBack = on
+	t.syncReadPath()
 	if on && t.redo == nil {
 		t.redo = make(map[memseg.Addr]uint64)
 	}
@@ -56,6 +57,10 @@ func (t *Tx) wbLoad(a memseg.Addr) uint64 {
 		}
 		if v1 > t.rv {
 			t.extend()
+		}
+		if t.filterOn {
+			t.logReadFiltered(orec, t.s.orecs.Index(a), v1)
+			return val
 		}
 		t.reads = append(t.reads, readEntry{orec: orec, seen: v1})
 		return val

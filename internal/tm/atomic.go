@@ -88,7 +88,6 @@ func (e *Engine) Synchronized(th *Thread, fn func(Tx) error) error {
 func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bool, cause stats.AbortCause) {
 	e.serial.rlock()
 	th.resetTxnState()
-	th.st.Start()
 	th.slot.Enter()
 
 	var tx Tx
@@ -109,7 +108,10 @@ func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bo
 			if r := recover(); r != nil {
 				sig := abortsig.From(r)
 				if sig == nil {
-					// Unrelated panic: roll back, release, propagate.
+					// Unrelated panic: roll back, release, propagate. The
+					// attempt reaches neither Commit nor Abort, so record it
+					// for the derived Starts count.
+					th.st.AbandonedStart()
 					th.rollbackLive()
 					th.slot.Exit()
 					e.serial.runlock()
@@ -136,6 +138,10 @@ func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bo
 	// operations) and through commit (so a concurrent quiescer observes
 	// the transition).
 	th.slot.Exit()
+
+	if th.stx != nil {
+		th.st.ReadsDeduped(th.stx.TakeDedupedReads())
+	}
 
 	if committed {
 		th.st.Commit(readOnly)
@@ -209,8 +215,11 @@ func (e *Engine) postCommit(th *Thread, readOnly bool) {
 		}
 	}
 	if mustQuiesce || wantQuiesce {
-		d := e.epochs.Quiesce(th.slot)
-		th.st.Quiesce(d)
+		res := e.epochs.QuiesceWith(th.slot, &th.qs)
+		th.st.Quiesce(res.Wait)
+		if res.Shared {
+			th.st.SharedGrace(!res.Scanned)
+		}
 	}
 	for _, a := range th.frees {
 		if e.htm != nil {
@@ -237,7 +246,6 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 	defer e.serial.wunlock()
 
 	th.resetTxnState()
-	th.st.Start()
 	th.st.SerialRun()
 	tx := &serialTx{th: th}
 	th.cur = tx
@@ -253,6 +261,7 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 					retried = true
 					return
 				}
+				th.st.AbandonedStart()
 				panic(r)
 			}
 		}()
@@ -267,6 +276,7 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 	}
 	if err != nil {
 		if tx.wrote {
+			th.st.AbandonedStart()
 			panic("tm: cancel of an irrevocable transaction after writes")
 		}
 		for _, a := range th.allocs {

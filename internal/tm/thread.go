@@ -16,6 +16,7 @@ type Thread struct {
 	id   uint64
 	st   *stats.Thread
 	slot *epoch.Slot
+	qs   epoch.Scratch // reusable quiesce snapshot buffer (allocation-free commits)
 	stx  *stm.Tx
 	htx  *htm.Tx
 

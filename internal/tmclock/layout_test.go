@@ -1,0 +1,102 @@
+package tmclock
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"gotle/internal/memseg"
+)
+
+// The interleaved stripe→slot permutation must remain a bijection: every
+// slot is reachable and no two slots alias.
+func TestInterleaveBijection(t *testing.T) {
+	const sizeLog2 = 8
+	seen := make(map[uint32]uint32, 1<<sizeLog2)
+	for s := uint32(0); s < 1<<sizeLog2; s++ {
+		i := InterleavedSlot(s, sizeLog2)
+		if prev, dup := seen[i]; dup {
+			t.Fatalf("stripes %d and %d both map to slot %d", prev, s, i)
+		}
+		seen[i] = s
+	}
+	if len(seen) != 1<<sizeLog2 {
+		t.Fatalf("mapping covers %d of %d slots", len(seen), 1<<sizeLog2)
+	}
+}
+
+// Adjacent stripes — the hottest neighbours in array-shaped workloads —
+// must land on different cache lines, which the flat layout does not
+// provide.
+func TestInterleaveSeparatesNeighbors(t *testing.T) {
+	const sizeLog2 = 10
+	line := func(i uint32) uint32 { return i >> orecsPerLineLog2 }
+	for s := uint32(0); s+1 < 1<<sizeLog2; s++ {
+		a, b := InterleavedSlot(s, sizeLog2), InterleavedSlot(s+1, sizeLog2)
+		if line(a) == line(b) {
+			t.Fatalf("adjacent stripes %d and %d share cache line %d", s, s+1, line(a))
+		}
+	}
+	// Contrast: the flat layout packs eight neighbours per line.
+	flat := NewTable(sizeLog2, 0)
+	if line(flat.Index(0)) != line(flat.Index(7)) {
+		t.Fatal("flat layout should share lines between neighbours (test is vacuous)")
+	}
+}
+
+// Striping groups words before the layout permutation: words in one stripe
+// share a slot regardless of layout.
+func TestInterleaveRespectsStriping(t *testing.T) {
+	const sizeLog2 = 10
+	tab := NewTable(sizeLog2, 3)
+	for _, interleave := range []bool{false, true} {
+		slot := func(a memseg.Addr) uint32 {
+			s := tab.Index(a)
+			if interleave {
+				s = InterleavedSlot(s, sizeLog2)
+			}
+			return s
+		}
+		if slot(0) != slot(7) {
+			t.Errorf("interleave=%v: words 0 and 7 should share a stripe at shift 3", interleave)
+		}
+		if slot(0) == slot(8) {
+			t.Errorf("interleave=%v: words 0 and 8 should be on different stripes at shift 3", interleave)
+		}
+	}
+}
+
+// BenchmarkOrecNeighborTraffic: the layout-audit benchmark. Each worker
+// hammers the lock/release cycle on the orec of its own word, with workers
+// holding *adjacent* words — the pattern that false-shares under the flat
+// layout and is line-separated by the interleaved one. The permutation is
+// applied at setup time (InterleavedSlot composes with Index outside the
+// measured loop), exactly how a production interleaved table would behave
+// minus the per-access rotate. (On a single-CPU host the two layouts tie.)
+func BenchmarkOrecNeighborTraffic(b *testing.B) {
+	const sizeLog2 = 12
+	for _, interleave := range []bool{false, true} {
+		name := "flat"
+		if interleave {
+			name = "interleaved"
+		}
+		b.Run(fmt.Sprintf("layout=%s", name), func(b *testing.B) {
+			tab := NewTable(sizeLog2, 0)
+			var workerID atomic.Uint32
+			b.RunParallel(func(pb *testing.PB) {
+				a := memseg.Addr(workerID.Add(1) - 1)
+				slot := tab.Index(a)
+				if interleave {
+					slot = InterleavedSlot(slot, sizeLog2)
+				}
+				o := tab.At(slot)
+				lock := LockWord(uint64(a) + 1)
+				for pb.Next() {
+					if o.CompareAndSwap(0, lock) {
+						o.Store(0)
+					}
+				}
+			})
+		})
+	}
+}

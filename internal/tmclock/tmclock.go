@@ -12,6 +12,7 @@ package tmclock
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"gotle/internal/memseg"
 )
@@ -46,6 +47,25 @@ func LockWord(id uint64) uint64 { return lockBit | id }
 // Table maps heap addresses to orecs by masking. Its size is a power of two;
 // distinct addresses may share an orec (a false conflict), exactly as in the
 // real striped-lock STM.
+//
+// Layout audit: eight 8-byte orecs share a 64-byte cache line, so the flat
+// stripe→slot mapping puts the orecs of eight *adjacent* stripes — the
+// hottest neighbours in array- and struct-shaped workloads — on one line.
+// Under parallel writers that false-shares, and the interleaved mapping
+// (stripe s → slot rotl(s, orecsPerLineLog2), a bijection that provably
+// separates neighbours — see TestInterleaveSeparatesNeighbors) removes it.
+// But the same scatter destroys single-thread locality: a traversal that
+// touched one orec line per eight stripes now touches eight, and on this
+// project's reference host that costs ~25% on the read-heavy Fig. 5
+// structures while the false-sharing win cannot materialize (one scheduling
+// core). The default is therefore the flat layout. The interleaved mapping
+// is deliberately NOT a Table mode: a layout flag would put a branch in
+// Index, which every transactional load and store pays (measured ~4% on
+// Fig. 5 tree) — instead InterleavedSlot exposes the permutation on its own
+// and BenchmarkOrecNeighborTraffic applies it at setup time, documenting the
+// trade on whatever host runs it. Padding each orec to a full line was
+// rejected outright: it multiplies the table's footprint eightfold for the
+// same separation.
 type Table struct {
 	recs []atomic.Uint64
 	mask uint32
@@ -54,8 +74,12 @@ type Table struct {
 	stripeShift uint32
 }
 
+// orecsPerLineLog2: 8-byte orecs on 64-byte cache lines.
+const orecsPerLineLog2 = 3
+
 // NewTable returns an orec table with 1<<sizeLog2 entries and the given
-// stripe granularity (words per stripe = 1<<stripeShift).
+// stripe granularity (words per stripe = 1<<stripeShift), using the flat
+// layout (see the layout audit in the Table doc).
 func NewTable(sizeLog2, stripeShift int) *Table {
 	if sizeLog2 < 4 {
 		sizeLog2 = 4
@@ -73,10 +97,21 @@ func NewTable(sizeLog2, stripeShift int) *Table {
 	}
 }
 
+// InterleavedSlot is the cache-line-interleaving permutation from the layout
+// audit: it maps flat slot s of a 1<<sizeLog2-entry table to
+// rotl(s, orecsPerLineLog2), placing neighbouring stripes on different
+// cache lines. It is a bijection on [0, 1<<sizeLog2). The audit's tests and
+// BenchmarkOrecNeighborTraffic compose it with Index at setup time; the hot
+// lookup path stays branch-free (see the Table doc).
+func InterleavedSlot(s uint32, sizeLog2 int) uint32 {
+	mask := uint32(1<<sizeLog2 - 1)
+	return ((s << orecsPerLineLog2) | (s >> (uint(sizeLog2) - orecsPerLineLog2))) & mask
+}
+
 // Len reports the number of orecs.
 func (t *Table) Len() int { return len(t.recs) }
 
-// Index returns the orec index for an address (exported for tests and for
+// Index returns the orec slot for an address (exported for tests and for
 // the HTM simulator's line mapping comparisons).
 func (t *Table) Index(a memseg.Addr) uint32 {
 	return (uint32(a) >> t.stripeShift) & t.mask
@@ -89,3 +124,11 @@ func (t *Table) For(a memseg.Addr) *atomic.Uint64 {
 
 // At returns orec i directly.
 func (t *Table) At(i uint32) *atomic.Uint64 { return &t.recs[i&t.mask] }
+
+// SlotOf inverts For/At: the slot index of an orec pointer from this table.
+// The STM's read-set compaction uses it to key deduplication by orec
+// identity without widening the hot-path read-set entries.
+func (t *Table) SlotOf(o *atomic.Uint64) uint32 {
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(t.recs)))
+	return uint32((uintptr(unsafe.Pointer(o)) - base) / unsafe.Sizeof(atomic.Uint64{}))
+}

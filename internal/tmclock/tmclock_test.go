@@ -104,7 +104,7 @@ func TestTableSizeClamps(t *testing.T) {
 	if NewTable(40, 0).Len() != 1<<26 {
 		t.Error("huge table not clamped down")
 	}
-	if NewTable(8, -3).Index(1) != 1 {
+	if NewTable(8, -3).Index(1) != NewTable(8, 0).Index(1) {
 		t.Error("negative stripe shift not clamped to 0")
 	}
 }
