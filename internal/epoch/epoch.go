@@ -73,7 +73,13 @@ func (s *Slot) Active() bool { return s.seq.Load()%2 == 1 }
 type Manager struct {
 	mu    sync.Mutex
 	slots atomic.Pointer[[]*Slot]
-	_     [40]byte // keep the grace counters off the slots pointer's line
+	// scanHook, when set, runs on the contended path between the probe pass
+	// and taking the grace-period ticket. Tests park a scanner here to prove
+	// the post-ticket snapshot re-loads the slot list
+	// (TestSharedGraceCoversLateRegistration). Set before the manager is
+	// shared; nil costs one branch on the contended path only.
+	scanHook func()
+	_        [32]byte // keep the grace counters off the slots pointer's line
 
 	// gpStarted issues one ticket per contended quiescer, in entry order.
 	// A scan whose ticket is larger than ours took its slot snapshot after
@@ -201,6 +207,9 @@ func (m *Manager) QuiesceWith(self *Slot, sc *Scratch) Result {
 		return Result{Scanned: true}
 	}
 
+	if m.scanHook != nil {
+		m.scanHook()
+	}
 	start := time.Now()
 	ticket := m.gpStarted.Add(1)
 	if m.gpCompleted.Load() > ticket {
@@ -213,9 +222,14 @@ func (m *Manager) QuiesceWith(self *Slot, sc *Scratch) Result {
 	// reads active must not — its grace period would omit its own
 	// still-visible transaction.
 	publish := self == nil || self.seq.Load()%2 == 0
-	// Snapshot pass, after the ticket: a scan published under this ticket
-	// must have observed every slot later than any quiescer the ticket can
-	// cover. (The probe above ran before the ticket and proves nothing.)
+	// Snapshot pass, after the ticket — and that means the slot *list* too,
+	// not just the seq loads: a thread that registered and entered between
+	// the probe's list load and our ticket is absent from the pre-ticket
+	// list, yet a quiescer covered by our ticket may be obliged to wait for
+	// it. Publishing a scan over the stale list would let that quiescer
+	// return early via gpCompleted while the missed transaction still runs.
+	// (The probe above ran before the ticket and proves nothing.)
+	slots = *m.slots.Load()
 	pend := sc.pend[:0]
 	for _, s := range slots {
 		if s == self {

@@ -273,6 +273,75 @@ func TestSharedGraceTeeth(t *testing.T) {
 	}
 }
 
+// Regression: a published grace period must cover slots that registered
+// between a scanner's probe-pass list load and its ticket. The scanner's
+// snapshot pass has to re-load the slot list after taking the ticket; with
+// the stale pre-ticket list, a scan that misses a freshly registered active
+// slot still publishes, and a concurrent quiescer obliged to wait for that
+// slot returns early via the shared path. scanHook parks the scanner in
+// exactly that window to make the interleaving deterministic.
+func TestSharedGraceCoversLateRegistration(t *testing.T) {
+	m := NewManager()
+	scannerPaused := make(chan struct{})
+	resume := make(chan struct{})
+	var hooked atomic.Bool
+	m.scanHook = func() {
+		// Park only the first contended quiescer (the scanner); the victim
+		// passes straight through.
+		if hooked.CompareAndSwap(false, true) {
+			close(scannerPaused)
+			<-resume
+		}
+	}
+	a := m.Register()
+	a.Enter()
+
+	// Scanner: its probe pass loads the pre-registration slot list, then it
+	// parks before taking its ticket.
+	scannerDone := make(chan struct{})
+	go func() {
+		defer close(scannerDone)
+		m.Quiesce(nil)
+	}()
+	<-scannerPaused
+
+	// The late slot registers and enters a transaction while the scanner is
+	// parked: it is missing from the scanner's pre-ticket list.
+	late := m.Register()
+	late.Enter()
+
+	// Victim: entered after the late transaction began, so it must wait for
+	// late to exit. It takes its ticket before the scanner resumes, so the
+	// scanner's larger-ticket publish claims to cover it.
+	var released atomic.Bool
+	victimErr := make(chan error, 1)
+	go func() {
+		res := m.Quiesce(nil)
+		if !released.Load() {
+			victimErr <- fmt.Errorf("victim returned (shared=%v scanned=%v) before the late-registered slot exited", res.Shared, res.Scanned)
+			return
+		}
+		victimErr <- nil
+	}()
+	for started, _ := m.GracePeriods(); started == 0; started, _ = m.GracePeriods() {
+		time.Sleep(10 * time.Microsecond)
+	}
+
+	// Scanner resumes with a larger ticket and slot a exits: a scan over the
+	// stale list now runs dry, publishes, and would release the victim while
+	// late is still inside its transaction. The post-ticket list re-load
+	// makes the scanner wait on late instead.
+	close(resume)
+	a.Exit()
+	time.Sleep(2 * time.Millisecond)
+	released.Store(true)
+	late.Exit()
+	if err := <-victimErr; err != nil {
+		t.Fatal(err)
+	}
+	<-scannerDone
+}
+
 // The scan of one quiescer must publish a grace period that a concurrent
 // quiescer entering *before* the scan can consume — but only contended scans
 // take tickets; the uncontended fast path must leave the counters untouched.

@@ -44,6 +44,17 @@ func TestInterleaveSeparatesNeighbors(t *testing.T) {
 	}
 }
 
+// The permutation's bijection claim holds only for tables of at least one
+// cache line of orecs; smaller sizes must be rejected, not silently collide.
+func TestInterleaveRejectsTinyTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("InterleavedSlot accepted sizeLog2 < %d", orecsPerLineLog2)
+		}
+	}()
+	InterleavedSlot(1, orecsPerLineLog2-1)
+}
+
 // Striping groups words before the layout permutation: words in one stripe
 // share a slot regardless of layout.
 func TestInterleaveRespectsStriping(t *testing.T) {

@@ -100,10 +100,16 @@ func NewTable(sizeLog2, stripeShift int) *Table {
 // InterleavedSlot is the cache-line-interleaving permutation from the layout
 // audit: it maps flat slot s of a 1<<sizeLog2-entry table to
 // rotl(s, orecsPerLineLog2), placing neighbouring stripes on different
-// cache lines. It is a bijection on [0, 1<<sizeLog2). The audit's tests and
-// BenchmarkOrecNeighborTraffic compose it with Index at setup time; the hot
-// lookup path stays branch-free (see the Table doc).
+// cache lines. It is a bijection on [0, 1<<sizeLog2) and requires
+// sizeLog2 >= orecsPerLineLog2 (a table smaller than one cache line has no
+// neighbours to separate; the rotation degenerates and collides). NewTable
+// never builds such a table, so the precondition is enforced with a panic.
+// The audit's tests and BenchmarkOrecNeighborTraffic compose it with Index
+// at setup time; the hot lookup path stays branch-free (see the Table doc).
 func InterleavedSlot(s uint32, sizeLog2 int) uint32 {
+	if sizeLog2 < orecsPerLineLog2 {
+		panic("tmclock: InterleavedSlot requires sizeLog2 >= 3 (one cache line of orecs)")
+	}
 	mask := uint32(1<<sizeLog2 - 1)
 	return ((s << orecsPerLineLog2) | (s >> (uint(sizeLog2) - orecsPerLineLog2))) & mask
 }
