@@ -7,7 +7,12 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 5
 CHAOS_SEED ?= 1
 
-.PHONY: all build test race fuzz-short chaos chaos-teeth bench clean
+.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench clean
+
+# The TM stack proper: the packages `make race-tm` sweeps before merging
+# engine changes.
+TM_PKGS = ./internal/stm/... ./internal/htm/... ./internal/epoch/... \
+	./internal/tm/... ./internal/tle/... ./internal/condvar/...
 
 # Perf trajectory settings: fixed so BENCH_<date>.json files are comparable
 # across PRs and feedable to benchstat via the raw .txt artifacts.
@@ -25,9 +30,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Static analysis: standard go vet plus the transaction-safety suite
+# (cmd/tmvet; see DESIGN.md "Static analysis"). tmvet exits non-zero on
+# any diagnostic, so this target is a gate, not a report.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/tmvet ./...
+
 # Tier-1 under the race detector.
 race:
 	$(GO) test -race ./...
+
+# Race detector over just the TM engine packages: the fast sweep to run
+# before merging anything that touches the TM stack.
+race-tm:
+	$(GO) test -race $(TM_PKGS)
 
 # Short bursts of the native fuzz targets (long-form: go test -fuzz=X -fuzztime=10m).
 fuzz-short:

@@ -1,0 +1,86 @@
+// Command tmvet is the TLE stack's transaction-safety vet: a
+// multichecker driving the five analyzers in internal/analysis over the
+// module, the static substitute for the TM TS enforcement the paper gets
+// from GCC (see DESIGN.md for the mapping).
+//
+// Usage:
+//
+//	tmvet [-C dir] [-run txsafe,noqpriv] [packages]
+//
+// Packages default to ./... relative to the module directory. Exit
+// status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. Diagnostics use the repo-wide "position: rule: message" format
+// shared with lockcheck's dynamic report, and are suppressed per line by
+// //gotle:allow directives (see package analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/cvlast"
+	"gotle/internal/analysis/noqpriv"
+	"gotle/internal/analysis/txescape"
+	"gotle/internal/analysis/txpure"
+	"gotle/internal/analysis/txsafe"
+)
+
+var analyzers = []*analysis.Analyzer{
+	txsafe.Analyzer,
+	txpure.Analyzer,
+	txescape.Analyzer,
+	cvlast.Analyzer,
+	noqpriv.Analyzer,
+}
+
+func main() {
+	dir := flag.String("C", ".", "module directory to analyze")
+	run := flag.String("run", "", "comma-separated subset of analyzers to run (default all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tmvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	prog, err := analysis.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, prog.Packages, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(analysis.Format(prog.Fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,216 @@
+// Package analysis is a self-hosted static-analysis framework for the TLE
+// stack, modelled on golang.org/x/tools/go/analysis but built entirely on
+// the standard library (go/ast, go/types, and the go command) so the repo
+// stays dependency-free.
+//
+// The paper's programming model relies on GCC enforcing the C++ TM
+// Technical Specification at compile time: atomic blocks may only call
+// transaction-safe code, condition-variable waits must be a transaction's
+// last operation, and TM.NoQuiesce is only sound for transactions that do
+// not privatize. Go has no such compiler support, so this package supplies
+// it as a vet-style suite. The five analyzers live in subpackages
+// (txsafe, txpure, txescape, cvlast, noqpriv) and are driven together by
+// cmd/tmvet; see DESIGN.md for the mapping from each analyzer to the
+// compiler check it substitutes for.
+//
+// Two source directives interact with the suite:
+//
+//	//gotle:allow rule[,rule...] [reason]
+//
+// on (or immediately above) a flagged line suppresses the named rules'
+// diagnostics at that line. Every suppression should carry a reason; the
+// annotated sites in examples/ and internal/x265sim double as teaching
+// cases for the paper's Listing 1-3 hazards.
+//
+//	//gotle:irrevocable [reason]
+//
+// in a function's doc comment declares that the function knowingly
+// performs irrevocable actions and is only reached from irrevocable
+// contexts (Engine.Synchronized bodies, Tx.Defer actions, or the pthread
+// baseline); txsafe treats calls to it as opaque instead of walking in.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gotle/internal/diagfmt"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and //gotle:allow.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// the pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer run to one package of the loaded program.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Reportf records a finding at pos. Findings suppressed by a
+// //gotle:allow directive are dropped here, centrally, so the driver and
+// the test harness see identical output.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.Prog.suppressed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos against the program's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Prog.Fset.Position(pos) }
+
+// Run applies each analyzer to each package and returns all surviving
+// diagnostics sorted by position. Packages must belong to prog.
+func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		// Shortest message first: when the same site is reached both
+		// directly and through a call chain, the direct (trail-free)
+		// finding is the one worth keeping.
+		if len(diags[i].Message) != len(diags[j].Message) {
+			return len(diags[i].Message) < len(diags[j].Message)
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	// A site reachable from several entries (or from an entry that is
+	// itself reachable, as in recursive drivers) is reported once per
+	// walk; collapse to one diagnostic per (position, rule).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d.Pos == diags[i-1].Pos && d.Rule == diags[i-1].Rule {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Format renders a diagnostic in the repo-wide "position: rule: message"
+// line format (package diagfmt), with the file path shortened relative to
+// the working directory.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	loc := fmt.Sprintf("%s:%d:%d", diagfmt.Rel(pos.Filename), pos.Line, pos.Column)
+	return diagfmt.Line(loc, d.Rule, d.Message)
+}
+
+// ---- type helpers shared by the analyzers ----
+
+// IsNamed reports whether t (after unaliasing and pointer-stripping is NOT
+// applied — callers strip what they mean to strip) is the named or aliased
+// type pkgpath.name.
+func IsNamed(t types.Type, pkgpath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgpath && obj.Name() == name
+}
+
+// FuncOf resolves the *types.Func a call expression statically invokes:
+// a declared function, a method (including interface methods), or nil for
+// calls of builtins, conversions, and anonymous function values.
+func (pkg *Package) FuncOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// RecvType returns the package path and type name of fn's receiver
+// ("", "" for plain functions), looking through pointers.
+func RecvType(fn *types.Func) (pkgpath, name string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return "", obj.Name()
+		}
+		return obj.Pkg().Path(), obj.Name()
+	case *types.Interface:
+		return "", ""
+	}
+	return "", ""
+}
+
+// IsMethod reports whether fn is the method pkgpath.recv.name (receiver
+// pointer-ness ignored). It matches both concrete and interface methods.
+func IsMethod(fn *types.Func, pkgpath, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != pkgpath {
+		return false
+	}
+	rp, rn := RecvType(fn)
+	if rn == "" {
+		// Interface methods report no receiver type name; fall back to the
+		// qualified FullName, which spells it out.
+		return strings.Contains(fn.FullName(), pkgpath+"."+recv+")") ||
+			strings.HasPrefix(fn.FullName(), "("+pkgpath+"."+recv+")")
+	}
+	return rp == pkgpath && rn == recv
+}

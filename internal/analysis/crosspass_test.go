@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/cvlast"
+	"gotle/internal/analysis/noqpriv"
+	"gotle/internal/analysis/txescape"
+	"gotle/internal/analysis/txpure"
+	"gotle/internal/analysis/txsafe"
+)
+
+// TestListings runs the whole suite over a fixture reproducing the
+// paper's Listing 1-3 hazard shapes, checking that the analyzers
+// compose: one line can carry wants for several rules.
+func TestListings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/listings",
+		txsafe.Analyzer, txpure.Analyzer, txescape.Analyzer,
+		cvlast.Analyzer, noqpriv.Analyzer)
+}

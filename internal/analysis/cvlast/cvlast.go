@@ -1,0 +1,172 @@
+// Package cvlast statically enforces Wang's wait-as-last-operation
+// protocol for transaction-friendly condition variables (PAPER.md
+// Section VII: "a waiting transaction always performs its wait as its
+// last instruction").
+//
+// In this codebase the sanctioned protocol keeps the wait out of the
+// transaction entirely: the body observes an unsatisfied predicate and
+// calls Tx.Retry, and the enclosing tle.Mutex.Await blocks on the
+// condition variable after the transaction has rolled back. A direct
+// condvar.Cond.Wait inside an atomic body is tolerated only in tail
+// position — the moment any statement can execute after the wait, the
+// transaction holds speculative state while blocked and the protocol is
+// broken. cvlast flags:
+//
+//   - any condvar.Cond.Wait in an atomic body that is not the body's
+//     final operation (including any Wait inside a loop: the next
+//     iteration executes after it);
+//   - statements that follow a Tx.Retry in the same block — Tx.Retry
+//     unwinds the transaction, so the trailing statements are dead code
+//     that suggests the author expected Retry to return.
+package cvlast
+
+import (
+	"go/ast"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the cvlast pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cvlast",
+	Doc:  "enforce wait-as-last-operation for condition variables in atomic bodies",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		checkEntry(pass, e)
+	}
+	return nil
+}
+
+func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
+	pkg := e.BodyPkg
+	skips := analysis.DeferSkips(pkg, e.Body())
+
+	// tails holds every statement in tail position: the last statement of
+	// the body, computed structurally downward (the last statement of a
+	// block in tail position is in tail position; both branches of a
+	// trailing if; every case of a trailing switch). Loops never extend
+	// tail position into their bodies — iteration re-executes statements.
+	tails := make(map[ast.Stmt]bool)
+	markTails(e.Body(), tails)
+
+	ast.Inspect(e.Body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
+			// A Tx.Defer action runs after commit, outside the
+			// transaction; a wait there is not this body's concern.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkg.FuncOf(call)
+		if fn == nil {
+			return true
+		}
+		if analysis.IsCondMethod(fn, "Wait") {
+			stmt := enclosingStmt(e.Body(), call)
+			if stmt == nil || !tails[stmt] {
+				pass.Reportf(call.Pos(), "condvar.Cond.Wait is not the atomic body's last operation: a transaction must perform its wait as its last instruction (prefer Tx.Retry + Mutex.Await, which wait after rollback)")
+			}
+		}
+		if analysis.IsTxMethod(fn, "Retry") {
+			if stmt := enclosingStmt(e.Body(), call); stmt != nil {
+				if next := stmtAfter(e.Body(), stmt); next != nil {
+					pass.Reportf(next.Pos(), "statement follows Tx.Retry in the same block: Retry unwinds the transaction and never returns, so this statement is unreachable")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markTails records the tail-position statements of block, recursing
+// through trailing compound statements.
+func markTails(block *ast.BlockStmt, tails map[ast.Stmt]bool) {
+	if block == nil || len(block.List) == 0 {
+		return
+	}
+	markTailStmt(block.List[len(block.List)-1], tails)
+}
+
+func markTailStmt(s ast.Stmt, tails map[ast.Stmt]bool) {
+	tails[s] = true
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		markTails(s, tails)
+	case *ast.IfStmt:
+		markTails(s.Body, tails)
+		switch el := s.Else.(type) {
+		case *ast.BlockStmt:
+			markTails(el, tails)
+		case *ast.IfStmt:
+			markTailStmt(el, tails)
+		}
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && len(cc.Body) > 0 {
+				markTailStmt(cc.Body[len(cc.Body)-1], tails)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && len(cc.Body) > 0 {
+				markTailStmt(cc.Body[len(cc.Body)-1], tails)
+			}
+		}
+	}
+	// ForStmt / RangeStmt / SelectStmt bodies are deliberately not
+	// marked: a statement inside a loop is followed by the next
+	// iteration.
+}
+
+// enclosingStmt returns the innermost statement of body that contains
+// node, where "statement" excludes blocks and control-flow wrappers: the
+// unit whose position in its block decides whether anything follows the
+// call. A return statement containing the call counts as the call's
+// statement (nothing executes after a return).
+func enclosingStmt(body *ast.BlockStmt, node ast.Node) ast.Stmt {
+	var found ast.Stmt
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > node.End() || n.End() < node.Pos() {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt:
+			found = s.(ast.Stmt)
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return found
+}
+
+// stmtAfter returns the statement that directly follows s in its
+// enclosing block within body, or nil if s is last.
+func stmtAfter(body *ast.BlockStmt, s ast.Stmt) ast.Stmt {
+	var next ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if next != nil {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			if st == s && i+1 < len(block.List) {
+				next = block.List[i+1]
+				return false
+			}
+		}
+		return true
+	})
+	return next
+}

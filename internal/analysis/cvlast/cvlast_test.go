@@ -1,0 +1,12 @@
+package cvlast_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/cvlast"
+)
+
+func TestCvlast(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cvlast", cvlast.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Fixture for the cvlast analyzer: Wang's wait-as-last-operation
+// protocol for condition variables in atomic bodies, and dead code after
+// Tx.Retry.
+package fixture
+
+import (
+	"errors"
+	"time"
+
+	"gotle/internal/condvar"
+	"gotle/internal/memseg"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+var (
+	eng  *tm.Engine
+	th   *tm.Thread
+	mu   *tle.Mutex
+	cv   *condvar.Cond
+	flag memseg.Addr
+
+	errTimeout = errors.New("timeout")
+)
+
+func toErr(ok bool) error {
+	if ok {
+		return nil
+	}
+	return errTimeout
+}
+
+// waitNotLast blocks mid-transaction: statements execute after the wait.
+func waitNotLast(ready bool) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if !ready {
+			cv.Wait(time.Second) // want cvlast:"not the atomic body's last operation"
+			ready = true
+		}
+		return nil
+	})
+}
+
+// waitLoop re-executes the wait on the next iteration, so it is never
+// the last operation.
+func waitLoop() {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		for tx.Load(flag) == 0 {
+			cv.Wait(time.Second) // want cvlast:"not the atomic body's last operation"
+		}
+		return nil
+	})
+}
+
+// waitLast performs the wait as the transaction's final instruction
+// (inside the trailing return): tolerated.
+func waitLast(ready bool) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if ready {
+			return nil
+		}
+		return toErr(cv.Wait(time.Second))
+	})
+}
+
+// retryDead leaves statements after Tx.Retry, which never returns.
+func retryDead(pred bool) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if !pred {
+			tx.Retry()
+			pred = true // want cvlast:"unreachable"
+		}
+		return nil
+	})
+}
+
+// awaitOK is the sanctioned protocol: the body observes the predicate
+// and retries; Mutex.Await waits on the condition variable after the
+// transaction has rolled back.
+func awaitOK() {
+	mu.Await(th, cv, time.Second, func(tx tm.Tx) error {
+		if tx.Load(flag) == 0 {
+			tx.Retry()
+		}
+		return nil
+	})
+}

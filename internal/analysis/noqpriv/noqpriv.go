@@ -1,0 +1,162 @@
+// Package noqpriv implements the NoQuiesce/privatization analyzer. The
+// paper's proposed TM.NoQuiesce API (Section IV.B) lets a transaction
+// skip post-commit quiescence — but that is only sound when the
+// transaction does not privatize memory. A transaction that unlinks data
+// from a shared structure and frees it (Listing 1), or that publishes
+// pointers other transactions will dereference (Listing 2), needs the
+// quiescence fence: skipping it lets a doomed concurrent transaction read
+// or write memory that has already been recycled.
+//
+// noqpriv flags Tx.NoQuiesce in any atomic body whose transitive extent
+// also:
+//
+//   - frees TM memory (Tx.Free, Engine.Free, Engine.FreeTM), or
+//   - publishes a TM address to memory other transactions can reach
+//     (Tx.Store of an address value, or a store into a global/field).
+//
+// The check is necessarily conservative: a body that frees only on
+// branches where it does not call NoQuiesce (a dynamic guard the engine
+// itself also enforces — transactions that free always quiesce) is still
+// flagged, and should carry a //gotle:allow noqpriv annotation explaining
+// the guard. Those annotations double as documentation of exactly where
+// the Listing 1/2 reasoning applies.
+package noqpriv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the noqpriv pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noqpriv",
+	Doc:  "flag Tx.NoQuiesce in transactions that privatize (free or publish TM memory)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		checkEntry(pass, e)
+	}
+	return nil
+}
+
+func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
+	// One transitive sweep collects both the NoQuiesce sites and the
+	// privatization evidence.
+	type site struct {
+		pos   token.Pos
+		trail string
+	}
+	var noq []site
+	var free, publish *site
+
+	v := &analysis.ReachVisitor{
+		Prog:   pass.Prog,
+		Opaque: analysis.IsRuntimeFn,
+		Visit: func(pkg *analysis.Package, n ast.Node, trail []*types.Func) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := pkg.FuncOf(n)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case analysis.IsTxMethod(fn, "NoQuiesce"):
+					noq = append(noq, site{n.Pos(), analysis.TrailString(trail)})
+				case analysis.IsFreeCall(fn):
+					if free == nil {
+						free = &site{n.Pos(), analysis.TrailString(trail)}
+					}
+				}
+			case *ast.AssignStmt:
+				// A store of an address into a global or a non-local
+				// field/element publishes the handle to other goroutines
+				// before the (skipped) fence (txescape flags the store
+				// itself; here it also taints NoQuiesce). Transactional
+				// relinking via Tx.Store stays inside TM memory and is
+				// not privatization, so it does not count.
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					t := pkg.Info.Types[rhs].Type
+					if t == nil || !analysis.IsAddrType(t) {
+						continue
+					}
+					if publishesAddr(pkg, lhs) && publish == nil {
+						publish = &site{n.Pos(), analysis.TrailString(trail)}
+					}
+				}
+			}
+			return true
+		},
+	}
+	v.Walk(e.BodyPkg, e.Body())
+
+	for _, s := range noq {
+		switch {
+		case free != nil:
+			pass.Reportf(s.pos, "Tx.NoQuiesce in a transaction that also frees TM memory%s: privatizing transactions must quiesce or a doomed reader touches recycled memory (Listing 1)", free.trail)
+		case publish != nil:
+			pass.Reportf(s.pos, "Tx.NoQuiesce in a transaction that also publishes TM addresses%s: readers of the published pointer race the skipped quiescence fence (Listing 2)", publish.trail)
+		}
+	}
+}
+
+// publishesAddr reports whether an assignment target makes an address
+// visible outside the body: a package-level variable, or a field/element
+// reached through a reference that is not local to the walked function.
+func publishesAddr(pkg *analysis.Package, lhs ast.Expr) bool {
+	lhs = ast.Unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[l].(*types.Var); ok {
+			return !v.IsField() && v.Parent() == pkg.Types.Scope()
+		}
+		return false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := rootIdent(lhs)
+		if root == nil {
+			return true
+		}
+		if v, ok := pkg.Info.Uses[root].(*types.Var); ok {
+			if !v.IsField() && v.Parent() == pkg.Types.Scope() {
+				return true
+			}
+		}
+		// Conservatively treat any reference-typed root as shared; a
+		// purely local scratch struct is rare enough that annotated
+		// suppression documents it better than silent acceptance.
+		return true
+	}
+	return false
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain,
+// or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package noqpriv_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/noqpriv"
+)
+
+func TestNoqpriv(t *testing.T) {
+	analysistest.Run(t, "testdata/src/noqpriv", noqpriv.Analyzer)
+}

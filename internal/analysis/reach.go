@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A ReachVisitor walks a critical-section body and, transitively, every
+// module-local function it can statically reach, so analyzers can enforce
+// properties over the whole dynamic extent of a transaction the way GCC's
+// transaction-safety check follows the call graph.
+//
+// Static resolution covers declared functions and concrete methods.
+// Interface method calls (other than the TM API itself) and calls through
+// function values are opaque: the walker does not descend and analyzers
+// treat them as safe. That is the same soundness trade-off GOCC makes —
+// the dynamic checkers (lockcheck, racecheck, chaos) backstop what static
+// analysis cannot see.
+type ReachVisitor struct {
+	Prog *Program
+	// EnterDeferArgs, when set, also walks function literals passed to
+	// Tx.Defer. Default off: deferred actions run post-commit and may
+	// perform irrevocable effects by design.
+	EnterDeferArgs bool
+	// SkipIrrevocable, when set, treats callees annotated
+	// //gotle:irrevocable as opaque.
+	SkipIrrevocable bool
+	// Opaque, when non-nil, stops descent into callees it reports true
+	// for (the call node itself is still visited). Analyzers use it to
+	// avoid walking into the TM runtime's own implementation.
+	Opaque func(fn *types.Func) bool
+	// Visit is called for every node reached. trail holds the chain of
+	// calls from the root body (empty while inside the body itself).
+	// Returning false prunes the subtree below n.
+	Visit func(pkg *Package, n ast.Node, trail []*types.Func) bool
+}
+
+// Walk visits root (a function body within pkg) and everything reachable
+// from it. Each function declaration is entered at most once per Walk.
+func (v *ReachVisitor) Walk(pkg *Package, root ast.Node) {
+	v.walk(pkg, root, nil, make(map[*types.Func]bool))
+}
+
+func (v *ReachVisitor) walk(pkg *Package, root ast.Node, trail []*types.Func, visited map[*types.Func]bool) {
+	var skips map[*ast.FuncLit]bool
+	if !v.EnterDeferArgs {
+		skips = DeferSkips(pkg, root)
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
+			return false
+		}
+		if !v.Visit(pkg, n, trail) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn := pkg.FuncOf(call)
+			if fn == nil || visited[fn] {
+				return true
+			}
+			if v.SkipIrrevocable && v.Prog.Irrevocable(fn) {
+				return true
+			}
+			if v.Opaque != nil && v.Opaque(fn) {
+				return true
+			}
+			if dpkg, decl := v.Prog.DeclOf(fn); decl != nil && decl.Body != nil {
+				visited[fn] = true
+				v.walk(dpkg, decl.Body, append(trail, fn), visited)
+			}
+		}
+		return true
+	})
+}
+
+// TrailString renders a call trail as " (via f → g)" for diagnostics, or
+// "" for findings directly inside the body.
+func TrailString(trail []*types.Func) string {
+	if len(trail) == 0 {
+		return ""
+	}
+	names := make([]string, len(trail))
+	for i, fn := range trail {
+		names[i] = fn.FullName()
+	}
+	return " (reached via " + strings.Join(names, " → ") + ")"
+}

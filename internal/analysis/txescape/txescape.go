@@ -1,0 +1,181 @@
+// Package txescape implements the handle-escape analyzer. Two kinds of
+// transactional handle must not outlive the critical section that owns
+// them:
+//
+//   - tm.Tx: the access interface is valid only inside its atomic body,
+//     on the body's goroutine. A Tx stored into a global, struct field,
+//     captured variable, or channel — or captured by a Tx.Defer action,
+//     which runs after commit — is a stale handle whose later use
+//     operates outside any transaction.
+//
+//   - memseg.Addr values published from inside an atomic body: storing an
+//     address into a global, a struct field, or a channel makes it
+//     visible before the transaction commits. If the address came from
+//     Tx.Alloc and the attempt aborts, the block is freed and the
+//     published handle dangles; either way a reader sees state the
+//     transaction has not committed. Publication must go through
+//     Tx.Store on TM memory (rolled back on abort) or wait until after
+//     the critical section (the write-only captured-local idiom).
+package txescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the txescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "txescape",
+	Doc:  "flag tm.Tx and memseg.Addr handles escaping their critical section",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		checkEntry(pass, e)
+	}
+	return nil
+}
+
+func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
+	pkg := e.BodyPkg
+	fnode := e.FuncNode()
+	skips := analysis.DeferSkips(pkg, e.Body())
+	txv := e.TxParam()
+
+	ast.Inspect(e.Body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
+			// A deferred action runs post-commit: using the Tx inside it
+			// is a stale-handle bug even though other irrevocable effects
+			// are allowed there.
+			if txv != nil {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == txv {
+						pass.Reportf(id.Pos(), "transaction handle %s captured by a Tx.Defer action: deferred actions run after commit, when the handle is stale", txv.Name())
+					}
+					return true
+				})
+			}
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				checkStore(pass, pkg, fnode, lhs, rhs)
+			}
+		case *ast.SendStmt:
+			// txsafe already flags the send itself; still explain what
+			// leaks when the payload is a transactional handle.
+			if t := pkg.Info.Types[n.Value].Type; t != nil {
+				if analysis.IsTxType(t) {
+					pass.Reportf(n.Pos(), "transaction handle sent on a channel: the receiver holds a stale Tx once this block commits")
+				} else if analysis.IsAddrType(t) {
+					pass.Reportf(n.Pos(), "TM address sent on a channel from inside an atomic block: published before the transaction commits")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStore flags stores of transactional handles into locations that
+// outlive or escape the critical section.
+func checkStore(pass *analysis.Pass, pkg *analysis.Package, fnode ast.Node, lhs, rhs ast.Expr) {
+	if rhs == nil {
+		return
+	}
+	t := pkg.Info.Types[rhs].Type
+	if t == nil {
+		return
+	}
+	isTx := analysis.IsTxType(t)
+	isAddr := analysis.IsAddrType(t)
+	if !isTx && !isAddr {
+		return
+	}
+	kind, ok := escapeTarget(pkg, fnode, lhs, isTx)
+	if !ok {
+		return
+	}
+	if isTx {
+		pass.Reportf(lhs.Pos(), "transaction handle stored into %s: a Tx is only valid inside its own atomic body and is stale after commit", kind)
+	} else {
+		pass.Reportf(lhs.Pos(), "TM address published to %s from inside an atomic block: visible before commit, and dangling if the attempt aborts after Tx.Alloc (publish via Tx.Store, or after the critical section)", kind)
+	}
+}
+
+// escapeTarget classifies an assignment target as escaping. For Tx
+// handles even a captured local escapes (any use after the body returns
+// is stale); for addresses, captured plain locals are the sanctioned
+// out-parameter idiom and do not escape.
+func escapeTarget(pkg *analysis.Package, fnode ast.Node, lhs ast.Expr, isTx bool) (string, bool) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return "", false
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			v, ok = pkg.Info.Defs[id].(*types.Var)
+			if !ok {
+				return "", false
+			}
+		}
+		if !v.IsField() && v.Parent() == pkg.Types.Scope() {
+			return "package-level variable " + v.Name(), true
+		}
+		if isTx && (v.Pos() < fnode.Pos() || v.Pos() > fnode.End()) {
+			return "captured variable " + v.Name(), true
+		}
+		return "", false
+	}
+	// Field, element, or deref target: escaping unless the root reference
+	// is itself a body-local variable (a scratch struct or slice that dies
+	// with the attempt).
+	root := rootIdent(lhs)
+	if root != nil {
+		if v, ok := pkg.Info.Uses[root].(*types.Var); ok {
+			local := !v.IsField() && v.Parent() != pkg.Types.Scope() &&
+				v.Pos() >= fnode.Pos() && v.Pos() <= fnode.End()
+			if local {
+				return "", false
+			}
+		}
+	}
+	switch lhs.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field", true
+	case *ast.IndexExpr:
+		return "a container element", true
+	case *ast.StarExpr:
+		return "a pointed-to location", true
+	}
+	return "", false
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain,
+// or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package txescape_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/txescape"
+)
+
+func TestTxescape(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txescape", txescape.Analyzer)
+}

@@ -1,0 +1,187 @@
+// Package txpure implements the transaction-purity analyzer: writes
+// inside an atomic body must target TM-managed memory (Tx.Store), because
+// the undo log cannot revert a write to the Go heap when the transaction
+// aborts, and an atomic body may execute any number of times before it
+// commits (PAPER.md Section II.B).
+//
+// Flagged, in order of severity:
+//
+//   - a write to a package-level variable: globally visible before the
+//     transaction commits, and never rolled back;
+//   - a write through a captured reference (pointer, struct field, slice
+//     or map element): the target outlives the attempt, so the leak is
+//     shared with other goroutines;
+//   - a compound write (`+=`, `++`) or a read-and-write of a captured
+//     local: a re-execution observes the previous attempt's leaked value,
+//     so accumulations like `total += tx.Load(a)` double-count on retry.
+//
+// Deliberately allowed: the write-only "out parameter" idiom — a captured
+// local assigned inside the body with `=` and read only after the
+// critical section returns (`v = tx.Load(addr)`). Each re-execution fully
+// overwrites the previous attempt's value and the caller sees only the
+// committed one. Writes inside Tx.Defer actions run post-commit, exactly
+// once, and are likewise exempt.
+package txpure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the txpure pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "txpure",
+	Doc:  "flag non-transactional writes in atomic bodies that the undo log cannot revert",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		checkEntry(pass, e)
+	}
+	return nil
+}
+
+func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
+	pkg := e.BodyPkg
+	fnode := e.FuncNode()
+	skips := analysis.DeferSkips(pkg, e.Body())
+
+	// Occurrences of an identifier as the target of a plain `=` store
+	// write the variable without reading it; every other use is a read.
+	storeOnly := make(map[*ast.Ident]bool)
+	walk(e.Body(), skips, func(n ast.Node) {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					storeOnly[id] = true
+				}
+			}
+		}
+	})
+	reads := make(map[*types.Var]int)
+	walk(e.Body(), skips, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || storeOnly[id] {
+			return
+		}
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			reads[v]++
+		}
+	})
+
+	walk(e.Body(), skips, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, pkg, fnode, lhs, n.Tok != token.ASSIGN, reads)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, pkg, fnode, n.X, true, reads)
+		}
+	})
+}
+
+// checkWrite judges one assignment target. compound marks read-modify-
+// write forms (`+=`, `++`), which inherently read their target.
+func checkWrite(pass *analysis.Pass, pkg *analysis.Package, fnode ast.Node, lhs ast.Expr, compound bool, reads map[*types.Var]int) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		v := varOf(pkg, id)
+		if v == nil {
+			return
+		}
+		switch {
+		case isGlobal(pkg, v):
+			pass.Reportf(lhs.Pos(), "write to package-level variable %s in an atomic block: globally visible before commit and not rolled back on abort (use Tx.Store on TM memory, or Tx.Defer)", v.Name())
+		case isCaptured(pkg, fnode, v) && (compound || reads[v] > 0):
+			pass.Reportf(lhs.Pos(), "captured variable %s is read and written in this atomic block: a re-execution after abort observes the previous attempt's value, e.g. an accumulation double-counts on retry (keep a body-local and assign the captured variable exactly once)", v.Name())
+		}
+		return
+	}
+	// Selector / index / deref target: the write lands wherever the root
+	// reference leads. If the root is captured or global, the target
+	// outlives the attempt and escapes the undo log.
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	v := varOf(pkg, root)
+	if v == nil {
+		return
+	}
+	switch {
+	case isGlobal(pkg, v):
+		pass.Reportf(lhs.Pos(), "write through package-level variable %s in an atomic block: not rolled back on abort (use Tx.Store on TM memory, or Tx.Defer)", v.Name())
+	case isCaptured(pkg, fnode, v):
+		pass.Reportf(lhs.Pos(), "write through captured %s in an atomic block: the target outlives the attempt and the undo log cannot revert it (move the data into TM memory, or defer the write with Tx.Defer)", v.Name())
+	}
+}
+
+// varOf resolves an identifier to the variable it names.
+func varOf(pkg *analysis.Package, id *ast.Ident) *types.Var {
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isGlobal(pkg *analysis.Package, v *types.Var) bool {
+	return !v.IsField() && v.Parent() == pkg.Types.Scope()
+}
+
+// isCaptured reports whether v is a free variable of the body: declared
+// outside the function node (the body's own parameters and results count
+// as local).
+func isCaptured(pkg *analysis.Package, fnode ast.Node, v *types.Var) bool {
+	if v.IsField() || v.Pkg() == nil || isGlobal(pkg, v) {
+		return false
+	}
+	return v.Pos() < fnode.Pos() || v.Pos() > fnode.End()
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain,
+// or nil (e.g. when the base is a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walk visits the nodes of body, skipping function literals deferred with
+// Tx.Defer (they run post-commit) but descending into other nested
+// literals, which execute within the transaction.
+func walk(body ast.Node, skips map[*ast.FuncLit]bool, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

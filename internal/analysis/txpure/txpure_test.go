@@ -1,0 +1,12 @@
+package txpure_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/txpure"
+)
+
+func TestTxpure(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txpure", txpure.Analyzer)
+}

@@ -1,0 +1,154 @@
+// Package txsafe implements the transaction-safety analyzer: the static
+// substitute for GCC's TM TS rule that an atomic block may only call
+// transaction-safe code (PAPER.md Section II.B).
+//
+// An atomic body may re-execute after an abort, and its effects must be
+// confined to what the undo log can revert: Tx operations and deferred
+// actions. txsafe walks every statically-resolved critical-section body
+// transitively (like the compiler's call-graph check) and flags
+// irrevocable actions reached inside it:
+//
+//   - go statements, channel sends/receives, select, close, range over a
+//     channel — goroutine and channel effects cannot be rolled back;
+//   - file/network/console I/O (os, net, syscall, fmt.Print*, log, ...);
+//   - native sync primitives (sync.Mutex locking, WaitGroup counters,
+//     sync/atomic writes) — they bypass the undo log;
+//   - time.Sleep and runtime.Gosched — in-transaction waiting can never
+//     succeed under lock elision, because the transaction cannot observe
+//     concurrent updates (the paper's Listing 3 hazard);
+//   - condvar.Cond.Signal/Broadcast — immediate wakeups escape an
+//     uncommitted transaction; SignalTx/BroadcastTx defer them to commit;
+//   - nested Engine.Synchronized, Mutex.Await and Thread.Release, which
+//     panic or block at run time.
+//
+// Escape hatches, in decreasing order of preference: run the work in a
+// Tx.Defer action (post-commit), move it into an Engine.Synchronized
+// block (serial-irrevocable), annotate a function that is only reached
+// from irrevocable contexts with //gotle:irrevocable, or suppress a
+// single site with //gotle:allow txsafe and a written justification.
+package txsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the txsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "txsafe",
+	Doc:  "flag irrevocable actions reachable from atomic critical sections",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		v := &analysis.ReachVisitor{
+			Prog:            pass.Prog,
+			SkipIrrevocable: true,
+			Opaque:          analysis.IsRuntimeFn,
+			Visit: func(pkg *analysis.Package, n ast.Node, trail []*types.Func) bool {
+				check(pass, pkg, n, trail)
+				return true
+			},
+		}
+		v.Walk(e.BodyPkg, e.Body())
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, pkg *analysis.Package, n ast.Node, trail []*types.Func) {
+	via := analysis.TrailString(trail)
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "go statement in an atomic block: a spawned goroutine cannot be rolled back%s", via)
+	case *ast.SendStmt:
+		pass.Reportf(n.Pos(), "channel send in an atomic block: channel effects are irrevocable (defer with Tx.Defer)%s", via)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			pass.Reportf(n.Pos(), "channel receive in an atomic block: blocking on a channel inside a transaction cannot succeed under elision%s", via)
+		}
+	case *ast.SelectStmt:
+		pass.Reportf(n.Pos(), "select in an atomic block: channel communication is irrevocable%s", via)
+	case *ast.RangeStmt:
+		if t := pkg.Info.Types[n.X].Type; t != nil {
+			if _, ok := types.Unalias(t.Underlying()).(*types.Chan); ok {
+				pass.Reportf(n.Pos(), "range over a channel in an atomic block: channel receives are irrevocable%s", via)
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+				pass.Reportf(n.Pos(), "close of a channel in an atomic block: channel effects are irrevocable%s", via)
+				return
+			}
+		}
+		fn := pkg.FuncOf(n)
+		if fn == nil {
+			return
+		}
+		switch {
+		case analysis.IsMethod(fn, analysis.PkgTM, "Engine", "Synchronized"):
+			pass.Reportf(n.Pos(), "Engine.Synchronized inside an atomic block panics at run time; restructure so the serial section is entered at top level%s", via)
+		case analysis.IsMethod(fn, analysis.PkgTLE, "Mutex", "Await"):
+			pass.Reportf(n.Pos(), "Mutex.Await inside an atomic block: the condition wait would run inside the enclosing transaction; call Await at top level and use Tx.Retry in the body%s", via)
+		case analysis.IsMethod(fn, analysis.PkgTM, "Thread", "Release"):
+			pass.Reportf(n.Pos(), "Thread.Release inside an atomic block panics at run time%s", via)
+		case analysis.IsCondMethod(fn, "Signal") || analysis.IsCondMethod(fn, "Broadcast"):
+			pass.Reportf(n.Pos(), "calls %s in an atomic block: an immediate wakeup escapes an uncommitted transaction; use %sTx, which defers the wakeup to commit%s", fn.FullName(), fn.Name(), via)
+		default:
+			if desc := denied(fn); desc != "" {
+				pass.Reportf(n.Pos(), "calls %s in an atomic block: %s%s", fn.FullName(), desc, via)
+			}
+		}
+	}
+}
+
+// denied classifies calls into external packages that are never
+// transaction-safe, returning a description of the hazard or "".
+func denied(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case path == "os" || strings.HasPrefix(path, "os/") ||
+		path == "net" || strings.HasPrefix(path, "net/") ||
+		path == "syscall" || path == "io/ioutil" || path == "bufio" ||
+		path == "database/sql":
+		return "file/network I/O is irrevocable (run it after commit, via Tx.Defer or outside the critical section)"
+	case path == "fmt" && (strings.HasPrefix(name, "Print") ||
+		strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Scan") ||
+		strings.HasPrefix(name, "Fscan")):
+		return "console I/O is irrevocable and would repeat on every re-execution (use Tx.Defer for post-commit logging, Section VI.c)"
+	case path == "log":
+		return "logging is irrevocable and would repeat on every re-execution (use Tx.Defer for post-commit logging, Section VI.c)"
+	case path == "time" && (name == "Sleep" || name == "Tick" || name == "After" || name == "AfterFunc"):
+		return "timed blocking inside a transaction cannot be rolled back and stalls every concurrent transaction"
+	case path == "runtime" && name == "Gosched":
+		return "yield/spin-waiting inside an atomic block can never succeed under elision — the transaction cannot observe concurrent updates (Listing 3)"
+	case path == "sync":
+		_, recv := analysis.RecvType(fn)
+		switch recv {
+		case "Mutex", "RWMutex":
+			return "native locking bypasses the TM; elide the lock (tle.Mutex) or go irrevocable (Engine.Synchronized)"
+		case "WaitGroup":
+			if name == "Wait" || name == "Add" || name == "Done" {
+				return "WaitGroup operations are irrevocable and double-count when the transaction re-executes"
+			}
+		case "Once":
+			if name == "Do" {
+				return "sync.Once inside a transaction may run its function under speculation that later aborts"
+			}
+		case "Cond":
+			return "native sync.Cond cannot participate in transactions; use the transaction-friendly condvar package"
+		}
+	case path == "sync/atomic" && !strings.HasPrefix(name, "Load"):
+		return "an atomic write is a non-transactional side effect the undo log cannot revert (and it re-fires on every retry)"
+	}
+	return ""
+}

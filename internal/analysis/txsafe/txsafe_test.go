@@ -1,0 +1,12 @@
+package txsafe_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/txsafe"
+)
+
+func TestTxsafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txsafe", txsafe.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package diagfmt defines the one-line diagnostic format shared by every
+// correctness tool in this repository:
+//
+//	position: rule: message
+//
+// where position is a file:line[:col] source location (or "-" when no
+// source position applies), rule is a short stable identifier (an analyzer
+// name like "txsafe", or "lockcheck/2pl" for the dynamic checker), and
+// message is free text. The static suite (cmd/tmvet) and the dynamic
+// two-phase-locking checker (internal/lockcheck) both emit this format, so
+// CI logs and example output (examples/twophase) read identically and can
+// be grepped or machine-parsed the same way.
+package diagfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Line renders one diagnostic. An empty position becomes "-" so the
+// rule/message fields stay in fixed columns.
+func Line(position, rule, message string) string {
+	if position == "" {
+		position = "-"
+	}
+	return position + ": " + rule + ": " + message
+}
+
+// Rel shortens path to be relative to the current working directory when
+// that makes it shorter, mirroring how go vet prints positions. The
+// line/column suffix, if any, is preserved by the caller (Rel operates on
+// the bare file path).
+func Rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

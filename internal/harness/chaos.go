@@ -252,8 +252,9 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 					id := ctrRec.Invoke(w, "inc", "", nil)
 					var pre uint64
 					err := ctrMu.Do(th, func(tx tm.Tx) error {
-						pre = tx.Load(ctr)
-						tx.Store(ctr, pre+1)
+						v := tx.Load(ctr)
+						tx.Store(ctr, v+1)
+						pre = v
 						return nil
 					})
 					if err != nil {

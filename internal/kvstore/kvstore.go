@@ -251,6 +251,10 @@ type statDelta struct {
 // stats lock is acquired at most once per critical section.
 func (s *Store) bumpStats(th *tm.Thread, deltas ...statDelta) error {
 	return s.statsMu.Do(th, func(tx tm.Tx) error {
+		// Counter bumps never privatize. When this section is flat-nested
+		// into a caller that frees (Set with evictions, Delete), the
+		// engine ignores NoQuiesce for the combined transaction anyway.
+		//gotle:allow noqpriv stats counters never privatize; the engine ignores NoQuiesce on nested and freeing transactions
 		tx.NoQuiesce()
 		for _, d := range deltas {
 			a := s.stats + memseg.Addr(d.idx)
@@ -339,6 +343,7 @@ func (s *Store) Set(th *tm.Thread, key, val []byte) error {
 			privatized = true
 		}
 		if !privatized {
+			//gotle:allow noqpriv guarded: skipped only on attempts that evicted (freed) nothing, and the engine double-checks freeing transactions
 			tx.NoQuiesce()
 		}
 		if evicted > 0 {
@@ -375,7 +380,8 @@ func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
 		linkAt, item := s.findInChain(tx, sh, bucket, key)
 		if item == memseg.Nil {
 			removed = false
-			tx.NoQuiesce() // nothing privatized
+			//gotle:allow noqpriv guarded: miss path unlinks and frees nothing, and the engine double-checks freeing transactions
+			tx.NoQuiesce()
 			return nil
 		}
 		tx.Store(linkAt, tx.Load(item+itChain))
@@ -393,14 +399,19 @@ func (s *Store) Len(th *tm.Thread) (int, error) {
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
+		// The shard count lands in a write-only local: `total +=` inside
+		// the body would re-add the previous attempt's value when the
+		// transaction retries.
+		var count int
 		err := sh.mu.Do(th, func(tx tm.Tx) error {
 			tx.NoQuiesce()
-			total += int(tx.Load(sh.base + shCount))
+			count = int(tx.Load(sh.base + shCount))
 			return nil
 		})
 		if err != nil {
 			return 0, err
 		}
+		total += count
 	}
 	return total, nil
 }
@@ -433,12 +444,17 @@ func (s *Store) LRUKeys(th *tm.Thread, shardIdx int) ([]string, error) {
 	var keys []string
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
 		tx.NoQuiesce()
+		// Accumulate into a body-local slice and assign the captured
+		// variable once: appending to `keys` directly would leave the
+		// previous attempt's entries in place across a retry.
+		var ks []string
 		item := memseg.Addr(tx.Load(sh.base + shLRUHead))
 		for item != memseg.Nil {
 			meta := tx.Load(item + itMeta)
-			keys = append(keys, string(unpackBytes(tx, item+itData, int(meta>>32))))
+			ks = append(ks, string(unpackBytes(tx, item+itData, int(meta>>32))))
 			item = memseg.Addr(tx.Load(item + itNext))
 		}
+		keys = ks
 		return nil
 	})
 	return keys, err

@@ -17,8 +17,12 @@ package lockcheck
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
+
+	"gotle/internal/diagfmt"
 )
 
 // Violation records one two-phase-locking violation.
@@ -27,22 +31,49 @@ type Violation struct {
 	Thread uint64
 	// Acquired is the mutex acquired during the shrinking phase.
 	Acquired int
+	// AcquiredSite is the file:line of the violating acquire — the
+	// Mutex.Do (or direct Acquire) call that re-entered the growing
+	// phase. Empty when no caller outside the TLE runtime was found.
+	AcquiredSite string
 	// Held lists the mutexes still held at the violating acquire.
 	Held []int
+	// HeldSites aligns with Held: the file:line where each still-held
+	// lock was acquired, so a report names the source of both locks
+	// involved in the violation.
+	HeldSites []string
 	// Released lists the mutexes already released in this episode.
 	Released []int
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("thread %d acquired lock %d after releasing %v while holding %v",
-		v.Thread, v.Acquired, v.Released, v.Held)
+	held := make([]string, len(v.Held))
+	for i, m := range v.Held {
+		site := "?"
+		if i < len(v.HeldSites) && v.HeldSites[i] != "" {
+			site = v.HeldSites[i]
+		}
+		held[i] = fmt.Sprintf("%d (acquired at %s)", m, site)
+	}
+	site := v.AcquiredSite
+	if site == "" {
+		site = "?"
+	}
+	return fmt.Sprintf("thread %d acquired lock %d at %s after releasing %v while holding %s",
+		v.Thread, v.Acquired, site, v.Released, strings.Join(held, ", "))
+}
+
+// hold is one held lock: its recursive hold count and where it was first
+// acquired.
+type hold struct {
+	count int
+	site  string
 }
 
 // threadState tracks one thread's current lock episode. An episode starts
 // when the thread goes from holding no locks to holding one, and ends when
 // it holds none again.
 type threadState struct {
-	held     map[int]int // mid -> recursive hold count
+	held     map[int]*hold
 	released map[int]bool
 }
 
@@ -61,26 +92,55 @@ func New() *Checker {
 
 // Acquire records that thread tid entered the critical section of mutex mid.
 func (c *Checker) Acquire(tid uint64, mid int) {
+	site := callerSite()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := c.threads[tid]
 	if ts == nil {
-		ts = &threadState{held: make(map[int]int), released: make(map[int]bool)}
+		ts = &threadState{held: make(map[int]*hold), released: make(map[int]bool)}
 		c.threads[tid] = ts
 	}
 	if len(ts.held) > 0 && len(ts.released) > 0 {
-		v := Violation{Thread: tid, Acquired: mid}
+		v := Violation{Thread: tid, Acquired: mid, AcquiredSite: site}
 		for m := range ts.held {
 			v.Held = append(v.Held, m)
+		}
+		sort.Ints(v.Held)
+		for _, m := range v.Held {
+			v.HeldSites = append(v.HeldSites, ts.held[m].site)
 		}
 		for m := range ts.released {
 			v.Released = append(v.Released, m)
 		}
-		sort.Ints(v.Held)
 		sort.Ints(v.Released)
 		c.violations = append(c.violations, v)
 	}
-	ts.held[mid]++
+	if h := ts.held[mid]; h != nil {
+		h.count++
+	} else {
+		ts.held[mid] = &hold{count: 1, site: site}
+	}
+}
+
+// callerSite walks up the stack past the checker and the TLE runtime to
+// the frame that entered the critical section — for traces produced via
+// tle.Config.Tracer, the caller of Mutex.Do/Coalesce/Await.
+func callerSite() string {
+	var pcs [24]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function != "" &&
+			!strings.Contains(f.Function, "lockcheck.(*Checker)") &&
+			!strings.Contains(f.Function, "lockcheck.callerSite") &&
+			!strings.Contains(f.Function, "/internal/tle.") {
+			return fmt.Sprintf("%s:%d", diagfmt.Rel(f.File), f.Line)
+		}
+		if !more {
+			return ""
+		}
+	}
 }
 
 // Release records that thread tid left the critical section of mutex mid.
@@ -88,12 +148,12 @@ func (c *Checker) Release(tid uint64, mid int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := c.threads[tid]
-	if ts == nil || ts.held[mid] == 0 {
+	if ts == nil || ts.held[mid] == nil {
 		c.errs = append(c.errs, fmt.Sprintf("thread %d released lock %d it does not hold", tid, mid))
 		return
 	}
-	ts.held[mid]--
-	if ts.held[mid] > 0 {
+	ts.held[mid].count--
+	if ts.held[mid].count > 0 {
 		return // recursive exit: the lock is still held
 	}
 	delete(ts.held, mid)
@@ -120,6 +180,23 @@ func (c *Checker) Errors() []string {
 	defer c.mu.Unlock()
 	out := make([]string, len(c.errs))
 	copy(out, c.errs)
+	return out
+}
+
+// Report renders all findings in the repo-wide "position: rule: message"
+// diagnostic line format (package diagfmt) shared with cmd/tmvet, using
+// the violating acquire's source position. Rules: "lockcheck/2pl" for
+// two-phase-locking violations, "lockcheck/trace" for protocol errors.
+func (c *Checker) Report() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, v := range c.violations {
+		out = append(out, diagfmt.Line(v.AcquiredSite, "lockcheck/2pl", v.String()))
+	}
+	for _, e := range c.errs {
+		out = append(out, diagfmt.Line("", "lockcheck/trace", e))
+	}
 	return out
 }
 

@@ -1,6 +1,9 @@
 package lockcheck
 
 import (
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+
 	"strings"
 	"sync"
 	"testing"
@@ -117,5 +120,73 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if !c.Clean() {
 		t.Fatalf("clean concurrent trace flagged: %v %v", c.Violations(), c.Errors())
+	}
+}
+
+// TestViolationSitesPointAtCallers drives the checker through the real
+// tle.Config.Tracer hook and checks that a violation names the acquire
+// site of both locks involved — where the still-held lock was taken and
+// where the violating acquire happened — as file:line positions in the
+// caller, not inside the TLE runtime.
+func TestViolationSitesPointAtCallers(t *testing.T) {
+	c := New()
+	r := tle.New(tle.PolicyPthread, tle.Config{MemWords: 1 << 12, Tracer: c})
+	th := r.NewThread()
+	defer th.Release()
+	outer := r.NewMutex("outer")
+	inner1 := r.NewMutex("inner1")
+	inner2 := r.NewMutex("inner2")
+
+	err := outer.Do(th, func(tm.Tx) error {
+		if err := inner1.Do(th, func(tm.Tx) error { return nil }); err != nil {
+			return err
+		}
+		// Acquire-after-release while still holding outer: 2PL violation.
+		return inner2.Do(th, func(tm.Tx) error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", vs)
+	}
+	v := vs[0]
+	if !strings.Contains(v.AcquiredSite, "lockcheck_test.go:") {
+		t.Fatalf("AcquiredSite = %q, want a position in this test", v.AcquiredSite)
+	}
+	if len(v.HeldSites) != 1 || !strings.Contains(v.HeldSites[0], "lockcheck_test.go:") {
+		t.Fatalf("HeldSites = %q, want the outer.Do position in this test", v.HeldSites)
+	}
+	if v.AcquiredSite == v.HeldSites[0] {
+		t.Fatalf("acquire site %q should differ from held site %q", v.AcquiredSite, v.HeldSites[0])
+	}
+	for _, site := range append([]string{v.AcquiredSite}, v.HeldSites...) {
+		if strings.Contains(site, "tle.go") {
+			t.Fatalf("site %q points inside the TLE runtime", site)
+		}
+	}
+	if s := v.String(); !strings.Contains(s, v.AcquiredSite) || !strings.Contains(s, v.HeldSites[0]) {
+		t.Fatalf("String() = %q, want both acquire sites included", s)
+	}
+
+	rep := c.Report()
+	if len(rep) != 1 {
+		t.Fatalf("Report() = %v, want exactly 1 line", rep)
+	}
+	if want := v.AcquiredSite + ": lockcheck/2pl: "; !strings.HasPrefix(rep[0], want) {
+		t.Fatalf("Report()[0] = %q, want prefix %q", rep[0], want)
+	}
+}
+
+// TestReportFormatWithoutSite covers the "-" position fallback for trace
+// protocol errors, which have no acquire site.
+func TestReportFormatWithoutSite(t *testing.T) {
+	c := New()
+	c.Release(7, 3) // release without acquire
+	rep := c.Report()
+	if len(rep) != 1 || !strings.HasPrefix(rep[0], "-: lockcheck/trace: ") {
+		t.Fatalf("Report() = %v, want one '-: lockcheck/trace:' line", rep)
 	}
 }

@@ -131,6 +131,7 @@ func (d *demo) produceInline(th *tm.Thread, want uint64) error {
 		if spins >= spinBudget {
 			return ErrStalled
 		}
+		//gotle:allow txsafe deliberate reproduction of the paper's Listing 3: the in-transaction spin-wait is the bug this demo exists to show
 		runtime.Gosched()
 	}
 }
