@@ -1,17 +1,26 @@
 // Command tmvet is the TLE stack's transaction-safety vet: a
-// multichecker driving the five analyzers in internal/analysis over the
+// multichecker driving the analyzers in internal/analysis over the
 // module, the static substitute for the TM TS enforcement the paper gets
 // from GCC (see DESIGN.md for the mapping).
 //
 // Usage:
 //
-//	tmvet [-C dir] [-run txsafe,noqpriv] [packages]
+//	tmvet [-C dir] [-run txsafe,noqpriv] [flags] [packages]
 //
 // Packages default to ./... relative to the module directory. Exit
-// status is 1 when any diagnostic is reported, 2 on usage or load
-// errors. Diagnostics use the repo-wide "position: rule: message" format
-// shared with lockcheck's dynamic report, and are suppressed per line by
-// //gotle:allow directives (see package analysis).
+// status is 1 when any (non-baselined) diagnostic is reported, 2 on
+// usage or load errors. Diagnostics use the repo-wide
+// "position: rule: message" format shared with lockcheck's dynamic
+// report, and are suppressed per line by //gotle:allow directives (see
+// package analysis).
+//
+// Beyond the basic run:
+//
+//	-json               emit diagnostics as a JSON array (internal/diagfmt.Record)
+//	-fix                apply suggested fixes to the source files in place
+//	-baseline FILE      report only findings absent from FILE's snapshot
+//	-write-baseline FILE  snapshot current findings to FILE and exit clean
+//	-capest-rank        print every atomic body ranked by HTM capacity pressure
 package main
 
 import (
@@ -21,11 +30,14 @@ import (
 	"strings"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/capest"
 	"gotle/internal/analysis/cvlast"
+	"gotle/internal/analysis/lockorder"
 	"gotle/internal/analysis/noqpriv"
 	"gotle/internal/analysis/txescape"
 	"gotle/internal/analysis/txpure"
 	"gotle/internal/analysis/txsafe"
+	"gotle/internal/diagfmt"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -34,12 +46,19 @@ var analyzers = []*analysis.Analyzer{
 	txescape.Analyzer,
 	cvlast.Analyzer,
 	noqpriv.Analyzer,
+	lockorder.Analyzer,
+	capest.Analyzer,
 }
 
 func main() {
 	dir := flag.String("C", ".", "module directory to analyze")
 	run := flag.String("run", "", "comma-separated subset of analyzers to run (default all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	baseline := flag.String("baseline", "", "baseline file: report only findings not listed in it")
+	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
+	rank := flag.Bool("capest-rank", false, "print atomic bodies ranked by HTM capacity pressure and exit")
 	flag.Parse()
 
 	if *list {
@@ -72,15 +91,101 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *rank {
+		for _, r := range capest.Rank(prog) {
+			fmt.Println(capest.FormatRanked(prog, r))
+		}
+		return
+	}
+
 	diags, err := analysis.Run(prog, prog.Packages, selected)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(analysis.Format(prog.Fset, d))
+
+	if *writeBaseline != "" {
+		keys := make([]string, 0, len(diags))
+		for _, d := range diags {
+			keys = append(keys, baselineKey(prog, d))
+		}
+		if err := diagfmt.WriteBaseline(*writeBaseline, keys); err != nil {
+			fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("tmvet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		known, err := diagfmt.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+			os.Exit(2)
+		}
+		fresh := diags[:0]
+		for _, d := range diags {
+			if !known[baselineKey(prog, d)] {
+				fresh = append(fresh, d)
+			}
+		}
+		diags = fresh
+	}
+
+	if *fix {
+		fixed, err := analysis.ApplyFixes(prog.Fset, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+			os.Exit(2)
+		}
+		for name, content := range fixed {
+			if err := os.WriteFile(name, content, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("tmvet: fixed %s\n", diagfmt.Rel(name))
+		}
+		// Findings with fixes are resolved; the rest still stand.
+		remaining := diags[:0]
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	if *jsonOut {
+		records := make([]diagfmt.Record, 0, len(diags))
+		for _, d := range diags {
+			pos := prog.Fset.Position(d.Pos)
+			rec := diagfmt.Record{
+				File: diagfmt.Rel(pos.Filename), Line: pos.Line, Col: pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			}
+			if len(d.Fixes) > 0 {
+				rec.Fix = d.Fixes[0].Message
+			}
+			records = append(records, rec)
+		}
+		if err := diagfmt.EncodeJSON(os.Stdout, records); err != nil {
+			fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(analysis.Format(prog.Fset, d))
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// baselineKey is the finding's identity in a baseline file: file, rule,
+// and message, no line number, so findings survive unrelated edits above
+// them.
+func baselineKey(prog *analysis.Program, d analysis.Diagnostic) string {
+	pos := prog.Fset.Position(d.Pos)
+	return diagfmt.BaselineKey(diagfmt.Rel(pos.Filename), d.Rule, d.Message)
 }

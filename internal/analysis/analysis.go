@@ -66,20 +66,39 @@ type Diagnostic struct {
 	Pos     token.Pos
 	Rule    string
 	Message string
+	// Fixes, when non-empty, are machine-applicable corrections for the
+	// finding; `tmvet -fix` applies them (see fix.go).
+	Fixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained correction: applying all its edits
+// resolves the diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // Reportf records a finding at pos. Findings suppressed by a
 // //gotle:allow directive are dropped here, centrally, so the driver and
 // the test harness see identical output.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	if p.Prog.suppressed(p.Analyzer.Name, pos) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed finding (the Rule field is overwritten
+// with the analyzer's name). Suppression applies exactly as in Reportf.
+func (p *Pass) Report(d Diagnostic) {
+	if p.Prog.suppressed(p.Analyzer.Name, d.Pos) {
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:     pos,
-		Rule:    p.Analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
-	})
+	d.Rule = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
 }
 
 // Position resolves a token.Pos against the program's file set.

@@ -117,6 +117,61 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	}
 }
 
+// RunFix type-checks the fixture package in dir, applies the analyzers,
+// applies every suggested fix the diagnostics carry, and compares the
+// result byte-for-byte against golden files (fixture.go.golden next to
+// fixture.go). Teeth in both directions: a golden with no fixes to
+// produce it fails, and fixed output with no golden (or that differs from
+// it) fails — so both losing a fix and drifting its output turn the
+// fixture red.
+func RunFix(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog := Program(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.AddDir(abs, "fixture/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := analysis.ApplyFixes(prog.Fset, diags)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+
+	goldens, err := filepath.Glob(filepath.Join(abs, "*.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, golden := range goldens {
+		src := golden[:len(golden)-len(".golden")]
+		seen[src] = true
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := fixed[src]
+		if !ok {
+			t.Errorf("%s: golden exists but the analyzers suggested no fixes for %s", filepath.Base(golden), filepath.Base(src))
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: fixed output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", filepath.Base(src), got, want)
+		}
+	}
+	for name := range fixed {
+		if !seen[name] {
+			t.Errorf("%s: fixes were suggested but no %s.golden exists", filepath.Base(name), filepath.Base(name))
+		}
+	}
+}
+
 type want struct {
 	file    string
 	line    int

@@ -1,0 +1,12 @@
+package capest_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/capest"
+)
+
+func TestCapest(t *testing.T) {
+	analysistest.Run(t, "testdata/src/capest", capest.Analyzer)
+}

@@ -1,0 +1,426 @@
+// Package cfg builds per-function control-flow graphs over go/ast
+// function bodies, the foundation of the tmflow dataflow layer (package
+// tmflow). It is a compact, stdlib-only analogue of
+// golang.org/x/tools/go/cfg, specialised to what the tmvet analyzers
+// need:
+//
+//   - blocks hold the "simple" statements and the control expressions
+//     (if/for/switch conditions, range operands) in evaluation order;
+//   - calls the caller declares no-return (panic, Tx.Retry, os.Exit)
+//     terminate their block with no successor, so everything after them
+//     is statically unreachable;
+//   - Live marks the blocks reachable from the entry, which is what lets
+//     analyzers suppress findings in path-infeasible code.
+//
+// Function literals nested in a body are treated as opaque values: their
+// interiors belong to their own graphs, built by whoever analyzes them.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	// Nodes lists the block's contents in evaluation order: simple
+	// statements, control expressions, and (for range statements) the
+	// *ast.RangeStmt itself, which consumers must treat shallowly (its
+	// X/Key/Value only — the body has its own blocks).
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from the entry.
+	Live bool
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+
+	// nodeBlock maps every block node, and every compound statement's
+	// head, to its block.
+	nodeBlock map[ast.Node]*Block
+}
+
+// Options configures graph construction.
+type Options struct {
+	// NoReturn reports whether a call never returns (panic-like). The
+	// builder terminates the enclosing block after a statement-level call
+	// for which it returns true.
+	NoReturn func(call *ast.CallExpr) bool
+}
+
+// New builds the graph of body.
+func New(body *ast.BlockStmt, opt Options) *Graph {
+	g := &Graph{nodeBlock: make(map[ast.Node]*Block)}
+	b := &builder{g: g, opt: opt, labels: make(map[string]*labelInfo)}
+	g.Entry = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	g.markLive()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			g.nodeBlock[n] = blk
+		}
+	}
+	return g
+}
+
+// BlockOf returns the block holding n: its own block for block nodes,
+// the head block for compound statements (if/for/range/switch/select).
+// ok is false for nodes the graph does not track (sub-expressions,
+// function-literal interiors), which callers should treat as live.
+func (g *Graph) BlockOf(n ast.Node) (*Block, bool) {
+	b, ok := g.nodeBlock[n]
+	return b, ok
+}
+
+// Dead reports whether n is tracked and statically unreachable.
+func (g *Graph) Dead(n ast.Node) bool {
+	b, ok := g.BlockOf(n)
+	return ok && !b.Live
+}
+
+func (g *Graph) markLive() {
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+}
+
+type labelInfo struct {
+	block *Block // target of goto (start of the labeled statement)
+	// breakTo/continueTo are set while the labeled loop/switch is being
+	// built.
+	breakTo    *Block
+	continueTo *Block
+}
+
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+	label      string
+}
+
+type builder struct {
+	g      *Graph
+	opt    Options
+	cur    *Block // nil after a terminator; next statement starts a dead block
+	frames []loopFrame
+	labels map[string]*labelInfo
+	// pendingLabel names the label attached to the statement being built.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// current returns the block under construction, starting a fresh
+// (unreachable) one if the previous statement terminated control flow.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.current()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		if b.cur != nil {
+			edge(b.cur, li.block)
+		}
+		b.cur = li.block
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		head := b.current()
+		b.g.nodeBlock[s] = head
+		done := b.newBlock()
+		then := b.newBlock()
+		edge(head, then)
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			edge(b.cur, done)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			edge(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				edge(b.cur, done)
+			}
+		} else {
+			edge(head, done)
+		}
+		b.cur = done
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		if b.cur != nil {
+			edge(b.cur, head)
+		}
+		b.cur = head
+		b.add(s.Cond)
+		b.g.nodeBlock[s] = head
+		done := b.newBlock()
+		if s.Cond != nil {
+			edge(head, done)
+		}
+		body := b.newBlock()
+		edge(head, body)
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.pushFrame(done, cont, label)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		if b.cur != nil {
+			edge(b.cur, cont)
+		}
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			if b.cur != nil {
+				edge(b.cur, head)
+			}
+		}
+		b.cur = done
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		if b.cur != nil {
+			edge(b.cur, head)
+		}
+		b.cur = head
+		// The RangeStmt node itself carries the head's evaluation (X) and
+		// per-iteration definitions (Key/Value); consumers treat it
+		// shallowly.
+		b.add(s)
+		b.g.nodeBlock[s] = head
+		done := b.newBlock()
+		edge(head, done)
+		body := b.newBlock()
+		edge(head, body)
+		b.pushFrame(done, head, label)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		if b.cur != nil {
+			edge(b.cur, head)
+		}
+		b.cur = done
+	case *ast.SwitchStmt:
+		b.switchStmt(s, s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s, s.Init, nil, s.Body)
+		// The assign (x := y.(type)) is evaluated at the head; record it
+		// there so flow sees the definition.
+		if head, ok := b.g.nodeBlock[s]; ok && s.Assign != nil {
+			head.Nodes = append(head.Nodes, s.Assign)
+			b.g.nodeBlock[s.Assign] = head
+		}
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.current()
+		b.g.nodeBlock[s] = head
+		done := b.newBlock()
+		b.pushFrame(done, nil, label)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				edge(b.cur, done)
+			}
+		}
+		b.popFrame()
+		b.cur = done
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if b.opt.NoReturn != nil && b.opt.NoReturn(call) {
+				b.cur = nil
+			}
+		}
+	default:
+		// Assign, IncDec, Send, Decl, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) switchStmt(s ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	b.add(tag)
+	head := b.current()
+	b.g.nodeBlock[s] = head
+	done := b.newBlock()
+	b.pushFrame(done, nil, label)
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+			b.g.nodeBlock[e] = head
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock()
+		edge(head, blocks[i])
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		if b.cur == nil {
+			continue
+		}
+		if endsWithFallthrough(cc.Body) && i+1 < len(blocks) {
+			edge(b.cur, blocks[i+1])
+		} else {
+			edge(b.cur, done)
+		}
+	}
+	b.popFrame()
+	b.cur = done
+}
+
+func endsWithFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findFrame(s.Label, false); t != nil {
+			if b.cur != nil {
+				edge(b.cur, t)
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := b.findFrame(s.Label, true); t != nil {
+			if b.cur != nil {
+				edge(b.cur, t)
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			li := b.labelFor(s.Label.Name)
+			if b.cur != nil {
+				edge(b.cur, li.block)
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// The enclosing switch builder wires the edge to the next clause.
+	}
+}
+
+// findFrame resolves a break/continue target, optionally by label.
+func (b *builder) findFrame(label *ast.Ident, needContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if needContinue {
+			return f.continueTo
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+func (b *builder) pushFrame(breakTo, continueTo *Block, label string) {
+	b.frames = append(b.frames, loopFrame{breakTo: breakTo, continueTo: continueTo, label: label})
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }

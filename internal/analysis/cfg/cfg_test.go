@@ -1,0 +1,237 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and constructs its graph,
+// treating calls to the identifier "noret" (and the builtin panic) as
+// no-return.
+func build(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt, *Graph) {
+	t.Helper()
+	src := "package p\nfunc f(c bool, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body, Options{NoReturn: func(call *ast.CallExpr) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && (id.Name == "noret" || id.Name == "panic")
+	}})
+	return fset, fd.Body, g
+}
+
+// stmtOnLine finds the statement starting on the given body-relative line
+// (1 = first line of the body).
+func stmtOnLine(fset *token.FileSet, body *ast.BlockStmt, line int) ast.Node {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && fset.Position(s.Pos()).Line == line+2 {
+			found = s
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func TestDeadAfterReturn(t *testing.T) {
+	fset, body, g := build(t, `
+	if c {
+		return
+	}
+	_ = c`)
+	// Line 5 (`_ = c`) is reachable: the if may fall through.
+	if n := stmtOnLine(fset, body, 5); n == nil || g.Dead(n) {
+		t.Fatalf("statement after conditional return should be live")
+	}
+}
+
+func TestDeadAfterBothBranchesReturn(t *testing.T) {
+	fset, body, g := build(t, `
+	if c {
+		return
+	} else {
+		return
+	}
+	_ = c`)
+	if n := stmtOnLine(fset, body, 7); n == nil || !g.Dead(n) {
+		t.Fatalf("statement after if/else that both return should be dead")
+	}
+}
+
+func TestDeadAfterNoReturnCall(t *testing.T) {
+	fset, body, g := build(t, `
+	noret()
+	_ = c
+	_ = xs`)
+	for _, line := range []int{3, 4} {
+		if n := stmtOnLine(fset, body, line); n == nil || !g.Dead(n) {
+			t.Fatalf("line %d after noret() should be dead", line)
+		}
+	}
+}
+
+func TestLoopBodyLiveAfterBreak(t *testing.T) {
+	fset, body, g := build(t, `
+	for i := 0; i < 3; i++ {
+		if c {
+			break
+		}
+		_ = i
+	}
+	_ = c`)
+	if n := stmtOnLine(fset, body, 6); n == nil || g.Dead(n) {
+		t.Fatalf("loop body after conditional break should be live")
+	}
+	if n := stmtOnLine(fset, body, 8); n == nil || g.Dead(n) {
+		t.Fatalf("statement after loop should be live")
+	}
+}
+
+func TestInfiniteLoopMakesTailDead(t *testing.T) {
+	fset, body, g := build(t, `
+	for {
+		_ = c
+	}
+	_ = xs`)
+	if n := stmtOnLine(fset, body, 5); n == nil || !g.Dead(n) {
+		t.Fatalf("statement after for{} without break should be dead")
+	}
+}
+
+func TestInfiniteLoopWithBreakKeepsTailLive(t *testing.T) {
+	fset, body, g := build(t, `
+	for {
+		if c {
+			break
+		}
+	}
+	_ = xs`)
+	if n := stmtOnLine(fset, body, 7); n == nil || g.Dead(n) {
+		t.Fatalf("break should make post-loop code live")
+	}
+}
+
+func TestRangeAndSwitch(t *testing.T) {
+	fset, body, g := build(t, `
+	for _, x := range xs {
+		_ = x
+	}
+	switch {
+	case c:
+		return
+	default:
+		_ = xs
+	}
+	_ = c`)
+	if n := stmtOnLine(fset, body, 3); n == nil || g.Dead(n) {
+		t.Fatalf("range body should be live")
+	}
+	if n := stmtOnLine(fset, body, 11); n == nil || g.Dead(n) {
+		t.Fatalf("code after switch with non-returning default should be live")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	fset, body, g := build(t, `
+	goto done
+	_ = c
+done:
+	_ = xs`)
+	if n := stmtOnLine(fset, body, 3); n == nil || !g.Dead(n) {
+		t.Fatalf("statement skipped by goto should be dead")
+	}
+	if n := stmtOnLine(fset, body, 5); n == nil || g.Dead(n) {
+		t.Fatalf("goto target should be live")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	fset, body, g := build(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	_ = c`)
+	if n := stmtOnLine(fset, body, 8); n == nil || g.Dead(n) {
+		t.Fatalf("labeled break should make post-loop code live")
+	}
+}
+
+func TestFuncLitInteriorUntracked(t *testing.T) {
+	fset, body, g := build(t, `
+	f := func() {
+		return
+	}
+	f()`)
+	_ = fset
+	var ret ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	if ret == nil {
+		t.Fatal("no return found")
+	}
+	if _, ok := g.BlockOf(ret); ok {
+		t.Fatalf("function-literal interior must not be tracked by the outer graph")
+	}
+}
+
+func TestEveryBlockNodeMapped(t *testing.T) {
+	_, _, g := build(t, `
+	x := 0
+	for i := 0; i < 10; i++ {
+		switch {
+		case c:
+			x++
+		}
+	}
+	_ = x`)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			got, ok := g.BlockOf(n)
+			if !ok || got != b {
+				t.Fatalf("block node %T not mapped to its block", n)
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	src := "package p\nfunc f(ch chan int) {\nselect {\ncase <-ch:\n}\n_ = ch\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body, Options{})
+	var after ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			after = a
+		}
+		return true
+	})
+	if after == nil || g.Dead(after) {
+		t.Fatalf("code after select with a comm clause should be live")
+	}
+	if !strings.Contains(src, "select") {
+		t.Fatal("bad fixture")
+	}
+}

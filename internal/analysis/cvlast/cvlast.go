@@ -75,7 +75,14 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 		if analysis.IsTxMethod(fn, "Retry") {
 			if stmt := enclosingStmt(e.Body(), call); stmt != nil {
 				if next := stmtAfter(e.Body(), stmt); next != nil {
-					pass.Reportf(next.Pos(), "statement follows Tx.Retry in the same block: Retry unwinds the transaction and never returns, so this statement is unreachable")
+					pass.Report(analysis.Diagnostic{
+						Pos:     next.Pos(),
+						Message: "statement follows Tx.Retry in the same block: Retry unwinds the transaction and never returns, so this statement is unreachable",
+						Fixes: []analysis.SuggestedFix{{
+							Message: "delete the unreachable statement",
+							Edits:   []analysis.TextEdit{analysis.DeleteStmtEdit(pass.Prog.Fset, next)},
+						}},
+					})
 				}
 			}
 		}

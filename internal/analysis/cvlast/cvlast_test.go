@@ -10,3 +10,7 @@ import (
 func TestCvlast(t *testing.T) {
 	analysistest.Run(t, "testdata/src/cvlast", cvlast.Analyzer)
 }
+
+func TestCvlastFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata/src/cvlastfix", cvlast.Analyzer)
+}

@@ -1,0 +1,25 @@
+// Fix fixture for cvlast's dead-code deletion: a statement after Tx.Retry
+// never executes and is removed. fixture.go.golden is the expected
+// `tmvet -fix` output.
+package fixture
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+var (
+	eng  *tm.Engine
+	th   *tm.Thread
+	flag memseg.Addr
+)
+
+func waitReady() {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if tx.Load(flag) == 0 {
+			tx.Retry()
+			tx.Store(flag, 2) // want cvlast:"unreachable"
+		}
+		return nil
+	})
+}

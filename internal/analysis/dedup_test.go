@@ -1,0 +1,63 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/txsafe"
+)
+
+// TestDedupAndAllowAcrossEntries checks two properties of entry
+// resolution the // want harness cannot express on its own: a named body
+// reached from several critical sections is analyzed once (one
+// diagnostic, not one per entering call site), and a //gotle:allow
+// directive holds for such a body no matter how many entries reach it.
+func TestDedupAndAllowAcrossEntries(t *testing.T) {
+	prog := analysistest.Program(t)
+	abs, err := filepath.Abs("testdata/src/dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.AddDir(abs, "fixture/dedup")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Package{pkg}, []*analysis.Analyzer{txsafe.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		for _, d := range diags {
+			t.Logf("  %s", analysis.Format(prog.Fset, d))
+		}
+		t.Fatalf("got %d diagnostics, want exactly 1 (deduplicated across entries, allow honored)", len(diags))
+	}
+
+	// The survivor must be sharedBody's marked Signal call, not a copy per
+	// entry and not allowedBody's suppressed one.
+	fixtureFile := filepath.Join(abs, "fixture.go")
+	src, err := os.ReadFile(fixtureFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "MARK: flagged-once") {
+			markLine = i + 1
+		}
+	}
+	if markLine == 0 {
+		t.Fatal("fixture marker not found")
+	}
+	pos := prog.Fset.Position(diags[0].Pos)
+	if pos.Filename != fixtureFile || pos.Line != markLine {
+		t.Errorf("diagnostic at %s:%d, want %s:%d", pos.Filename, pos.Line, fixtureFile, markLine)
+	}
+	if !strings.Contains(diags[0].Message, "SignalTx") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// DeleteStmtEdit builds the edit that removes statement n together with
+// its line when nothing else shares it: the span runs from the start of
+// n's first line through the newline ending its last line, so applying it
+// leaves no blank hole. Multi-line statements are removed whole.
+func DeleteStmtEdit(fset *token.FileSet, n ast.Node) TextEdit {
+	file := fset.File(n.Pos())
+	start := file.LineStart(file.Line(n.Pos()))
+	endLine := file.Line(n.End())
+	var end token.Pos
+	if endLine < file.LineCount() {
+		end = file.LineStart(endLine + 1)
+	} else {
+		end = token.Pos(file.Base() + file.Size())
+	}
+	return TextEdit{Pos: start, End: end}
+}
+
+// ApplyFixes applies every suggested fix carried by diags and returns the
+// fixed file contents, gofmt-formatted, keyed by filename. Files with no
+// fixes are absent. Overlapping edits are an error: a fix must not fight
+// another fix.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	edits := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				name := fset.Position(e.Pos).Filename
+				edits[name] = append(edits[name], e)
+			}
+		}
+	}
+	out := make(map[string][]byte)
+	for name, es := range edits {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		file := fset.File(es[0].Pos)
+		sort.Slice(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+		for i := 1; i < len(es); i++ {
+			if es[i].Pos < es[i-1].End {
+				return nil, fmt.Errorf("fix: overlapping edits in %s at offset %d",
+					name, file.Offset(es[i].Pos))
+			}
+		}
+		// Apply back to front so earlier offsets stay valid.
+		for i := len(es) - 1; i >= 0; i-- {
+			start, end := file.Offset(es[i].Pos), file.Offset(es[i].End)
+			if start < 0 || end > len(src) || start > end {
+				return nil, fmt.Errorf("fix: edit out of range in %s", name)
+			}
+			src = append(src[:start:start], append([]byte(es[i].NewText), src[end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("fix: %s does not format after edits: %v", name, err)
+		}
+		out[name] = formatted
+	}
+	return out, nil
+}

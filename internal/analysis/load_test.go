@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestImportSourceFallback covers the stdlib import path taken when no
+// export data was recorded (a stale or cross-compiled build cache leaves
+// `go list -export` empty-handed): Program.Import must fall back to
+// type-checking the standard library from source.
+func TestImportSourceFallback(t *testing.T) {
+	prog := newProgram() // fresh: the export map is empty
+	tpkg, err := prog.Import("strings")
+	if err != nil {
+		t.Fatalf("source-importer fallback: %v", err)
+	}
+	if tpkg.Path() != "strings" || !tpkg.Complete() {
+		t.Fatalf("imported %q (complete=%v), want a complete strings package", tpkg.Path(), tpkg.Complete())
+	}
+	if tpkg.Scope().Lookup("Builder") == nil {
+		t.Fatal("strings.Builder not visible through the source importer")
+	}
+}
+
+// TestAddDirSourceFallback type-checks a fixture package against a
+// Program with no export data, so its stdlib import must resolve through
+// the same fallback end to end.
+func TestAddDirSourceFallback(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tiny
+
+import "strings"
+
+func Upper(s string) string { return strings.ToUpper(s) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := newProgram()
+	pkg, err := prog.AddDir(dir, "fixture/tiny")
+	if err != nil {
+		t.Fatalf("AddDir via source-importer fallback: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("Upper") == nil {
+		t.Fatal("Upper was not type-checked")
+	}
+}

@@ -1,0 +1,111 @@
+// Package lockorder implements the two-phase-locking analyzer for elided
+// critical sections. The paper's Listing 3 hazard generalizes: a TLE
+// transaction publishes nothing until it commits, so any protocol that
+// completes one critical section and then enters another inside the same
+// atomic extent is relying on visibility that elision does not provide —
+// the first section's writes are still speculative when the second
+// section runs. GCC's TM TS has no equivalent check; lockorder supplies
+// the discipline the paper's Section VI refactorings (examples/twophase)
+// establish by hand:
+//
+//   - acquire-after-release: on some path through an atomic body, a
+//     critical section begins after another critical section has already
+//     completed. Reported on the violating entry, including when the
+//     sections live in a callee (interprocedural summaries propagate the
+//     hazard to the call site).
+//
+//   - lock-order cycles: across all atomic entries in the program, lock A's
+//     sections nest sections on lock B while lock B's sections nest
+//     sections on lock A. Under elision the nested entries flatten into one
+//     transaction, but every abort falls back to real locks, where the
+//     inconsistent order deadlocks.
+//
+// The analysis runs on tmflow's completed-set dataflow over each body's
+// control-flow graph, so branch-disjoint sections (if/else arms that each
+// use a lock once) are not flagged: no single path sees a completed
+// section before a new one.
+package lockorder
+
+import (
+	"fmt"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce two-phase locking and a consistent lock order inside elided critical sections",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AtomicEntries(pass.Pkg) {
+		facts := tmflow.EntryFacts(e)
+		for _, r := range facts.Reacquires {
+			via := ""
+			if r.Via != nil {
+				via = fmt.Sprintf(" (via %s)", r.Via.FullName())
+			}
+			if r.Prior.Key == r.Next.Key {
+				pass.Reportf(r.Pos, "critical section on %s re-entered after an earlier section on it completed%s: the first section's writes are still speculative under elision, so the second entry observes pre-transaction state (Listing 3; merge the sections or restructure as in examples/twophase)", r.Next.Pretty, via)
+			} else {
+				pass.Reportf(r.Pos, "critical section on %s begins after the section on %s already completed%s: two-phase locking is violated — under elision the completed section's writes are not yet visible to other threads (merge the sections into one atomic extent, examples/twophase)", r.Next.Pretty, r.Prior.Pretty, via)
+			}
+		}
+	}
+
+	// Program-wide lock-order cycles between nested critical sections.
+	edges := tmflow.LockGraph(pass.Prog)
+	adj := make(map[string][]tmflow.LockEdge)
+	for _, e := range edges {
+		adj[e.From.Key] = append(adj[e.From.Key], e)
+	}
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		if e.Pkg != pass.Pkg {
+			continue
+		}
+		back := pathBetween(adj, e.To.Key, e.From.Key)
+		if back == nil {
+			continue
+		}
+		id := fmt.Sprintf("%v:%s>%s", e.Pos, e.From.Key, e.To.Key)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		rev := back[0]
+		pass.Reportf(e.Pos, "lock-order cycle: %s nests a section on %s here, but %s nests a section on %s at %s — the elided transactions flatten, yet the serial fallback path takes the real locks in both orders and can deadlock (pick one global order)",
+			e.From.Pretty, e.To.Pretty, rev.From.Pretty, rev.To.Pretty, pass.Position(rev.Pos))
+	}
+	return nil
+}
+
+// pathBetween returns a chain of nesting edges leading from lock key from
+// to lock key to, or nil. Used to close cycles: an edge A→B plus a path
+// B→…→A is a lock-order inversion.
+func pathBetween(adj map[string][]tmflow.LockEdge, from, to string) []tmflow.LockEdge {
+	type frame struct {
+		key  string
+		path []tmflow.LockEdge
+	}
+	visited := map[string]bool{from: true}
+	work := []frame{{key: from}}
+	for len(work) > 0 {
+		f := work[0]
+		work = work[1:]
+		for _, e := range adj[f.key] {
+			next := append(append([]tmflow.LockEdge{}, f.path...), e)
+			if e.To.Key == to {
+				return next
+			}
+			if !visited[e.To.Key] {
+				visited[e.To.Key] = true
+				work = append(work, frame{key: e.To.Key, path: next})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockorder", lockorder.Analyzer)
+}

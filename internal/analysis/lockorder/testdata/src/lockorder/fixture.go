@@ -1,0 +1,116 @@
+// Fixture for the lockorder analyzer: two-phase-locking discipline inside
+// elided critical sections, interprocedural propagation through callees,
+// and program-wide lock-order cycles.
+package fixture
+
+import (
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+var (
+	th *tm.Thread
+
+	muA *tle.Mutex
+	muB *tle.Mutex
+	muC *tle.Mutex
+	muD *tle.Mutex
+)
+
+// reacquireSame completes a section on muB and then enters muB again:
+// the second entry cannot see the first section's speculative writes.
+func reacquireSame() {
+	muA.Do(th, func(tx tm.Tx) error {
+		muB.Do(th, noop)
+		muB.Do(th, noop) // want lockorder:"re-entered after an earlier section on it completed"
+		return nil
+	})
+}
+
+// releaseThenAcquire completes the muB section, then acquires muC:
+// acquire-after-release breaks two-phase locking.
+func releaseThenAcquire() {
+	muA.Do(th, func(tx tm.Tx) error {
+		muB.Do(th, noop)
+		muC.Do(th, noop) // want lockorder:"begins after the section on muB already completed"
+		return nil
+	})
+}
+
+// loopReacquire re-enters the section on the loop's back edge: iteration
+// two runs after iteration one's section completed.
+func loopReacquire(n int) {
+	muA.Do(th, func(tx tm.Tx) error {
+		for i := 0; i < n; i++ {
+			muB.Do(th, noop) // want lockorder:"re-entered after an earlier section on it completed"
+		}
+		return nil
+	})
+}
+
+// helper carries the hazard in a callee; the entry's diagnostic lands on
+// the call into it.
+func helper() {
+	muB.Do(th, noop)
+	muC.Do(th, noop)
+}
+
+func viaCallee() {
+	muA.Do(th, func(tx tm.Tx) error {
+		helper() // want lockorder:"via fixture/lockorder.helper"
+		return nil
+	})
+}
+
+// branchDisjoint uses each lock on one branch only: no single path sees a
+// completed section before entering another, so this is clean.
+func branchDisjoint(cond bool) {
+	muA.Do(th, func(tx tm.Tx) error {
+		if cond {
+			muB.Do(th, noop)
+		} else {
+			muC.Do(th, noop)
+		}
+		return nil
+	})
+}
+
+// recursiveHold re-enters the entry's own lock, which is a recursive hold
+// under elision, not a release-then-acquire: clean.
+func recursiveHold() {
+	muA.Do(th, func(tx tm.Tx) error {
+		muA.Do(th, noop)
+		return nil
+	})
+}
+
+// deadReacquire only re-enters on a statically dead path (after panic):
+// the flow graph prunes it, so this is clean.
+func deadReacquire(broken bool) {
+	muA.Do(th, func(tx tm.Tx) error {
+		muB.Do(th, noop)
+		if broken {
+			panic("unreachable in fixtures")
+			muB.Do(th, noop)
+		}
+		return nil
+	})
+}
+
+// nestCtoD and nestDtoC nest sections in opposite orders: a lock-order
+// cycle. Each nesting edge is reported where it occurs.
+func nestCtoD() {
+	muC.Do(th, func(tx tm.Tx) error {
+		muD.Do(th, noop) // want lockorder:"lock-order cycle: muC nests a section on muD"
+		return nil
+	})
+}
+
+func nestDtoC() {
+	muD.Do(th, func(tx tm.Tx) error {
+		muC.Do(th, noop) // want lockorder:"lock-order cycle: muD nests a section on muC"
+		return nil
+	})
+}
+
+func noop(tx tm.Tx) error { return nil }

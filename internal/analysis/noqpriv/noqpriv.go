@@ -28,6 +28,7 @@ import (
 	"go/types"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
 )
 
 // Analyzer is the noqpriv pass.
@@ -48,13 +49,15 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 	// One transitive sweep collects both the NoQuiesce sites and the
 	// privatization evidence.
 	type site struct {
-		pos   token.Pos
-		trail string
+		pos    token.Pos
+		trail  string
+		call   *ast.CallExpr // the NoQuiesce call itself
+		direct bool          // call sits directly in the entry body
 	}
 	var noq []site
 	var free, publish *site
 
-	v := &analysis.ReachVisitor{
+	v := &tmflow.Visitor{
 		Prog:   pass.Prog,
 		Opaque: analysis.IsRuntimeFn,
 		Visit: func(pkg *analysis.Package, n ast.Node, trail []*types.Func) bool {
@@ -66,10 +69,10 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 				}
 				switch {
 				case analysis.IsTxMethod(fn, "NoQuiesce"):
-					noq = append(noq, site{n.Pos(), analysis.TrailString(trail)})
+					noq = append(noq, site{n.Pos(), analysis.TrailString(trail), n, len(trail) == 0})
 				case analysis.IsFreeCall(fn):
 					if free == nil {
-						free = &site{n.Pos(), analysis.TrailString(trail)}
+						free = &site{pos: n.Pos(), trail: analysis.TrailString(trail)}
 					}
 				}
 			case *ast.AssignStmt:
@@ -94,7 +97,7 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 						continue
 					}
 					if publishesAddr(pkg, lhs) && publish == nil {
-						publish = &site{n.Pos(), analysis.TrailString(trail)}
+						publish = &site{pos: n.Pos(), trail: analysis.TrailString(trail)}
 					}
 				}
 			}
@@ -104,13 +107,43 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 	v.Walk(e.BodyPkg, e.Body())
 
 	for _, s := range noq {
+		var msg string
 		switch {
 		case free != nil:
-			pass.Reportf(s.pos, "Tx.NoQuiesce in a transaction that also frees TM memory%s: privatizing transactions must quiesce or a doomed reader touches recycled memory (Listing 1)", free.trail)
+			msg = "Tx.NoQuiesce in a transaction that also frees TM memory" + free.trail + ": privatizing transactions must quiesce or a doomed reader touches recycled memory (Listing 1)"
 		case publish != nil:
-			pass.Reportf(s.pos, "Tx.NoQuiesce in a transaction that also publishes TM addresses%s: readers of the published pointer race the skipped quiescence fence (Listing 2)", publish.trail)
+			msg = "Tx.NoQuiesce in a transaction that also publishes TM addresses" + publish.trail + ": readers of the published pointer race the skipped quiescence fence (Listing 2)"
+		default:
+			continue
 		}
+		d := analysis.Diagnostic{Pos: s.pos, Message: msg}
+		// When the call is a statement of the entry body itself, deleting
+		// it restores the default (safe) quiescent commit.
+		if s.direct {
+			if stmt := noQuiesceStmt(e.Body(), s.call); stmt != nil {
+				d.Fixes = []analysis.SuggestedFix{{
+					Message: "drop the NoQuiesce hint and take the quiescence fence",
+					Edits:   []analysis.TextEdit{analysis.DeleteStmtEdit(pass.Prog.Fset, stmt)},
+				}}
+			}
+		}
+		pass.Report(d)
 	}
+}
+
+// noQuiesceStmt finds the ExprStmt of body whose expression is exactly
+// call; a NoQuiesce call in any other position (argument, condition) has
+// no statement to delete.
+func noQuiesceStmt(body *ast.BlockStmt, call *ast.CallExpr) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok && ast.Unparen(es.X) == call {
+			found = es
+			return false
+		}
+		return found == nil
+	})
+	return found
 }
 
 // publishesAddr reports whether an assignment target makes an address

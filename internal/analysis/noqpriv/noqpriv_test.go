@@ -10,3 +10,7 @@ import (
 func TestNoqpriv(t *testing.T) {
 	analysistest.Run(t, "testdata/src/noqpriv", noqpriv.Analyzer)
 }
+
+func TestNoqprivFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata/src/noqprivfix", noqpriv.Analyzer)
+}

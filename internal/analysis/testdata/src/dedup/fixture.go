@@ -1,0 +1,40 @@
+// Fixture for entry deduplication crossed with //gotle:allow: a named
+// body entered from two critical sections is analyzed once (one
+// diagnostic, not one per entry), and an allow directive on the hazard
+// line silences the finding no matter how many entries reach the body.
+// Checked by TestDedupAndAllowAcrossEntries, not the // want harness.
+package fixture
+
+import (
+	"gotle/internal/condvar"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+var (
+	th  *tm.Thread
+	muX *tle.Mutex
+	muY *tle.Mutex
+	cv  *condvar.Cond
+)
+
+// sharedBody is passed to Mutex.Do from two call sites; the Signal
+// hazard must be reported exactly once, at this declaration.
+func sharedBody(tx tm.Tx) error {
+	cv.Signal() // MARK: flagged-once
+	return nil
+}
+
+func enterX() { _ = muX.Do(th, sharedBody) }
+func enterY() { _ = muY.Do(th, sharedBody) }
+
+// allowedBody carries the same hazard under an allow directive; no
+// finding may survive even though two entries reach it.
+func allowedBody(tx tm.Tx) error {
+	//gotle:allow txsafe fixture: suppression must hold across deduplicated entries
+	cv.Signal()
+	return nil
+}
+
+func enterAllowedX() { _ = muX.Do(th, allowedBody) }
+func enterAllowedY() { _ = muY.Do(th, allowedBody) }

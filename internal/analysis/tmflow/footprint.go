@@ -1,0 +1,420 @@
+package tmflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"gotle/internal/analysis"
+)
+
+// WordsPerLine matches the simulated HTM's cache-line granularity
+// (htm.Config: 64-byte lines over a word-addressable heap = 8 words).
+const WordsPerLine = 8
+
+// DefaultLoopWeight is the assumed trip count of loops whose bound is not
+// a compile-time constant. The Fig. 5 microbenchmarks traverse 2^6-element
+// sets, so 16 keeps unknown loops in a realistic mid-range without letting
+// a single unbounded loop saturate every estimate.
+const DefaultLoopWeight = 16
+
+// maxWeight caps the loop-weight product so nested unknown loops cannot
+// overflow into meaninglessly huge estimates.
+const maxWeight = 1 << 20
+
+// A Footprint is the static estimate of how many distinct cache lines an
+// atomic body reads and writes transactionally per execution — the
+// quantity the paper's Section IV capacity-abort discussion is about.
+type Footprint struct {
+	ReadLines  float64
+	WriteLines float64
+}
+
+// lineAcc accumulates line estimates with same-line deduplication:
+// accesses whose base is loop-invariant and whose offset is constant
+// collapse into distinct (base, line) groups; everything else contributes
+// its loop weight in full.
+type lineAcc struct {
+	lines   map[lineGroup]bool
+	widened float64
+}
+
+type lineGroup struct {
+	base interface{} // *types.Var, or token.Pos for call-derived bases
+	line int64
+}
+
+func (a *lineAcc) addConst(base interface{}, off int64) {
+	if a.lines == nil {
+		a.lines = make(map[lineGroup]bool)
+	}
+	a.lines[lineGroup{base: base, line: off / WordsPerLine}] = true
+}
+
+func (a *lineAcc) total() float64 { return float64(len(a.lines)) + a.widened }
+
+var (
+	footMu    sync.Mutex
+	footCache = map[*ast.BlockStmt]Footprint{}
+	footInFly = map[*ast.BlockStmt]bool{}
+)
+
+// FootprintOf estimates body's transactional footprint. Interface method
+// calls resolve to every concrete implementation in the program and take
+// the worst case; recursion contributes once.
+func FootprintOf(pkg *analysis.Package, body *ast.BlockStmt) Footprint {
+	footMu.Lock()
+	if fp, ok := footCache[body]; ok {
+		footMu.Unlock()
+		return fp
+	}
+	if footInFly[body] {
+		footMu.Unlock()
+		return Footprint{}
+	}
+	footInFly[body] = true
+	footMu.Unlock()
+
+	var reads, writes lineAcc
+	walkFootprint(pkg, body, 1, &reads, &writes)
+	fp := Footprint{ReadLines: reads.total(), WriteLines: writes.total()}
+
+	footMu.Lock()
+	footCache[body] = fp
+	delete(footInFly, body)
+	footMu.Unlock()
+	return fp
+}
+
+// walkFootprint accumulates the accesses under n, multiplying by weight
+// for each enclosing loop.
+func walkFootprint(pkg *analysis.Package, n ast.Node, weight float64, reads, writes *lineAcc) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if m.Body != nil && m != n {
+				// A literal defined here usually runs here (entry bodies are
+				// analyzed separately; Tx.Defer actions run post-commit but
+				// touch no TM state transactionally by contract).
+				walkFootprint(pkg, m.Body, weight, reads, writes)
+			}
+			return false
+		case *ast.ForStmt:
+			w := clampWeight(weight * float64(tripCount(pkg, m)))
+			if m.Init != nil {
+				walkFootprint(pkg, m.Init, weight, reads, writes)
+			}
+			if m.Cond != nil {
+				walkFootprint(pkg, m.Cond, w, reads, writes)
+			}
+			if m.Post != nil {
+				walkFootprint(pkg, m.Post, w, reads, writes)
+			}
+			walkFootprint(pkg, m.Body, w, reads, writes)
+			return false
+		case *ast.RangeStmt:
+			w := clampWeight(weight * DefaultLoopWeight)
+			walkFootprint(pkg, m.X, weight, reads, writes)
+			walkFootprint(pkg, m.Body, w, reads, writes)
+			return false
+		case *ast.CallExpr:
+			callFootprint(pkg, m, weight, reads, writes)
+			return true // descend: arguments may contain nested accesses
+		}
+		return true
+	})
+}
+
+// callFootprint classifies one call: a TM access, a module-local callee
+// (inline its memoized footprint), or an interface method (worst concrete
+// implementation).
+func callFootprint(pkg *analysis.Package, call *ast.CallExpr, weight float64, reads, writes *lineAcc) bool {
+	fn := pkg.FuncOf(call)
+	if fn == nil {
+		return false
+	}
+	switch {
+	case analysis.IsTxMethod(fn, "Load"):
+		if len(call.Args) == 1 {
+			addAccess(pkg, call, call.Args[0], weight, reads)
+		}
+		return true
+	case analysis.IsTxMethod(fn, "Store"):
+		if len(call.Args) == 2 {
+			addAccess(pkg, call, call.Args[0], weight, writes)
+		}
+		return true
+	case analysis.IsTxMethod(fn, "Alloc"):
+		words := int64(1)
+		if len(call.Args) == 1 {
+			if c, ok := constValue(pkg, call.Args[0]); ok {
+				words = c
+			}
+		}
+		lines := (words + WordsPerLine - 1) / WordsPerLine
+		writes.widened += weight * float64(lines)
+		return true
+	case analysis.IsFreeCall(fn):
+		writes.widened += weight
+		return true
+	case analysis.IsRuntimeFn(fn):
+		return true
+	}
+	// Module-local callee with a body: inline its footprint once.
+	if dpkg, decl := pkg.Prog.DeclOf(fn); decl != nil && decl.Body != nil {
+		fp := FootprintOf(dpkg, decl.Body)
+		reads.widened += weight * fp.ReadLines
+		writes.widened += weight * fp.WriteLines
+		return true
+	}
+	// Interface method: take the worst concrete implementation.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, ok := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface); ok {
+			fp := worstImpl(pkg.Prog, fn)
+			reads.widened += weight * fp.ReadLines
+			writes.widened += weight * fp.WriteLines
+			return true
+		}
+	}
+	return false
+}
+
+// worstImpl resolves an interface method to every implementing concrete
+// method declared in the program and returns the largest footprint.
+func worstImpl(prog *analysis.Program, ifaceFn *types.Func) Footprint {
+	sig := ifaceFn.Type().(*types.Signature)
+	iface, ok := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface)
+	if !ok {
+		return Footprint{}
+	}
+	var worst Footprint
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			var impl types.Type = named
+			if !types.Implements(impl, iface) {
+				impl = types.NewPointer(named)
+				if !types.Implements(impl, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, ifaceFn.Pkg(), ifaceFn.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if dpkg, decl := prog.DeclOf(m); decl != nil && decl.Body != nil {
+				fp := FootprintOf(dpkg, decl.Body)
+				if fp.ReadLines > worst.ReadLines {
+					worst.ReadLines = fp.ReadLines
+				}
+				if fp.WriteLines > worst.WriteLines {
+					worst.WriteLines = fp.WriteLines
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// addAccess records one Tx.Load/Store address expression. The address
+// decomposes into a base (root variable or call result) plus a constant
+// word offset; if the base is not redefined inside any enclosing loop and
+// the offset is constant, repeated executions hit the same line and the
+// access dedups into a line group. Otherwise each weighted execution is
+// assumed to touch a fresh line — a deliberate over-approximation for
+// pointer-chasing loops, which is exactly the data-structure shape that
+// overflows HTM read sets (Section IV).
+func addAccess(pkg *analysis.Package, call *ast.CallExpr, addr ast.Expr, weight float64, acc *lineAcc) {
+	base, off, constOff := splitAddr(pkg, addr)
+	if constOff && weight <= 1 {
+		if base != nil {
+			acc.addConst(base, off)
+			return
+		}
+	}
+	if constOff && base != nil && !loopVariant(pkg, call, base) {
+		acc.addConst(base, off)
+		return
+	}
+	acc.widened += weight
+}
+
+// splitAddr decomposes addr into base ± constant offset. The base is the
+// root *types.Var for variable-rooted expressions, a token.Pos for
+// call-derived addresses, or nil when unrecognized.
+func splitAddr(pkg *analysis.Package, addr ast.Expr) (base interface{}, off int64, constOff bool) {
+	addr = ast.Unparen(addr)
+	if bin, ok := addr.(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+		if c, ok := constValue(pkg, bin.Y); ok {
+			b, o, k := splitAddr(pkg, bin.X)
+			if bin.Op == token.SUB {
+				c = -c
+			}
+			return b, o + c, k
+		}
+		if c, ok := constValue(pkg, bin.X); ok && bin.Op == token.ADD {
+			b, o, k := splitAddr(pkg, bin.Y)
+			return b, o + c, k
+		}
+		b, _, _ := splitAddr(pkg, bin.X)
+		return b, 0, false
+	}
+	switch e := addr.(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v, 0, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, 0, true
+			}
+		}
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v, 0, true
+		}
+	case *ast.CallExpr:
+		// Conversions like memseg.Addr(x) wrap the underlying expression.
+		if tv, ok := pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return splitAddr(pkg, e.Args[0])
+		}
+		return e.Pos(), 0, false
+	}
+	return nil, 0, false
+}
+
+// loopVariant reports whether base (a variable) is assigned anywhere
+// inside a loop that encloses the access — in which case each iteration
+// addresses different memory.
+func loopVariant(pkg *analysis.Package, access ast.Node, base interface{}) bool {
+	v, ok := base.(*types.Var)
+	if !ok {
+		return true
+	}
+	variant := false
+	for _, file := range pkg.Files {
+		if access.Pos() < file.FileStart || access.Pos() > file.FileEnd {
+			continue
+		}
+		var loops []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil || variant {
+				return false
+			}
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if n.Pos() <= access.Pos() && access.Pos() < n.End() {
+					loops = append(loops, n)
+				}
+			}
+			return true
+		})
+		for _, loop := range loops {
+			ast.Inspect(loop, func(n ast.Node) bool {
+				if variant {
+					return false
+				}
+				if assignsVar(pkg, n, v) {
+					variant = true
+				}
+				return true
+			})
+		}
+	}
+	return variant
+}
+
+func assignsVar(pkg *analysis.Package, n ast.Node, v *types.Var) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if pkg.Info.Defs[id] == v || pkg.Info.Uses[id] == v {
+					return true
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if pkg.Info.Uses[id] == v {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		for _, kv := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := kv.(*ast.Ident); ok {
+				if pkg.Info.Defs[id] == v || pkg.Info.Uses[id] == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// tripCount recognizes `for i := 0; i < C; i++` (and <=) with constant C;
+// other loops get DefaultLoopWeight.
+func tripCount(pkg *analysis.Package, loop *ast.ForStmt) int64 {
+	if loop.Cond == nil {
+		return DefaultLoopWeight
+	}
+	bin, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return DefaultLoopWeight
+	}
+	var boundExpr ast.Expr
+	switch bin.Op {
+	case token.LSS, token.LEQ:
+		boundExpr = bin.Y
+	case token.GTR, token.GEQ:
+		boundExpr = bin.X
+	default:
+		return DefaultLoopWeight
+	}
+	bound, ok := constValue(pkg, boundExpr)
+	if !ok || bound <= 0 {
+		return DefaultLoopWeight
+	}
+	if bin.Op == token.LEQ || bin.Op == token.GEQ {
+		bound++
+	}
+	// Assume a unit-stride start at zero unless the init says otherwise.
+	if loop.Init != nil {
+		if as, ok := loop.Init.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if start, ok := constValue(pkg, as.Rhs[0]); ok && start > 0 && start < bound {
+				bound -= start
+			}
+		}
+	}
+	return bound
+}
+
+func constValue(pkg *analysis.Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+func clampWeight(w float64) float64 {
+	if w > maxWeight {
+		return maxWeight
+	}
+	return w
+}

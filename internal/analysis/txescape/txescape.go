@@ -23,6 +23,7 @@ import (
 	"go/types"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
 )
 
 // Analyzer is the txescape pass.
@@ -44,8 +45,14 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 	fnode := e.FuncNode()
 	skips := analysis.DeferSkips(pkg, e.Body())
 	txv := e.TxParam()
+	f := tmflow.Of(pkg, e.Body())
 
 	ast.Inspect(e.Body(), func(n ast.Node) bool {
+		// Publications on statically dead paths (after Tx.Retry or panic)
+		// never execute; the flow graph prunes them.
+		if f.Dead(n) {
+			return false
+		}
 		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
 			// A deferred action runs post-commit: using the Tx inside it
 			// is a stale-handle bug even though other irrevocable effects

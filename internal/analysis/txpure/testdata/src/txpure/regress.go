@@ -1,0 +1,76 @@
+// Regression fixtures for the tmflow retrofit: shapes the original
+// syntactic analyzer flagged as false positives, now proven clean by the
+// control-flow graph and reaching-definition facts. Each clean function
+// has teeth — a reintroduced false positive fails the harness as an
+// unexpected diagnostic.
+package fixture
+
+import (
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+// writeThenRead is the out-parameter idiom with a read INSIDE the body:
+// the captured local is fully overwritten before every read, so no path
+// observes the previous attempt's value. The syntactic checker counted
+// any read and flagged this.
+func writeThenRead(a, b memseg.Addr) uint64 {
+	var n uint64
+	eng.Atomic(th, func(tx tm.Tx) error {
+		n = tx.Load(a)
+		if n > 10 {
+			tx.Store(b, n)
+		}
+		return nil
+	})
+	return n
+}
+
+// overwriteThenBump: the compound write reads its own target, but a plain
+// write dominates it, so it reads this attempt's value, never the leak.
+func overwriteThenBump(a memseg.Addr) uint64 {
+	var n uint64
+	eng.Atomic(th, func(tx tm.Tx) error {
+		n = tx.Load(a)
+		n++
+		return nil
+	})
+	return n
+}
+
+// globalWriteAfterRetry only touches the global on a statically dead
+// path: Tx.Retry unwinds the transaction and never returns.
+func globalWriteAfterRetry(a memseg.Addr) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if tx.Load(a) == 0 {
+			tx.Retry()
+			counter = 99
+		}
+		return nil
+	})
+}
+
+// globalWriteAfterPanic is the same shape behind an unconditional panic.
+func globalWriteAfterPanic(a memseg.Addr) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if tx.Load(a) > 1<<32 {
+			panic("corrupt cell")
+			counter = 99
+		}
+		return nil
+	})
+}
+
+// branchLeak still reads the stale value on the path that skips the
+// write: the positive control proving the refined rule keeps its teeth.
+func branchLeak(a memseg.Addr, cold bool) uint64 {
+	var n uint64
+	eng.Atomic(th, func(tx tm.Tx) error {
+		if cold {
+			n = tx.Load(a) // want txpure:"double-counts on retry"
+		}
+		n++ // want txpure:"double-counts on retry"
+		return nil
+	})
+	return n
+}

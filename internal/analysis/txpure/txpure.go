@@ -29,6 +29,7 @@ import (
 	"go/types"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
 )
 
 // Analyzer is the txpure pass.
@@ -49,11 +50,12 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 	pkg := e.BodyPkg
 	fnode := e.FuncNode()
 	skips := analysis.DeferSkips(pkg, e.Body())
+	f := tmflow.Of(pkg, e.Body())
 
 	// Occurrences of an identifier as the target of a plain `=` store
 	// write the variable without reading it; every other use is a read.
 	storeOnly := make(map[*ast.Ident]bool)
-	walk(e.Body(), skips, func(n ast.Node) {
+	walk(f, e.Body(), skips, func(n ast.Node) {
 		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
 			for _, lhs := range as.Lhs {
 				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
@@ -62,35 +64,40 @@ func checkEntry(pass *analysis.Pass, e *analysis.Entry) {
 			}
 		}
 	})
-	reads := make(map[*types.Var]int)
-	walk(e.Body(), skips, func(n ast.Node) {
+	// A read is stale when the value the variable held at body entry can
+	// still reach it (no write covers every path in). On a re-execution
+	// that incoming value is the previous attempt's leak. Reads that are
+	// overwritten first on every path are the out-parameter idiom and
+	// never observe it.
+	staleRead := make(map[*types.Var]bool)
+	walk(f, e.Body(), skips, func(n ast.Node) {
 		id, ok := n.(*ast.Ident)
 		if !ok || storeOnly[id] {
 			return
 		}
-		if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
-			reads[v]++
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok && f.InitialReaches(v, id) {
+			staleRead[v] = true
 		}
 	})
 
-	walk(e.Body(), skips, func(n ast.Node) {
+	walk(f, e.Body(), skips, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			if n.Tok == token.DEFINE {
 				return
 			}
 			for _, lhs := range n.Lhs {
-				checkWrite(pass, pkg, fnode, lhs, n.Tok != token.ASSIGN, reads)
+				checkWrite(pass, pkg, f, fnode, lhs, n.Tok != token.ASSIGN, staleRead)
 			}
 		case *ast.IncDecStmt:
-			checkWrite(pass, pkg, fnode, n.X, true, reads)
+			checkWrite(pass, pkg, f, fnode, n.X, true, staleRead)
 		}
 	})
 }
 
 // checkWrite judges one assignment target. compound marks read-modify-
 // write forms (`+=`, `++`), which inherently read their target.
-func checkWrite(pass *analysis.Pass, pkg *analysis.Package, fnode ast.Node, lhs ast.Expr, compound bool, reads map[*types.Var]int) {
+func checkWrite(pass *analysis.Pass, pkg *analysis.Package, f *tmflow.Func, fnode ast.Node, lhs ast.Expr, compound bool, staleRead map[*types.Var]bool) {
 	lhs = ast.Unparen(lhs)
 	if id, ok := lhs.(*ast.Ident); ok {
 		if id.Name == "_" {
@@ -100,10 +107,14 @@ func checkWrite(pass *analysis.Pass, pkg *analysis.Package, fnode ast.Node, lhs 
 		if v == nil {
 			return
 		}
+		// A compound write reads its own target, but only observes the
+		// previous attempt's value when no plain write precedes it on some
+		// path (v = ...; v++ reads this attempt's value and is safe).
+		compoundStale := compound && f.InitialReaches(v, id)
 		switch {
 		case isGlobal(pkg, v):
 			pass.Reportf(lhs.Pos(), "write to package-level variable %s in an atomic block: globally visible before commit and not rolled back on abort (use Tx.Store on TM memory, or Tx.Defer)", v.Name())
-		case isCaptured(pkg, fnode, v) && (compound || reads[v] > 0):
+		case isCaptured(pkg, fnode, v) && (compoundStale || staleRead[v]):
 			pass.Reportf(lhs.Pos(), "captured variable %s is read and written in this atomic block: a re-execution after abort observes the previous attempt's value, e.g. an accumulation double-counts on retry (keep a body-local and assign the captured variable exactly once)", v.Name())
 		}
 		return
@@ -171,11 +182,16 @@ func rootIdent(e ast.Expr) *ast.Ident {
 	}
 }
 
-// walk visits the nodes of body, skipping function literals deferred with
-// Tx.Defer (they run post-commit) but descending into other nested
-// literals, which execute within the transaction.
-func walk(body ast.Node, skips map[*ast.FuncLit]bool, visit func(ast.Node)) {
+// walk visits the live nodes of body, skipping function literals deferred
+// with Tx.Defer (they run post-commit) and subtrees the control-flow graph
+// proves unreachable (after Tx.Retry or panic, branches that both return),
+// but descending into other nested literals, which execute within the
+// transaction.
+func walk(f *tmflow.Func, body ast.Node, skips map[*ast.FuncLit]bool, visit func(ast.Node)) {
 	ast.Inspect(body, func(n ast.Node) bool {
+		if f.Dead(n) {
+			return false
+		}
 		if lit, ok := n.(*ast.FuncLit); ok && skips[lit] {
 			return false
 		}

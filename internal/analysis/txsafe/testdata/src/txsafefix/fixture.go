@@ -1,0 +1,33 @@
+// Fix fixture for txsafe's commit-wakeup rewrite: Signal/Broadcast in an
+// atomic body become SignalTx/BroadcastTx with the body's Tx spliced in.
+// fixture.go.golden is the expected `tmvet -fix` output.
+package fixture
+
+import (
+	"gotle/internal/condvar"
+	"gotle/internal/memseg"
+	"gotle/internal/tm"
+)
+
+var (
+	eng  *tm.Engine
+	th   *tm.Thread
+	cv   *condvar.Cond
+	flag memseg.Addr
+)
+
+func wakeOne() {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		tx.Store(flag, 1)
+		cv.Signal() // want txsafe:"use SignalTx"
+		return nil
+	})
+}
+
+func wakeAll(n int) {
+	eng.Atomic(th, func(tx tm.Tx) error {
+		tx.Store(flag, 1)
+		cv.Broadcast(n) // want txsafe:"use BroadcastTx"
+		return nil
+	})
+}

@@ -29,12 +29,14 @@
 package txsafe
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
 )
 
 // Analyzer is the txsafe pass.
@@ -46,12 +48,13 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, e := range analysis.AtomicEntries(pass.Pkg) {
-		v := &analysis.ReachVisitor{
+		e := e
+		v := &tmflow.Visitor{
 			Prog:            pass.Prog,
 			SkipIrrevocable: true,
 			Opaque:          analysis.IsRuntimeFn,
 			Visit: func(pkg *analysis.Package, n ast.Node, trail []*types.Func) bool {
-				check(pass, pkg, n, trail)
+				check(pass, e, pkg, n, trail)
 				return true
 			},
 		}
@@ -60,7 +63,7 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func check(pass *analysis.Pass, pkg *analysis.Package, n ast.Node, trail []*types.Func) {
+func check(pass *analysis.Pass, e *analysis.Entry, pkg *analysis.Package, n ast.Node, trail []*types.Func) {
 	via := analysis.TrailString(trail)
 	switch n := n.(type) {
 	case *ast.GoStmt:
@@ -98,13 +101,52 @@ func check(pass *analysis.Pass, pkg *analysis.Package, n ast.Node, trail []*type
 		case analysis.IsMethod(fn, analysis.PkgTM, "Thread", "Release"):
 			pass.Reportf(n.Pos(), "Thread.Release inside an atomic block panics at run time%s", via)
 		case analysis.IsCondMethod(fn, "Signal") || analysis.IsCondMethod(fn, "Broadcast"):
-			pass.Reportf(n.Pos(), "calls %s in an atomic block: an immediate wakeup escapes an uncommitted transaction; use %sTx, which defers the wakeup to commit%s", fn.FullName(), fn.Name(), via)
+			d := analysis.Diagnostic{
+				Pos: n.Pos(),
+				Message: fmt.Sprintf("calls %s in an atomic block: an immediate wakeup escapes an uncommitted transaction; use %sTx, which defers the wakeup to commit%s",
+					fn.FullName(), fn.Name(), via),
+			}
+			if fix, ok := commitWakeupFix(e, pkg, n, fn, trail); ok {
+				d.Fixes = []analysis.SuggestedFix{fix}
+			}
+			pass.Report(d)
 		default:
 			if desc := denied(fn); desc != "" {
 				pass.Reportf(n.Pos(), "calls %s in an atomic block: %s%s", fn.FullName(), desc, via)
 			}
 		}
 	}
+}
+
+// commitWakeupFix rewrites cv.Signal() to cv.SignalTx(tx) (and Broadcast
+// to BroadcastTx with tx prepended) when the call sits directly in the
+// entry body — where the body's Tx parameter is in scope by name. Calls
+// reached through a callee (non-empty trail) have no tx identifier to
+// splice in and get no automatic fix.
+func commitWakeupFix(e *analysis.Entry, pkg *analysis.Package, call *ast.CallExpr, fn *types.Func, trail []*types.Func) (analysis.SuggestedFix, bool) {
+	if len(trail) > 0 || pkg != e.BodyPkg {
+		return analysis.SuggestedFix{}, false
+	}
+	txv := e.TxParam()
+	if txv == nil || txv.Name() == "_" || txv.Name() == "" {
+		return analysis.SuggestedFix{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	edits := []analysis.TextEdit{{
+		Pos: sel.Sel.Pos(), End: sel.Sel.End(), NewText: fn.Name() + "Tx",
+	}}
+	if len(call.Args) == 0 {
+		edits = append(edits, analysis.TextEdit{Pos: call.Rparen, End: call.Rparen, NewText: txv.Name()})
+	} else {
+		edits = append(edits, analysis.TextEdit{Pos: call.Args[0].Pos(), End: call.Args[0].Pos(), NewText: txv.Name() + ", "})
+	}
+	return analysis.SuggestedFix{
+		Message: fmt.Sprintf("defer the wakeup to commit: %s → %sTx(%s, ...)", fn.Name(), fn.Name(), txv.Name()),
+		Edits:   edits,
+	}, true
 }
 
 // denied classifies calls into external packages that are never

@@ -10,3 +10,7 @@ import (
 func TestTxsafe(t *testing.T) {
 	analysistest.Run(t, "testdata/src/txsafe", txsafe.Analyzer)
 }
+
+func TestTxsafeFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata/src/txsafefix", txsafe.Analyzer)
+}

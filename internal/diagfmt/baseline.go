@@ -1,0 +1,67 @@
+package diagfmt
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A baseline file snapshots the known findings so CI can fail only on new
+// ones: one "file: rule: message" line per finding, sorted and
+// deduplicated. Line numbers are deliberately excluded — a finding that
+// merely moves when unrelated code is edited above it still matches its
+// baseline entry. The trade-off is set semantics: a second instance of an
+// identical finding in the same file is also masked.
+
+// BaselineKey builds the baseline identity of one finding.
+func BaselineKey(file, rule, message string) string {
+	return Line(file, rule, message)
+}
+
+// WriteBaseline writes the keys to path, sorted and deduplicated, with a
+// header explaining the file's role.
+func WriteBaseline(path string, keys []string) error {
+	uniq := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		uniq[k] = true
+	}
+	sorted := make([]string, 0, len(uniq))
+	for k := range uniq {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteString("# tmvet baseline: known findings, one \"file: rule: message\" per line.\n")
+	b.WriteString("# Regenerate with `tmvet -write-baseline <this file>`; CI fails only on\n")
+	b.WriteString("# findings not listed here.\n")
+	for _, k := range sorted {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadBaseline loads the key set from path.
+func ReadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading baseline %s: %w", path, err)
+	}
+	return keys, nil
+}

@@ -1,0 +1,33 @@
+package diagfmt
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// A Record is the machine-readable form of one diagnostic, shared by
+// `tmvet -json` and any future tool that emits the repo-wide line format.
+// Field names are stable: the GitHub Actions problem matcher
+// (.github/tmvet-problem-matcher.json) and editor integrations key on the
+// plain-text format, CI dashboards on this one.
+type Record struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Fix, when non-empty, is the suggested fix's description; the edits
+	// themselves are applied with -fix, not serialized.
+	Fix string `json:"fix,omitempty"`
+}
+
+// EncodeJSON writes records as an indented JSON array. An empty slice
+// encodes as [] rather than null, so consumers can always range.
+func EncodeJSON(w io.Writer, records []Record) error {
+	if records == nil {
+		records = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

@@ -77,10 +77,14 @@ type threadState struct {
 	released map[int]bool
 }
 
-// Checker accumulates acquire/release events. It implements tle.Tracer.
+// Checker accumulates acquire/release events. It implements tle.Tracer,
+// and also tle.LockNamer (see identity.go), so a runtime configured with
+// it reports each mutex's creation site and the checker can name locks the
+// same way the static lockorder analyzer does.
 type Checker struct {
 	mu         sync.Mutex
 	threads    map[uint64]*threadState
+	locks      map[int]lockIdent
 	violations []Violation
 	errs       []string
 }

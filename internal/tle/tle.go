@@ -186,6 +186,15 @@ type Mutex struct {
 	pad     [4]uint64 //nolint:unused // keep mutexes off each other's lines
 }
 
+// LockNamer is an optional extension of Tracer. When the configured
+// tracer also implements it, NewMutex reports each mutex's name and
+// creation site (runtime.Caller of the NewMutex call), giving analysis
+// tools a stable lock identity that matches what static analysis derives
+// from the same source position (lockcheck.SiteKey).
+type LockNamer interface {
+	LockCreated(mid int, name, file string, line int)
+}
+
 // NewMutex creates an elidable mutex. The name appears in diagnostics and
 // lock-order traces.
 func (r *Runtime) NewMutex(name string) *Mutex {
@@ -195,6 +204,11 @@ func (r *Runtime) NewMutex(name string) *Mutex {
 	r.midMu.Unlock()
 	m := &Mutex{r: r, mid: mid, name: name}
 	r.mutexes.Store(mid, name)
+	if ln, ok := r.tracer.(LockNamer); ok {
+		if _, file, line, found := runtime.Caller(1); found {
+			ln.LockCreated(mid, name, file, line)
+		}
+	}
 	return m
 }
 
