@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 5
 CHAOS_SEED ?= 1
 
-.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench clean
+.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench serve-smoke serve-bench clean
 
 # The TM stack proper: the packages `make race-tm` sweeps before merging
 # engine changes.
@@ -51,6 +51,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPackUnpack -fuzztime $(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/bzlike
 	$(GO) test -run '^$$' -fuzz FuzzCompressRoundTrip -fuzztime $(FUZZTIME) ./internal/bzlike
+	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime $(FUZZTIME) ./internal/server
 
 # Chaos sweep: every policy x fault mix under seeded fault injection, with
 # linearizability checking. A failure prints the seed to replay.
@@ -72,6 +73,35 @@ bench:
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./internal/epoch | tee -a $(BENCHDIR)/current.txt
 	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json \
 		$(if $(BENCH_BASELINE),baseline=$(BENCH_BASELINE)) current=$(BENCHDIR)/current.txt
+
+# The network server's zero-to-OK gate: start tleserved (hybrid runtime +
+# adaptive controller), run the loopback protocol self-test, exit. CI runs
+# this so "the binary actually serves" can never regress silently.
+serve-smoke:
+	$(GO) run ./cmd/tleserved -smoke
+
+# Closed-loop network benchmark: tleserved under a capacity-heavy pipelined
+# mix (16 conns x depth 8, mixed 64/2048-byte values, -htm-write-lines 24
+# = a 1.5 KiB write budget, so the 2 KiB sets overflow HTM capacity and
+# drive the adaptive ladder off htm-cv), checked for per-key
+# linearizability, folded into the same BENCH_$(BENCHDATE).json trajectory
+# as `make bench`.
+SERVE_ADDR ?= 127.0.0.1:19333
+SERVE_OPS ?= 100000
+serve-bench:
+	mkdir -p $(BENCHDIR)
+	$(GO) build -o $(BENCHDIR)/tleserved ./cmd/tleserved
+	$(GO) build -o $(BENCHDIR)/loadgen ./cmd/loadgen
+	$(BENCHDIR)/tleserved -addr $(SERVE_ADDR) -htm-write-lines 24 \
+		& echo $$! > $(BENCHDIR)/tleserved.pid; sleep 1; \
+	$(BENCHDIR)/loadgen -addr $(SERVE_ADDR) -conns 16 -depth 8 -ops $(SERVE_OPS) \
+		-set 30 -del 5 -valsize 64,2048 -check > $(BENCHDIR)/serve.txt 2>&1; \
+	rc=$$?; cat $(BENCHDIR)/serve.txt; \
+	kill `cat $(BENCHDIR)/tleserved.pid`; rm -f $(BENCHDIR)/tleserved.pid; \
+	test $$rc -eq 0
+	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json \
+		$(if $(wildcard $(BENCHDIR)/current.txt),current=$(BENCHDIR)/current.txt) \
+		serve=$(BENCHDIR)/serve.txt
 
 # Prove the chaos checker still bites: a sabotaged engine must be caught.
 chaos-teeth:

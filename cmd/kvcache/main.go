@@ -1,6 +1,9 @@
 // Command kvcache drives the memcached-style store (internal/kvstore)
-// under any lock-elision policy with a mixed get/set/delete workload and
-// reports cache and TM statistics.
+// under any lock-elision policy with a mixed get/set/delete/incr workload
+// and reports cache and TM statistics. It shares its workload generator
+// (internal/workload) with cmd/loadgen, so an in-process policy sweep and
+// a network run against cmd/tleserved exercise the same key, mix and
+// value-size distributions.
 //
 // Example:
 //
@@ -11,7 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +23,7 @@ import (
 	"gotle/internal/kvstore"
 	"gotle/internal/tle"
 	"gotle/internal/tm"
+	"gotle/internal/workload"
 )
 
 func main() {
@@ -33,6 +38,9 @@ func main() {
 		capacity   = flag.Int("capacity", 256, "max items per shard (LRU eviction)")
 		setPct     = flag.Int("set", 20, "percent of operations that are sets")
 		delPct     = flag.Int("del", 5, "percent of operations that are deletes")
+		incrPct    = flag.Int("incr", 0, "percent of operations that are incrs")
+		skew       = flag.Float64("skew", 0, "Zipf skew parameter (>1 enables skewed keys)")
+		valsize    = flag.String("valsize", "64", "comma-separated candidate value sizes")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		memWords   = flag.Int("mem", 1<<22, "simulated TM heap size in words")
 	)
@@ -42,9 +50,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *setPct+*delPct > 100 {
-		log.Fatal("set% + del% exceeds 100")
+	mix := workload.Mix{SetPct: *setPct, DelPct: *delPct, IncrPct: *incrPct}
+	if err := mix.Validate(); err != nil {
+		log.Fatal(err)
 	}
+	var sizes []int
+	for _, s := range strings.Split(*valsize, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -valsize entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	wcfg := workload.Config{
+		Keyspace:   *keyspace,
+		Skew:       *skew,
+		ValueSizes: sizes,
+		Seed:       *seed,
+	}
+
 	r := tle.New(policy, tle.Config{MemWords: *memWords, HTM: htm.Config{EventAbortPerMillion: 5}})
 	store := kvstore.New(r, kvstore.Config{Shards: *shards, MaxItemsPerShard: *capacity})
 
@@ -52,21 +76,24 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < *threads; w++ {
 		th := r.NewThread()
-		rng := rand.New(rand.NewSource(*seed + int64(w)))
+		gen := workload.New(wcfg, w)
 		wg.Add(1)
-		go func(th *tm.Thread, rng *rand.Rand) {
+		go func(th *tm.Thread, gen *workload.Gen) {
 			defer wg.Done()
 			for i := 0; i < *ops; i++ {
-				key := []byte(fmt.Sprintf("key:%d", rng.Intn(*keyspace)))
-				roll := rng.Intn(100)
-				switch {
-				case roll < *setPct:
-					if err := store.Set(th, key, key); err != nil {
+				key := []byte(gen.Key())
+				switch gen.Op(mix) {
+				case workload.OpSet:
+					if err := store.Set(th, key, gen.Value()); err != nil {
 						log.Fatalf("set: %v", err)
 					}
-				case roll < *setPct+*delPct:
+				case workload.OpDelete:
 					if _, err := store.Delete(th, key); err != nil {
 						log.Fatalf("delete: %v", err)
+					}
+				case workload.OpIncr:
+					if _, _, err := store.Incr(th, key, 1, false); err != nil {
+						log.Fatalf("incr: %v", err)
 					}
 				default:
 					if _, _, err := store.Get(th, key); err != nil {
@@ -74,7 +101,7 @@ func main() {
 					}
 				}
 			}
-		}(th, rng)
+		}(th, gen)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -87,8 +114,8 @@ func main() {
 	n, _ := store.Len(th)
 	ts := r.Engine().Snapshot()
 	total := *threads * *ops
-	fmt.Printf("policy=%s threads=%d ops=%d elapsed=%.3fs throughput=%.0f ops/sec\n",
-		policy, *threads, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("policy=%s threads=%d ops=%d mix=%s elapsed=%.3fs throughput=%.0f ops/sec\n",
+		policy, *threads, total, mix, elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	hitPct := 0.0
 	if cs.Gets > 0 {
 		hitPct = 100 * float64(cs.Hits) / float64(cs.Gets)

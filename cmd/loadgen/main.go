@@ -1,0 +1,332 @@
+// Command loadgen drives a running tleserved instance with a closed-loop
+// pipelined workload: -conns client connections, each keeping -depth
+// requests in flight, drawing keys/ops/values from internal/workload so
+// network runs stay comparable to cmd/kvcache's in-process sweeps.
+//
+// With -check, every get/set/delete is recorded into a Wing-Gong
+// linearizability history (internal/linearize) keyed per key: Invoke
+// before the request is written, Complete after its response is read.
+// Requests the server sheds with "SERVER_ERROR busy" are rejected at
+// admission — before any TLE critical section runs — so they provably
+// did not take effect and are left un-Completed (History() drops them).
+//
+// Output ends with benchstat-compatible lines for cmd/benchjson:
+//
+//	BenchmarkServe/conns=16/depth=8/mix=g80s20d0 100000 10936 ns/op ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gotle/internal/histo"
+	"gotle/internal/linearize"
+	"gotle/internal/server/client"
+	"gotle/internal/workload"
+)
+
+type options struct {
+	addr     string
+	conns    int
+	depth    int
+	ops      int
+	keyspace int
+	skew     float64
+	valSizes []int
+	mix      workload.Mix
+	seed     int64
+	check    bool
+	label    string
+}
+
+// pending is one in-flight request's bookkeeping, queued FIFO per
+// connection (the server answers in order).
+type pending struct {
+	kind  workload.OpKind
+	key   string
+	val   string // sets only
+	id    int    // linearize handle, -1 when unchecked
+	start time.Time
+}
+
+// workerResult aggregates one connection's run.
+type workerResult struct {
+	lat       histo.Histogram
+	completed int
+	shed      int
+	protoErrs int
+	err       error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var o options
+	var valsize string
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:11222", "tleserved address")
+	flag.IntVar(&o.conns, "conns", 16, "client connections")
+	flag.IntVar(&o.depth, "depth", 8, "pipelined requests in flight per connection")
+	flag.IntVar(&o.ops, "ops", 100000, "total operations across all connections")
+	flag.IntVar(&o.keyspace, "keyspace", 1024, "distinct keys")
+	flag.Float64Var(&o.skew, "skew", 0, "Zipf skew parameter (>1 enables skewed keys)")
+	flag.StringVar(&valsize, "valsize", "64", "comma-separated candidate value sizes")
+	flag.Int64Var(&o.seed, "seed", 1, "workload seed")
+	flag.BoolVar(&o.check, "check", false, "record and verify per-key linearizability")
+	flag.StringVar(&o.label, "label", "Serve", "benchmark name component")
+	set := flag.Int("set", 20, "percentage of sets")
+	del := flag.Int("del", 0, "percentage of deletes")
+	incr := flag.Int("incr", 0, "percentage of incrs")
+	flag.Parse()
+
+	o.mix = workload.Mix{SetPct: *set, DelPct: *del, IncrPct: *incr}
+	if err := o.mix.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if o.check && o.mix.IncrPct > 0 {
+		// The per-key KV model covers get/set/delete only; fold incrs
+		// into gets rather than silently mis-modelling them.
+		log.Printf("warning: -check does not model incr; folding %d%% incrs into gets", o.mix.IncrPct)
+		o.mix.IncrPct = 0
+	}
+	for _, s := range strings.Split(valsize, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -valsize entry %q", s)
+		}
+		o.valSizes = append(o.valSizes, n)
+	}
+	if o.conns < 1 || o.depth < 1 || o.ops < 1 {
+		log.Fatal("-conns, -depth and -ops must be positive")
+	}
+
+	if err := run(o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(o options) error {
+	var rec *linearize.Recorder
+	if o.check {
+		rec = linearize.NewRecorder()
+	}
+	evBefore, err := serverCounter(o.addr, "evictions")
+	if err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+
+	results := make([]workerResult, o.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.conns; w++ {
+		quota := o.ops / o.conns
+		if w < o.ops%o.conns {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			results[w] = runWorker(o, w, quota, rec)
+		}(w, quota)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("conn %d: %w", i, results[i].err)
+		}
+		total.completed += results[i].completed
+		total.shed += results[i].shed
+		total.protoErrs += results[i].protoErrs
+		total.lat.Merge(&results[i].lat)
+	}
+
+	thr := float64(total.completed) / elapsed.Seconds()
+	fmt.Printf("conns=%d depth=%d mix=%s keyspace=%d skew=%g valsizes=%v\n",
+		o.conns, o.depth, o.mix, o.keyspace, o.skew, o.valSizes)
+	fmt.Printf("completed=%d shed=%d protocol_errors=%d elapsed=%v\n",
+		total.completed, total.shed, total.protoErrs, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput=%.0f ops/sec  latency p50=%v p99=%v max=%v\n",
+		thr, total.lat.Quantile(0.50), total.lat.Quantile(0.99), total.lat.Max())
+
+	if o.check {
+		evAfter, err := serverCounter(o.addr, "evictions")
+		if err != nil {
+			return err
+		}
+		hist := rec.History()
+		if evAfter > evBefore {
+			fmt.Printf("check: SKIPPED — server evicted %d items during the run; "+
+				"the no-eviction KV model would report false violations "+
+				"(lower -keyspace or raise server -capacity)\n", evAfter-evBefore)
+		} else {
+			res := linearize.Check(linearize.KVModel{}, hist)
+			if !res.OK {
+				fmt.Printf("check: FAILED\n%s\n", res.Explanation)
+				for _, op := range res.Violation {
+					fmt.Printf("  %+v\n", op)
+				}
+				return fmt.Errorf("history of %d ops is not linearizable", len(hist))
+			}
+			fmt.Printf("check: OK — %d completed ops linearizable per key (%d shed ops excluded)\n",
+				res.Checked, total.shed)
+		}
+	}
+	if total.protoErrs > 0 {
+		return fmt.Errorf("%d protocol errors", total.protoErrs)
+	}
+
+	// Surface the server's adaptive state (if the controller is running):
+	// per-shard policy plus the total number of policy switches the run
+	// provoked.
+	if st, err := serverStats(o.addr); err == nil {
+		switches := 0
+		var shards []string
+		for i := 0; ; i++ {
+			pol, ok := st[fmt.Sprintf("shard%d_policy", i)]
+			if !ok {
+				break
+			}
+			n, _ := strconv.Atoi(st[fmt.Sprintf("shard%d_switches", i)])
+			switches += n
+			shards = append(shards, fmt.Sprintf("%d:%s(%d)", i, pol, n))
+		}
+		if len(shards) > 0 {
+			fmt.Printf("adaptive: %d policy switches [shard:policy(switches)] %s\n",
+				switches, strings.Join(shards, " "))
+		}
+	}
+
+	// Benchstat-compatible trailer for cmd/benchjson.
+	name := fmt.Sprintf("Benchmark%s/conns=%d/depth=%d/mix=%s", o.label, o.conns, o.depth, o.mix)
+	fmt.Printf("%s %d %.0f ns/op %.0f ops/sec %d p50-ns %d p99-ns %d shed-ops\n",
+		name, total.completed,
+		float64(elapsed.Nanoseconds())/float64(max(total.completed, 1)),
+		thr, total.lat.Quantile(0.50).Nanoseconds(), total.lat.Quantile(0.99).Nanoseconds(),
+		total.shed)
+	return nil
+}
+
+// runWorker drives one connection closed-loop: keep up to o.depth
+// requests in flight, receive in FIFO order.
+func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResult) {
+	c, err := client.Dial(o.addr)
+	if err != nil {
+		res.err = err
+		return
+	}
+	defer c.Close()
+	gen := workload.New(workload.Config{
+		Keyspace:   o.keyspace,
+		Skew:       o.skew,
+		ValueSizes: o.valSizes,
+		Seed:       o.seed,
+	}, w)
+
+	var inflight []pending
+	sent := 0
+	recvOne := func() error {
+		p := inflight[0]
+		inflight = inflight[1:]
+		rsp, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		res.lat.Record(time.Since(p.start))
+		if rsp.Busy() {
+			// Shed at admission: never ran, never Completed.
+			res.shed++
+			return nil
+		}
+		if rsp.Err != "" {
+			res.protoErrs++
+			return nil
+		}
+		res.completed++
+		if p.id < 0 {
+			return nil
+		}
+		switch p.kind {
+		case workload.OpGet:
+			if len(rsp.Items) > 0 {
+				rec.Complete(p.id, string(rsp.Items[0].Value), true)
+			} else {
+				rec.Complete(p.id, "", false)
+			}
+		case workload.OpSet:
+			rec.Complete(p.id, nil, true)
+		case workload.OpDelete:
+			rec.Complete(p.id, nil, rsp.Status == "DELETED")
+		}
+		return nil
+	}
+
+	for sent < quota || len(inflight) > 0 {
+		if sent < quota && len(inflight) < o.depth {
+			p := pending{kind: gen.Op(o.mix), key: gen.Key(), id: -1, start: time.Now()}
+			var err error
+			switch p.kind {
+			case workload.OpGet:
+				if rec != nil {
+					p.id = rec.Invoke(w, "get", p.key, nil)
+				}
+				err = c.SendGet(false, p.key)
+			case workload.OpSet:
+				v := gen.Value()
+				p.val = string(v)
+				if rec != nil {
+					p.id = rec.Invoke(w, "set", p.key, p.val)
+				}
+				err = c.SendSet(p.key, v, 0)
+			case workload.OpDelete:
+				if rec != nil {
+					p.id = rec.Invoke(w, "delete", p.key, nil)
+				}
+				err = c.SendDelete(p.key)
+			case workload.OpIncr:
+				err = c.SendIncr(p.key, 1, false)
+			}
+			if err != nil {
+				res.err = err
+				return
+			}
+			inflight = append(inflight, p)
+			sent++
+			continue
+		}
+		if err := recvOne(); err != nil {
+			res.err = err
+			return
+		}
+	}
+	return
+}
+
+// serverStats fetches the stats map over a throwaway connection.
+func serverStats(addr string) (map[string]string, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Stats()
+}
+
+// serverCounter fetches one numeric stats field.
+func serverCounter(addr, field string) (uint64, error) {
+	st, err := serverStats(addr)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(st[field], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("stats field %q = %q: %w", field, st[field], err)
+	}
+	return v, nil
+}

@@ -1,0 +1,171 @@
+// Command tleserved serves the TLE kvstore over TCP, speaking the
+// memcached text protocol, with an optional adaptive per-shard policy
+// controller (internal/adaptive) walking each shard along the paper's
+// policy ladder as the observed abort mix changes.
+//
+// Examples:
+//
+//	tleserved -addr 127.0.0.1:11222 -policy htm-cv -adaptive
+//	tleserved -smoke            # start, self-test over loopback, exit
+//
+// The -htm-write-lines flag shrinks the simulated HTM's write-set budget;
+// with the default 512 lines (32 KiB) no legal memcached value can
+// overflow it, so reproducing the paper's capacity-pressure regime (and
+// watching the controller demote a shard off htm-cv) requires e.g. 64.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gotle/internal/adaptive"
+	"gotle/internal/htm"
+	"gotle/internal/kvstore"
+	"gotle/internal/server"
+	"gotle/internal/server/client"
+	"gotle/internal/tle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tleserved: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:11222", "listen address")
+		policyName = flag.String("policy", "htm-cv", "initial policy: pthread|stm-spin|stm-cv|stm-cv-noq|htm-cv")
+		adapt      = flag.Bool("adaptive", true, "enable the per-shard adaptive policy controller")
+		interval   = flag.Duration("interval", 50*time.Millisecond, "adaptive sampling window")
+		shards     = flag.Int("shards", 8, "kvstore shards")
+		capacity   = flag.Int("capacity", 4096, "max items per shard (LRU eviction)")
+		memWords   = flag.Int("mem", 1<<23, "simulated TM heap size in words")
+		maxConns   = flag.Int("conns", 48, "max concurrent connections")
+		queueDepth = flag.Int("queue", 128, "per-connection execution queue depth")
+		htmLines   = flag.Int("htm-write-lines", 0, "HTM write-set budget in cache lines (0 = default 512)")
+		htmEvents  = flag.Int("htm-event-ppm", 5, "HTM spurious-event abort rate per million accesses (-1 disables)")
+		smoke      = flag.Bool("smoke", false, "start, run a loopback self-test, and exit")
+	)
+	flag.Parse()
+
+	policy, err := tle.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := *addr
+	if *smoke {
+		a = "127.0.0.1:0" // never collide with a real deployment
+	}
+
+	// The adaptive ladder spans both TM mechanisms, so the runtime is
+	// hybrid whenever the controller runs.
+	r := tle.New(policy, tle.Config{
+		MemWords: *memWords,
+		Hybrid:   *adapt,
+		Observe:  true,
+		HTM: htm.Config{
+			WriteCapacityLines:   *htmLines,
+			EventAbortPerMillion: *htmEvents,
+		},
+	})
+	store := kvstore.New(r, kvstore.Config{Shards: *shards, MaxItemsPerShard: *capacity})
+
+	var ctl *adaptive.Controller
+	if *adapt {
+		ctl, err = adaptive.New(r, store.ShardMutexes(), adaptive.Config{Interval: *interval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl.Start()
+		defer ctl.Stop()
+	}
+
+	srv := server.New(r, store, server.Config{
+		Addr:       a,
+		MaxConns:   *maxConns,
+		QueueDepth: *queueDepth,
+		Controller: ctl,
+	})
+	bound, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s (policy=%s adaptive=%v shards=%d)\n", bound, policy, *adapt, *shards)
+
+	if *smoke {
+		if err := runSmoke(bound.String()); err != nil {
+			srv.Shutdown(2 * time.Second)
+			log.Fatalf("SMOKE FAIL: %v", err)
+		}
+		srv.Shutdown(5 * time.Second)
+		fmt.Println("SMOKE OK")
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	srv.Shutdown(10 * time.Second)
+}
+
+// runSmoke exercises every protocol verb over loopback.
+func runSmoke(addr string) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Version(); err != nil {
+		return fmt.Errorf("version: %w", err)
+	}
+	if err := c.Set("smoke", []byte("v1"), 3); err != nil {
+		return err
+	}
+	it, ok, err := c.Get("smoke")
+	if err != nil || !ok || string(it.Value) != "v1" || it.Flags != 3 {
+		return fmt.Errorf("get after set = %+v,%v,%v", it, ok, err)
+	}
+	items, err := c.Gets("smoke")
+	if err != nil || len(items) != 1 || items[0].CAS == 0 {
+		return fmt.Errorf("gets = %+v,%v", items, err)
+	}
+	if rsp, err := c.Store("cas", "smoke", []byte("v2"), 0, items[0].CAS); err != nil || !rsp.Stored() {
+		return fmt.Errorf("cas = %+v,%v", rsp, err)
+	}
+	if err := c.Set("ctr", []byte("41"), 0); err != nil {
+		return err
+	}
+	if v, ok, err := c.Incr("ctr", 1, false); err != nil || !ok || v != 42 {
+		return fmt.Errorf("incr = %d,%v,%v", v, ok, err)
+	}
+	// A pipelined burst, answered in order.
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.SendSet(fmt.Sprintf("burst%d", i), []byte("b"), 0); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		rsp, err := c.Recv()
+		if err != nil {
+			return fmt.Errorf("burst recv %d: %w", i, err)
+		}
+		if !rsp.Stored() && !rsp.Busy() {
+			return fmt.Errorf("burst %d: %+v", i, rsp)
+		}
+	}
+	if ok, err := c.Delete("smoke"); err != nil || !ok {
+		return fmt.Errorf("delete = %v,%v", ok, err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if _, found := st["cmd_set"]; !found {
+		return fmt.Errorf("stats missing cmd_set: %v", st)
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 // Package kvstore is a memcached-style in-memory cache built on the lock-
-// elision layer: a sharded hash table with per-shard LRU eviction and
-// global statistics counters.
+// elision layer: a sharded hash table with per-shard LRU eviction,
+// statistics counters, CAS tokens and the memcached storage verbs.
 //
 // The paper repeatedly leans on the authors' earlier transactional
 // memcached port (Sections V and VI): critical sections there obeyed
@@ -9,13 +9,19 @@
 // that workload shape on this repository's TM stack:
 //
 //   - each shard's operations are one critical section (per-shard elidable
-//     mutex), with lookup, LRU maintenance and eviction inside;
-//   - the global statistics counters live behind their own elided lock and
-//     are updated as nested (flattened) transactions — the memcached
-//     "mini-transaction" treatment of its C++ atomics;
-//   - eviction and deletion privatize item memory, so the quiescence
-//     machinery (and the Listing-2 NoQuiesce discipline) is exercised by
-//     every miss-heavy workload.
+//     mutex), with lookup, LRU maintenance, statistics and eviction inside;
+//   - statistics counters are per-shard words updated inside the shard's
+//     own transaction — the memcached "mini-transaction" treatment of its
+//     C++ atomics. They are deliberately NOT behind a shared lock: the
+//     adaptive controller may run neighbouring shards on different TM
+//     mechanisms (HTM vs STM), which is sound only while no word is
+//     reachable from two differently-policied critical sections;
+//   - eviction, deletion and replace privatize item memory, so the
+//     quiescence machinery (and the Listing-2 NoQuiesce discipline) is
+//     exercised by every miss-heavy workload;
+//   - every stored item carries a CAS token (per-shard sequence) and a
+//     32-bit flags word, so the server layer can speak the full memcached
+//     text protocol (gets/cas) without auxiliary maps.
 //
 // Keys and values are byte strings packed into heap words. All operations
 // are 2PL-clean (verified by test against lockcheck) and therefore
@@ -24,6 +30,7 @@ package kvstore
 
 import (
 	"fmt"
+	"strconv"
 
 	"gotle/internal/condvar"
 	"gotle/internal/memseg"
@@ -37,18 +44,24 @@ const (
 	itChain = 1 // next item in bucket chain
 	itPrev  = 2 // LRU: towards most-recent
 	itNext  = 3 // LRU: towards least-recent
-	itData  = 4 // key bytes, then value bytes, word-packed
+	itCas   = 4 // compare-and-swap token (per-shard sequence, never 0)
+	itFlags = 5 // client-opaque 32-bit flags (memcached "flags" field)
+	itData  = 6 // key bytes, then value bytes, word-packed
 )
 
-// Shard block layout.
+// Shard block layout. The statistics words live inside the shard block so
+// every counter is guarded by exactly one mutex — a precondition for
+// running shards on different TM mechanisms (see the package comment).
 const (
 	shCount   = 0
 	shLRUHead = 1 // most recently used
 	shLRUTail = 2 // least recently used
-	shBuckets = 3
+	shCasSeq  = 3 // CAS token sequence
+	shStats   = 4 // stWords counters
+	shBuckets = shStats + stWords
 )
 
-// Stats block layout (guarded by the stats lock).
+// Per-shard stats word indices (relative to sh.base+shStats).
 const (
 	stGets = iota
 	stHits
@@ -89,11 +102,9 @@ func (c Config) withDefaults() Config {
 
 // Store is the cache.
 type Store struct {
-	r       *tle.Runtime
-	cfg     Config
-	shards  []shard
-	statsMu *tle.Mutex
-	stats   memseg.Addr
+	r      *tle.Runtime
+	cfg    Config
+	shards []shard
 	// notFull supports blocking Set when a shard is saturated with
 	// in-flight evictions (not used by default paths; exposed for apps).
 	notFull *condvar.Cond
@@ -115,8 +126,6 @@ func New(r *tle.Runtime, cfg Config) *Store {
 		r:       r,
 		cfg:     cfg,
 		shards:  make([]shard, nsh),
-		statsMu: r.NewMutex("kv-stats"),
-		stats:   r.Engine().Alloc(stWords),
 		notFull: r.NewCond(),
 	}
 	for i := range s.shards {
@@ -127,6 +136,24 @@ func New(r *tle.Runtime, cfg Config) *Store {
 		}
 	}
 	return s
+}
+
+// ShardCount reports the (power-of-two rounded) number of shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardMutex returns the elidable mutex guarding shard i. The adaptive
+// controller drives per-shard policy through these handles; each mutex
+// guards only that shard's words, so neighbouring shards may run on
+// different TM mechanisms.
+func (s *Store) ShardMutex(i int) *tle.Mutex { return s.shards[i].mu }
+
+// ShardMutexes returns all shard mutexes, index-aligned with shard ids.
+func (s *Store) ShardMutexes() []*tle.Mutex {
+	ms := make([]*tle.Mutex, len(s.shards))
+	for i := range s.shards {
+		ms[i] = s.shards[i].mu
+	}
+	return ms
 }
 
 func ceilPow2(v int) int {
@@ -149,6 +176,11 @@ func fnv1a(key []byte) uint64 {
 
 func (s *Store) shardFor(h uint64) *shard {
 	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// ShardFor reports which shard serves key (server stats attribution).
+func (s *Store) ShardFor(key []byte) int {
+	return int(fnv1a(key) % uint64(len(s.shards)))
 }
 
 // wordsFor returns the item block size for the given key/value lengths.
@@ -238,41 +270,43 @@ func (s *Store) lruPushFront(tx tm.Tx, sh *shard, item memseg.Addr) {
 	tx.Store(sh.base+shLRUHead, uint64(item))
 }
 
-// statDelta is one counter update.
-type statDelta struct {
-	idx   int
-	delta uint64
+// bump adds delta to one per-shard counter inside the caller's transaction.
+func bump(tx tm.Tx, sh *shard, idx int, delta uint64) {
+	a := sh.base + shStats + memseg.Addr(idx)
+	tx.Store(a, tx.Load(a)+delta)
 }
 
-// bumpStats applies all counter updates in ONE stats critical section; the
-// stats lock is elided like any other, so under TM policies this folds
-// into the caller's transaction (memcached's atomic counters as
-// mini-transactions). Batching keeps each shard operation two-phase: the
-// stats lock is acquired at most once per critical section.
-func (s *Store) bumpStats(th *tm.Thread, deltas ...statDelta) error {
-	return s.statsMu.Do(th, func(tx tm.Tx) error {
-		// Counter bumps never privatize. When this section is flat-nested
-		// into a caller that frees (Set with evictions, Delete), the
-		// engine ignores NoQuiesce for the combined transaction anyway.
-		//gotle:allow noqpriv stats counters never privatize; the engine ignores NoQuiesce on nested and freeing transactions
-		tx.NoQuiesce()
-		for _, d := range deltas {
-			a := s.stats + memseg.Addr(d.idx)
-			tx.Store(a, tx.Load(a)+d.delta)
-		}
-		return nil
-	})
+// nextCas advances the shard's CAS sequence and returns the new token.
+// Tokens start at 1, so 0 never names a stored item.
+func nextCas(tx tm.Tx, sh *shard) uint64 {
+	c := tx.Load(sh.base+shCasSeq) + 1
+	tx.Store(sh.base+shCasSeq, c)
+	return c
+}
+
+// Item is one cache entry as returned by GetItem.
+type Item struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
 }
 
 // Get returns the value for key, bumping it to most-recently-used.
 func (s *Store) Get(th *tm.Thread, key []byte) ([]byte, bool, error) {
+	it, ok, err := s.GetItem(th, key)
+	return it.Value, ok, err
+}
+
+// GetItem returns the full entry (value, flags, CAS token) for key,
+// bumping it to most-recently-used.
+func (s *Store) GetItem(th *tm.Thread, key []byte) (Item, bool, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return nil, false, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return Item{}, false, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
-	var val []byte
+	var it Item
 	found := false
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
 		// A get never privatizes: safe to skip quiescence (Listing 2).
@@ -280,43 +314,152 @@ func (s *Store) Get(th *tm.Thread, key []byte) ([]byte, bool, error) {
 		_, item := s.findInChain(tx, sh, bucket, key)
 		if item == memseg.Nil {
 			found = false
-			return s.bumpStats(th, statDelta{stGets, 1})
+			bump(tx, sh, stGets, 1)
+			return nil
 		}
 		meta := tx.Load(item + itMeta)
 		keyWords := (int(meta>>32) + 7) / 8
-		val = unpackBytes(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF))
+		it = Item{
+			Value: unpackBytes(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF)),
+			Flags: uint32(tx.Load(item + itFlags)),
+			CAS:   tx.Load(item + itCas),
+		}
 		s.lruUnlink(tx, sh, item)
 		s.lruPushFront(tx, sh, item)
 		found = true
-		return s.bumpStats(th, statDelta{stGets, 1}, statDelta{stHits, 1})
+		bump(tx, sh, stGets, 1)
+		bump(tx, sh, stHits, 1)
+		return nil
 	})
-	if err != nil {
-		return nil, false, err
+	if err != nil || !found {
+		return Item{}, false, err
 	}
-	return val, found, nil
+	return it, true, nil
 }
+
+// StoreStatus is the outcome of a conditional store (memcached semantics).
+type StoreStatus int
+
+const (
+	// Stored: the value was written.
+	Stored StoreStatus = iota
+	// NotStored: add found an existing entry, or replace found none.
+	NotStored
+	// CASExists: the entry's CAS token no longer matches (modified since
+	// the client's gets).
+	CASExists
+	// CASNotFound: cas addressed a key that is no longer present.
+	CASNotFound
+)
+
+func (st StoreStatus) String() string {
+	switch st {
+	case Stored:
+		return "STORED"
+	case NotStored:
+		return "NOT_STORED"
+	case CASExists:
+		return "EXISTS"
+	case CASNotFound:
+		return "NOT_FOUND"
+	default:
+		return fmt.Sprintf("status(%d)", int(st))
+	}
+}
+
+// storeMode selects the conditional-store verb.
+type storeMode int
+
+const (
+	modeSet storeMode = iota
+	modeAdd
+	modeReplace
+	modeCAS
+)
 
 // Set inserts or replaces key's value, evicting LRU items past the shard
 // capacity.
 func (s *Store) Set(th *tm.Thread, key, val []byte) error {
+	_, err := s.mutate(th, key, val, 0, modeSet, 0)
+	return err
+}
+
+// SetItem is Set with client flags.
+func (s *Store) SetItem(th *tm.Thread, key, val []byte, flags uint32) error {
+	_, err := s.mutate(th, key, val, flags, modeSet, 0)
+	return err
+}
+
+// Add stores only if key is absent; reports whether it stored.
+func (s *Store) Add(th *tm.Thread, key, val []byte, flags uint32) (bool, error) {
+	st, err := s.mutate(th, key, val, flags, modeAdd, 0)
+	return st == Stored, err
+}
+
+// Replace stores only if key is present; reports whether it stored.
+func (s *Store) Replace(th *tm.Thread, key, val []byte, flags uint32) (bool, error) {
+	st, err := s.mutate(th, key, val, flags, modeReplace, 0)
+	return st == Stored, err
+}
+
+// CompareAndSwap stores only if key is present and its CAS token equals
+// cas (from a previous GetItem).
+func (s *Store) CompareAndSwap(th *tm.Thread, key, val []byte, flags uint32, cas uint64) (StoreStatus, error) {
+	return s.mutate(th, key, val, flags, modeCAS, cas)
+}
+
+// mutate is the single conditional-store critical section behind Set, Add,
+// Replace and CompareAndSwap: find, check the verb's precondition, unlink
+// and free any old entry, insert the new one, evict past capacity.
+func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeMode, wantCas uint64) (StoreStatus, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return fmt.Errorf("kvstore: bad key length %d", len(key))
+		return NotStored, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	if len(val) > MaxValLen {
-		return fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
+		return NotStored, fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	status := Stored
 	// capest ranks this body worst in the module: the chain walk, LRU
 	// eviction sweep, and byte packing all iterate over unknown-length
 	// data, so the estimator assumes fresh lines per iteration. That is
 	// the right warning for huge values; at the MaxKeyLen/MaxValLen
 	// bounds the tests exercise, the true footprint fits HTM.
 	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
-	return sh.mu.Do(th, func(tx tm.Tx) error {
-		privatized := false
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
 		linkAt, old := s.findInChain(tx, sh, bucket, key)
+		switch mode {
+		case modeAdd:
+			if old != memseg.Nil {
+				status = NotStored
+				//gotle:allow noqpriv precondition-failed paths free nothing
+				tx.NoQuiesce()
+				return nil
+			}
+		case modeReplace:
+			if old == memseg.Nil {
+				status = NotStored
+				//gotle:allow noqpriv precondition-failed paths free nothing
+				tx.NoQuiesce()
+				return nil
+			}
+		case modeCAS:
+			if old == memseg.Nil {
+				status = CASNotFound
+				//gotle:allow noqpriv precondition-failed paths free nothing
+				tx.NoQuiesce()
+				return nil
+			}
+			if tx.Load(old+itCas) != wantCas {
+				status = CASExists
+				//gotle:allow noqpriv precondition-failed paths free nothing
+				tx.NoQuiesce()
+				return nil
+			}
+		}
+		privatized := false
 		if old != memseg.Nil {
 			// Replace: unlink and free the old item.
 			tx.Store(linkAt, tx.Load(old+itChain))
@@ -327,6 +470,8 @@ func (s *Store) Set(th *tm.Thread, key, val []byte) error {
 		}
 		item := tx.Alloc(wordsFor(len(key), len(val)))
 		tx.Store(item+itMeta, uint64(len(key))<<32|uint64(len(val)))
+		tx.Store(item+itCas, nextCas(tx, sh))
+		tx.Store(item+itFlags, uint64(flags))
 		packBytes(tx, item+itData, key)
 		packBytes(tx, item+itData+memseg.Addr((len(key)+7)/8), val)
 		// Link into the bucket and the LRU front.
@@ -352,11 +497,127 @@ func (s *Store) Set(th *tm.Thread, key, val []byte) error {
 			//gotle:allow noqpriv guarded: skipped only on attempts that evicted (freed) nothing, and the engine double-checks freeing transactions
 			tx.NoQuiesce()
 		}
+		status = Stored
+		bump(tx, sh, stSets, 1)
 		if evicted > 0 {
-			return s.bumpStats(th, statDelta{stSets, 1}, statDelta{stEvictions, evicted})
+			bump(tx, sh, stEvictions, evicted)
 		}
-		return s.bumpStats(th, statDelta{stSets, 1})
+		return nil
 	})
+	if err != nil {
+		return NotStored, err
+	}
+	return status, nil
+}
+
+// IncrStatus is the outcome of an Incr/Decr.
+type IncrStatus int
+
+const (
+	// IncrStored: the counter was updated.
+	IncrStored IncrStatus = iota
+	// IncrNotFound: the key is absent (memcached does not auto-create).
+	IncrNotFound
+	// IncrNaN: the stored value is not an unsigned decimal integer.
+	IncrNaN
+)
+
+// Incr adds (or, with decr, subtracts) delta from the decimal counter
+// stored at key, all within one critical section — the read-parse-format-
+// write cycle is atomic, which is exactly the kind of compound operation
+// lock elision must keep indivisible. Decrement floors at zero, increment
+// wraps at 2^64, matching memcached.
+func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64, IncrStatus, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return 0, IncrNotFound, fmt.Errorf("kvstore: bad key length %d", len(key))
+	}
+	h := fnv1a(key)
+	sh := s.shardFor(h)
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	var newVal uint64
+	status := IncrStored
+	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
+		linkAt, item := s.findInChain(tx, sh, bucket, key)
+		if item == memseg.Nil {
+			status = IncrNotFound
+			//gotle:allow noqpriv miss path frees nothing
+			tx.NoQuiesce()
+			return nil
+		}
+		meta := tx.Load(item + itMeta)
+		keyWords := (int(meta>>32) + 7) / 8
+		valLen := int(meta & 0xFFFFFFFF)
+		cur, ok := parseDecimal(unpackBytes(tx, item+itData+memseg.Addr(keyWords), valLen))
+		if !ok {
+			status = IncrNaN
+			//gotle:allow noqpriv parse-failure path frees nothing
+			tx.NoQuiesce()
+			return nil
+		}
+		var next uint64
+		if decr {
+			if delta > cur {
+				next = 0
+			} else {
+				next = cur - delta
+			}
+		} else {
+			next = cur + delta // wraps at 2^64, like memcached
+		}
+		newBytes := strconv.AppendUint(nil, next, 10)
+		if len(newBytes) == valLen {
+			// Same digit count: overwrite the value words in place. The
+			// value region starts on a word boundary, so packBytes'
+			// zero-padding never clobbers key bytes.
+			packBytes(tx, item+itData+memseg.Addr(keyWords), newBytes)
+			tx.Store(item+itCas, nextCas(tx, sh))
+			status = IncrStored
+			newVal = next
+			//gotle:allow noqpriv in-place update frees nothing
+			tx.NoQuiesce()
+			return nil
+		}
+		// Digit count changed: reallocate the item (same key, new value).
+		flags := tx.Load(item + itFlags)
+		tx.Store(linkAt, tx.Load(item+itChain))
+		s.lruUnlink(tx, sh, item)
+		tx.Free(item)
+		fresh := tx.Alloc(wordsFor(len(key), len(newBytes)))
+		tx.Store(fresh+itMeta, uint64(len(key))<<32|uint64(len(newBytes)))
+		tx.Store(fresh+itCas, nextCas(tx, sh))
+		tx.Store(fresh+itFlags, flags)
+		packBytes(tx, fresh+itData, key)
+		packBytes(tx, fresh+itData+memseg.Addr(keyWords), newBytes)
+		tx.Store(fresh+itChain, tx.Load(bucket))
+		tx.Store(bucket, uint64(fresh))
+		s.lruPushFront(tx, sh, fresh)
+		status = IncrStored
+		newVal = next
+		return nil
+	})
+	if err != nil {
+		return 0, IncrNotFound, err
+	}
+	return newVal, status, nil
+}
+
+// parseDecimal parses an unsigned decimal byte string strictly (no sign,
+// no spaces), as memcached requires for incr/decr values.
+func parseDecimal(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // evict removes victim from its bucket chain and the LRU list, freeing it.
@@ -395,7 +656,8 @@ func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
 		tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
 		tx.Free(item)
 		removed = true
-		return s.bumpStats(th, statDelta{stDeletes, 1})
+		bump(tx, sh, stDeletes, 1)
+		return nil
 	})
 	return removed, err
 }
@@ -422,26 +684,65 @@ func (s *Store) Len(th *tm.Thread) (int, error) {
 	return total, nil
 }
 
-// Stats reports the global counters.
+// Stats reports the store-wide counters.
 type Stats struct {
 	Gets, Hits, Sets, Deletes, Evictions uint64
 }
 
-// Stats returns a snapshot of the counters.
+// Stats sums the per-shard counters. Each shard is read in its own
+// critical section; the result is a consistent snapshot per shard, not
+// across shards (memcached's stats are equally loose).
 func (s *Store) Stats(th *tm.Thread) (Stats, error) {
 	var out Stats
-	err := s.statsMu.Do(th, func(tx tm.Tx) error {
-		tx.NoQuiesce()
-		out = Stats{
-			Gets:      tx.Load(s.stats + stGets),
-			Hits:      tx.Load(s.stats + stHits),
-			Sets:      tx.Load(s.stats + stSets),
-			Deletes:   tx.Load(s.stats + stDeletes),
-			Evictions: tx.Load(s.stats + stEvictions),
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// Counters land in a write-only local array: accumulating into
+		// `out` inside the body would double-count across retries.
+		var snap [stWords]uint64
+		err := sh.mu.Do(th, func(tx tm.Tx) error {
+			tx.NoQuiesce()
+			var v [stWords]uint64
+			for j := 0; j < stWords; j++ {
+				v[j] = tx.Load(sh.base + shStats + memseg.Addr(j))
+			}
+			snap = v
+			return nil
+		})
+		if err != nil {
+			return Stats{}, err
 		}
+		out.Gets += snap[stGets]
+		out.Hits += snap[stHits]
+		out.Sets += snap[stSets]
+		out.Deletes += snap[stDeletes]
+		out.Evictions += snap[stEvictions]
+	}
+	return out, nil
+}
+
+// ShardStats reads one shard's counters (the server's per-shard stats).
+func (s *Store) ShardStats(th *tm.Thread, shardIdx int) (Stats, error) {
+	sh := &s.shards[shardIdx%len(s.shards)]
+	var snap [stWords]uint64
+	err := sh.mu.Do(th, func(tx tm.Tx) error {
+		tx.NoQuiesce()
+		var v [stWords]uint64
+		for j := 0; j < stWords; j++ {
+			v[j] = tx.Load(sh.base + shStats + memseg.Addr(j))
+		}
+		snap = v
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Gets:      snap[stGets],
+		Hits:      snap[stHits],
+		Sets:      snap[stSets],
+		Deletes:   snap[stDeletes],
+		Evictions: snap[stEvictions],
+	}, nil
 }
 
 // LRUKeys returns a shard's keys in recency order (tests).

@@ -1,0 +1,175 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"gotle/internal/tle"
+)
+
+// The memcached storage verbs (add/replace/cas) and arithmetic (incr/decr)
+// must behave identically under every elision policy.
+func TestConditionalStoreVerbs(t *testing.T) {
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := newRT(p)
+			s := New(r, Config{})
+			th := r.NewThread()
+
+			// add: stores on absent, refuses on present.
+			if ok, err := s.Add(th, []byte("a"), []byte("1"), 7); err != nil || !ok {
+				t.Fatalf("Add absent = %v,%v", ok, err)
+			}
+			if ok, err := s.Add(th, []byte("a"), []byte("2"), 0); err != nil || ok {
+				t.Fatalf("Add present = %v,%v", ok, err)
+			}
+			it, ok, err := s.GetItem(th, []byte("a"))
+			if err != nil || !ok || string(it.Value) != "1" || it.Flags != 7 || it.CAS == 0 {
+				t.Fatalf("GetItem after add = %+v,%v,%v", it, ok, err)
+			}
+
+			// replace: refuses on absent, stores on present.
+			if ok, _ := s.Replace(th, []byte("b"), []byte("x"), 0); ok {
+				t.Fatal("Replace stored on absent key")
+			}
+			if ok, err := s.Replace(th, []byte("a"), []byte("3"), 9); err != nil || !ok {
+				t.Fatalf("Replace present = %v,%v", ok, err)
+			}
+			it2, _, _ := s.GetItem(th, []byte("a"))
+			if string(it2.Value) != "3" || it2.Flags != 9 {
+				t.Fatalf("after replace = %+v", it2)
+			}
+			if it2.CAS == it.CAS {
+				t.Fatal("replace did not advance the CAS token")
+			}
+
+			// cas: stale token → EXISTS, current token → STORED, missing
+			// key → NOT_FOUND.
+			if st, _ := s.CompareAndSwap(th, []byte("a"), []byte("z"), 0, it.CAS); st != CASExists {
+				t.Fatalf("stale cas = %s", st)
+			}
+			if st, _ := s.CompareAndSwap(th, []byte("a"), []byte("4"), 0, it2.CAS); st != Stored {
+				t.Fatalf("fresh cas = %s", st)
+			}
+			if st, _ := s.CompareAndSwap(th, []byte("gone"), []byte("z"), 0, 1); st != CASNotFound {
+				t.Fatalf("cas on absent = %s", st)
+			}
+			if v, _, _ := s.Get(th, []byte("a")); string(v) != "4" {
+				t.Fatalf("after cas = %q", v)
+			}
+		})
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := newRT(p)
+			s := New(r, Config{})
+			th := r.NewThread()
+
+			if _, st, err := s.Incr(th, []byte("n"), 1, false); err != nil || st != IncrNotFound {
+				t.Fatalf("incr absent = %v,%v", st, err)
+			}
+			if err := s.Set(th, []byte("n"), []byte("9")); err != nil {
+				t.Fatal(err)
+			}
+			// 9 + 1 = 10: digit count grows, forcing the realloc path.
+			if v, st, err := s.Incr(th, []byte("n"), 1, false); err != nil || st != IncrStored || v != 10 {
+				t.Fatalf("incr 9+1 = %d,%v,%v", v, st, err)
+			}
+			// 10 + 5 = 15: same digit count, in-place path.
+			if v, st, _ := s.Incr(th, []byte("n"), 5, false); st != IncrStored || v != 15 {
+				t.Fatalf("incr 10+5 = %d,%v", v, st)
+			}
+			if got, _, _ := s.Get(th, []byte("n")); string(got) != "15" {
+				t.Fatalf("stored bytes = %q", got)
+			}
+			// decr floors at zero.
+			if v, st, _ := s.Incr(th, []byte("n"), 100, true); st != IncrStored || v != 0 {
+				t.Fatalf("decr floor = %d,%v", v, st)
+			}
+			if got, _, _ := s.Get(th, []byte("n")); string(got) != "0" {
+				t.Fatalf("floored bytes = %q", got)
+			}
+			// non-numeric values are rejected.
+			s.Set(th, []byte("s"), []byte("abc"))
+			if _, st, _ := s.Incr(th, []byte("s"), 1, false); st != IncrNaN {
+				t.Fatalf("incr NaN = %v", st)
+			}
+			// flags survive the realloc path.
+			s.SetItem(th, []byte("f"), []byte("99"), 42)
+			if _, st, _ := s.Incr(th, []byte("f"), 1, false); st != IncrStored {
+				t.Fatal("incr 99+1")
+			}
+			if it, _, _ := s.GetItem(th, []byte("f")); it.Flags != 42 || string(it.Value) != "100" {
+				t.Fatalf("after realloc = %+v", it)
+			}
+		})
+	}
+}
+
+// CAS tokens must be unique and monotone per key, including across
+// delete/re-add, so a client holding a token from a previous incarnation
+// can never accidentally win.
+func TestCASTokenMonotone(t *testing.T) {
+	r := newRT(tle.PolicySTMCondVar)
+	s := New(r, Config{})
+	th := r.NewThread()
+	key := []byte("k")
+	var last uint64
+	for i := 0; i < 10; i++ {
+		if err := s.Set(th, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		it, ok, err := s.GetItem(th, key)
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		if it.CAS <= last {
+			t.Fatalf("CAS token not monotone: %d after %d", it.CAS, last)
+		}
+		last = it.CAS
+		if i == 5 {
+			s.Delete(th, key)
+			s.Set(th, key, []byte("back"))
+			it, _, _ := s.GetItem(th, key)
+			if it.CAS <= last {
+				t.Fatalf("CAS reused across delete: %d after %d", it.CAS, last)
+			}
+			last = it.CAS
+		}
+	}
+}
+
+func TestShardMutexAccessors(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{MemWords: 1 << 20, Observe: true})
+	s := New(r, Config{Shards: 4})
+	if s.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d", s.ShardCount())
+	}
+	ms := s.ShardMutexes()
+	if len(ms) != 4 {
+		t.Fatalf("ShardMutexes = %d", len(ms))
+	}
+	for i, m := range ms {
+		if m != s.ShardMutex(i) {
+			t.Fatalf("mutex %d mismatch", i)
+		}
+		if m.Observer() == nil {
+			t.Fatalf("shard %d has no observer under Observe config", i)
+		}
+	}
+	th := r.NewThread()
+	key := []byte("hello")
+	idx := s.ShardFor(key)
+	if err := s.Set(th, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.ShardStats(th, idx)
+	if err != nil || st.Sets != 1 {
+		t.Fatalf("ShardStats[%d] = %+v,%v", idx, st, err)
+	}
+}

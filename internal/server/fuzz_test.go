@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gotle/internal/kvstore"
+)
+
+// FuzzParseCommand pins the decoder's safety contract: arbitrary request
+// lines never panic, and every accepted command satisfies the invariants
+// the executor relies on (bounded keys, bounded data length, a known
+// verb). The parser fronts every network-reachable TLE critical section,
+// so this is the subsystem's first line of defence.
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"get k",
+		"gets alpha beta gamma",
+		"set key 42 0 5 noreply",
+		"add k 0 0 0",
+		"replace k 1 -1 8192",
+		"cas k 0 0 3 18446744073709551615",
+		"delete k noreply",
+		"incr counter 99",
+		"decr counter 1",
+		"stats",
+		"version",
+		"quit",
+		"set k 0 0 99999999999999999999",
+		"get \x00\x01\x02",
+		"   ",
+		"set k 0 0 5 extra junk",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		c, err := ParseCommand(line)
+		if err != nil {
+			// Errors must be one of the two protocol shapes.
+			var ce *ClientError
+			if err != ErrBadCommand && !errors.As(err, &ce) {
+				t.Fatalf("ParseCommand(%q) returned foreign error %v", line, err)
+			}
+			return
+		}
+		if c.Op == OpInvalid {
+			t.Fatalf("ParseCommand(%q) accepted with invalid op", line)
+		}
+		check := func(k []byte) {
+			if len(k) == 0 || len(k) > kvstore.MaxKeyLen {
+				t.Fatalf("accepted key of length %d from %q", len(k), line)
+			}
+			if i := bytes.IndexFunc(k, func(r rune) bool { return r <= ' ' || r == 0x7f }); i >= 0 {
+				t.Fatalf("accepted key with control byte from %q", line)
+			}
+		}
+		if c.Key != nil {
+			check(c.Key)
+		}
+		for _, k := range c.Keys {
+			check(k)
+		}
+		if (c.Op == OpGet || c.Op == OpGets) && len(c.Keys) == 0 {
+			t.Fatalf("accepted %s with no keys from %q", c.Op, line)
+		}
+		if c.Op.HasData() && (c.Bytes < 0 || c.Bytes > 4*kvstore.MaxValLen) {
+			t.Fatalf("accepted data length %d from %q", c.Bytes, line)
+		}
+	})
+}

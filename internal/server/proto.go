@@ -1,0 +1,312 @@
+// Command parsing for the memcached text protocol — the subset the
+// paper's memcached port serves: storage (set/add/replace/cas), retrieval
+// (get/gets with multi-key), delete, arithmetic (incr/decr), stats,
+// version and quit. Parsing is allocation-light and panic-free on
+// arbitrary input (FuzzParseCommand pins this): a network-facing decoder
+// sits in front of every TLE critical section, so a malformed line must
+// become a protocol error, never a crash.
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"gotle/internal/kvstore"
+)
+
+// Op enumerates the protocol verbs.
+type Op int
+
+const (
+	OpInvalid Op = iota
+	OpGet
+	OpGets
+	OpSet
+	OpAdd
+	OpReplace
+	OpCas
+	OpDelete
+	OpIncr
+	OpDecr
+	OpStats
+	OpVersion
+	OpQuit
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpGets:
+		return "gets"
+	case OpSet:
+		return "set"
+	case OpAdd:
+		return "add"
+	case OpReplace:
+		return "replace"
+	case OpCas:
+		return "cas"
+	case OpDelete:
+		return "delete"
+	case OpIncr:
+		return "incr"
+	case OpDecr:
+		return "decr"
+	case OpStats:
+		return "stats"
+	case OpVersion:
+		return "version"
+	case OpQuit:
+		return "quit"
+	default:
+		return "invalid"
+	}
+}
+
+// HasData reports whether the command is followed by a data block of
+// Command.Bytes bytes plus CRLF.
+func (o Op) HasData() bool {
+	switch o {
+	case OpSet, OpAdd, OpReplace, OpCas:
+		return true
+	default:
+		return false
+	}
+}
+
+// Command is one parsed request line.
+type Command struct {
+	Op      Op
+	Key     []byte   // storage/delete/arithmetic commands
+	Keys    [][]byte // get/gets (one or more)
+	Flags   uint32
+	Exptime int64 // parsed for wire compatibility; this cache never expires
+	Bytes   int   // data-block length for storage commands
+	Cas     uint64
+	Delta   uint64
+	NoReply bool
+}
+
+// ErrBadCommand maps to the bare "ERROR" response: the verb itself was
+// not recognized.
+var ErrBadCommand = errors.New("server: unknown command")
+
+// ClientError maps to "CLIENT_ERROR <msg>": the verb was recognized but
+// its arguments are malformed.
+type ClientError struct{ Msg string }
+
+func (e *ClientError) Error() string { return "client error: " + e.Msg }
+
+func clientErr(format string, args ...any) error {
+	return &ClientError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxDataLen bounds the data-block length a client may declare, so a
+// hostile "set k 0 0 999999999" cannot make the server allocate that
+// buffer. It deliberately exceeds kvstore.MaxValLen: oversized-but-sane
+// values must be read off the wire and answered with "object too large",
+// not torn mid-stream.
+const maxDataLen = 4 * kvstore.MaxValLen
+
+// ParseCommand parses one request line (without the trailing CRLF).
+func ParseCommand(line []byte) (Command, error) {
+	f := bytes.Fields(line)
+	if len(f) == 0 {
+		return Command{}, ErrBadCommand
+	}
+	var c Command
+	switch {
+	case bytes.Equal(f[0], []byte("get")), bytes.Equal(f[0], []byte("gets")):
+		c.Op = OpGet
+		if len(f[0]) == 4 {
+			c.Op = OpGets
+		}
+		if len(f) < 2 {
+			return Command{}, clientErr("get requires at least one key")
+		}
+		for _, k := range f[1:] {
+			if err := checkKey(k); err != nil {
+				return Command{}, err
+			}
+			c.Keys = append(c.Keys, k)
+		}
+		return c, nil
+
+	case bytes.Equal(f[0], []byte("set")), bytes.Equal(f[0], []byte("add")), bytes.Equal(f[0], []byte("replace")):
+		switch f[0][0] {
+		case 's':
+			c.Op = OpSet
+		case 'a':
+			c.Op = OpAdd
+		default:
+			c.Op = OpReplace
+		}
+		return parseStorage(&c, f, false)
+
+	case bytes.Equal(f[0], []byte("cas")):
+		c.Op = OpCas
+		return parseStorage(&c, f, true)
+
+	case bytes.Equal(f[0], []byte("delete")):
+		c.Op = OpDelete
+		if len(f) < 2 || len(f) > 3 {
+			return Command{}, clientErr("delete <key> [noreply]")
+		}
+		if err := checkKey(f[1]); err != nil {
+			return Command{}, err
+		}
+		c.Key = f[1]
+		return parseNoReply(&c, f[2:])
+
+	case bytes.Equal(f[0], []byte("incr")), bytes.Equal(f[0], []byte("decr")):
+		c.Op = OpIncr
+		if f[0][0] == 'd' {
+			c.Op = OpDecr
+		}
+		if len(f) < 3 || len(f) > 4 {
+			return Command{}, clientErr("%s <key> <value> [noreply]", f[0])
+		}
+		if err := checkKey(f[1]); err != nil {
+			return Command{}, err
+		}
+		c.Key = f[1]
+		d, ok := parseUint(f[2], 64)
+		if !ok {
+			return Command{}, clientErr("invalid numeric delta argument")
+		}
+		c.Delta = d
+		return parseNoReply(&c, f[3:])
+
+	case bytes.Equal(f[0], []byte("stats")):
+		if len(f) > 1 {
+			return Command{}, clientErr("stats sub-commands are not supported")
+		}
+		c.Op = OpStats
+		return c, nil
+
+	case bytes.Equal(f[0], []byte("version")):
+		if len(f) > 1 {
+			return Command{}, ErrBadCommand
+		}
+		c.Op = OpVersion
+		return c, nil
+
+	case bytes.Equal(f[0], []byte("quit")):
+		c.Op = OpQuit
+		return c, nil
+
+	default:
+		return Command{}, ErrBadCommand
+	}
+}
+
+// parseStorage handles "<verb> <key> <flags> <exptime> <bytes> [cas] [noreply]".
+func parseStorage(c *Command, f [][]byte, withCas bool) (Command, error) {
+	need := 5
+	if withCas {
+		need = 6
+	}
+	if len(f) < need || len(f) > need+1 {
+		return Command{}, clientErr("%s requires %d arguments", f[0], need-1)
+	}
+	if err := checkKey(f[1]); err != nil {
+		return Command{}, err
+	}
+	c.Key = f[1]
+	flags, ok := parseUint(f[2], 32)
+	if !ok {
+		return Command{}, clientErr("bad flags")
+	}
+	c.Flags = uint32(flags)
+	exp, ok := parseInt(f[3])
+	if !ok {
+		return Command{}, clientErr("bad exptime")
+	}
+	c.Exptime = exp
+	n, ok := parseUint(f[4], 31)
+	if !ok || n > maxDataLen {
+		return Command{}, clientErr("bad data chunk length")
+	}
+	c.Bytes = int(n)
+	rest := f[5:]
+	if withCas {
+		cas, ok := parseUint(f[5], 64)
+		if !ok {
+			return Command{}, clientErr("bad cas value")
+		}
+		c.Cas = cas
+		rest = f[6:]
+	}
+	return parseNoReply(c, rest)
+}
+
+func parseNoReply(c *Command, rest [][]byte) (Command, error) {
+	switch len(rest) {
+	case 0:
+		return *c, nil
+	case 1:
+		if !bytes.Equal(rest[0], []byte("noreply")) {
+			return Command{}, clientErr("bad trailing argument %q", rest[0])
+		}
+		c.NoReply = true
+		return *c, nil
+	default:
+		return Command{}, clientErr("trailing arguments")
+	}
+}
+
+func checkKey(k []byte) error {
+	if len(k) == 0 || len(k) > kvstore.MaxKeyLen {
+		return clientErr("bad key length %d", len(k))
+	}
+	for _, b := range k {
+		if b <= ' ' || b == 0x7f {
+			return clientErr("key contains control characters")
+		}
+	}
+	return nil
+}
+
+// parseUint parses a strict unsigned decimal of at most bits bits. Hand-
+// rolled instead of strconv so the fuzzer exercises the exact accept set:
+// no signs, no spaces, no empty strings.
+func parseUint(b []byte, bits int) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	if bits < 64 && v >= 1<<uint(bits) {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseInt accepts an optional leading minus (memcached exptime can be
+// negative, meaning "already expired").
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	v, ok := parseUint(b, 63)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}

@@ -1,0 +1,544 @@
+// Package server is tleserved's network layer: a TCP server speaking the
+// memcached text protocol over the TLE kvstore.
+//
+// The paper's memcached experience (Sections V–VI) is about what happens
+// to a real server when its lock-based critical sections are elided. This
+// package supplies the missing server: every request ultimately executes
+// one kvstore critical section on an elided per-shard mutex, so the
+// protocol front-end is the workload generator the TM stack actually
+// faces — pipelined, bursty, and mixed.
+//
+// Per-connection pipeline (three goroutines per connection):
+//
+//	decoder  — reads and parses request lines + data blocks, performs
+//	           admission control: if the connection's execution queue is
+//	           full the op is answered "SERVER_ERROR busy" immediately
+//	           (shed) instead of stalling the socket;
+//	executor — owns the connection's tm.Thread and runs each op's TLE
+//	           critical sections in arrival order;
+//	writer   — emits responses strictly in request order: every op
+//	           (executed or shed) carries a done-channel the writer
+//	           awaits before writing, so pipelining never reorders.
+//
+// Admission control is two-level: a connection cap at accept time (late
+// connections get "SERVER_ERROR busy" and a close) and the per-connection
+// queue depth above. Shutdown drains: accepting stops, queued ops finish,
+// responses flush, then sockets close.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gotle/internal/adaptive"
+	"gotle/internal/kvstore"
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// MaxConns caps concurrent connections (default 48). Each connection
+	// owns a tm.Thread; under HTM those are hardware contexts, so the cap
+	// must stay below htm.MaxThreads with room for server-side threads.
+	MaxConns int
+	// QueueDepth is the per-connection execution queue bound (default
+	// 128); ops beyond it are shed with "SERVER_ERROR busy".
+	QueueDepth int
+	// Version is reported by the version command.
+	Version string
+	// Controller, when set, exposes per-shard adaptive state via stats.
+	Controller *adaptive.Controller
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 48
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+	if c.Version == "" {
+		c.Version = "gotle-tleserved/0.5"
+	}
+	return c
+}
+
+// Server serves one kvstore over one listener.
+type Server struct {
+	cfg   Config
+	r     *tle.Runtime
+	store *kvstore.Store
+	ln    net.Listener
+
+	mu       sync.Mutex
+	active   map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // accept loop + 3 goroutines per connection
+
+	// Gauges and counters for the stats command.
+	currConns  atomic.Int64
+	totalConns atomic.Uint64
+	shedOps    atomic.Uint64
+	shedConns  atomic.Uint64
+	queued     atomic.Int64
+	protoErrs  atomic.Uint64
+	cmdGet     atomic.Uint64
+	cmdSet     atomic.Uint64
+}
+
+// New builds a server over store. Call Listen then Serve (or Start).
+func New(r *tle.Runtime, store *kvstore.Store, cfg Config) *Server {
+	return &Server{
+		cfg:    cfg.withDefaults(),
+		r:      r,
+		store:  store,
+		active: make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds the configured address and returns it (useful with
+// port 0).
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loop until the listener closes (Shutdown).
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.admit(c) {
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// Start is Listen + Serve in the background; it returns the bound
+// address. Serve errors after Shutdown are discarded.
+func (s *Server) Start() (net.Addr, error) {
+	addr, err := s.Listen()
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.Serve(); err != nil {
+			fmt.Fprintf(os.Stderr, "tleserved: serve: %v\n", err)
+		}
+	}()
+	return addr, nil
+}
+
+// admit enforces the connection cap; rejected sockets get a busy error.
+func (s *Server) admit(c net.Conn) bool {
+	s.mu.Lock()
+	if s.draining || int(s.currConns.Load()) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.shedConns.Add(1)
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		io.WriteString(c, "SERVER_ERROR busy\r\n")
+		c.Close()
+		return false
+	}
+	s.active[c] = struct{}{}
+	s.mu.Unlock()
+	s.currConns.Add(1)
+	s.totalConns.Add(1)
+	return true
+}
+
+// Shutdown drains the server: stop accepting, kick decoders out of their
+// blocking reads, let queued ops execute and flush, then close. Returns
+// once every connection goroutine has exited or the timeout passed (in
+// which case remaining sockets are force-closed).
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	conns := make([]net.Conn, 0, len(s.active))
+	for c := range s.active {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Give decoders a short grace to consume requests the client already
+	// flushed (they sit in the kernel buffer), then the expiring deadline
+	// kicks them out of the blocking read; queued ops drain and flush.
+	grace := timeout / 4
+	if grace > 200*time.Millisecond {
+		grace = 200 * time.Millisecond
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now().Add(grace))
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.active {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// op is one pipelined request: parsed by the decoder, resolved by the
+// executor (or pre-resolved when shed or malformed), written by the
+// writer in arrival order.
+type op struct {
+	cmd  Command
+	data []byte
+	resp []byte
+	done chan struct{}
+	quit bool
+}
+
+func (o *op) resolve(resp []byte) {
+	if !o.cmd.NoReply {
+		o.resp = resp
+	}
+	close(o.done)
+}
+
+var (
+	respError    = []byte("ERROR\r\n")
+	respBusy     = []byte("SERVER_ERROR busy\r\n")
+	respStored   = []byte("STORED\r\n")
+	respNotSt    = []byte("NOT_STORED\r\n")
+	respExists   = []byte("EXISTS\r\n")
+	respNotFound = []byte("NOT_FOUND\r\n")
+	respDeleted  = []byte("DELETED\r\n")
+	respEnd      = []byte("END\r\n")
+	respTooBig   = []byte("SERVER_ERROR object too large for cache\r\n")
+	respNaN      = []byte("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+)
+
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.active, c)
+		s.mu.Unlock()
+		s.currConns.Add(-1)
+	}()
+
+	execQ := make(chan *op, s.cfg.QueueDepth)
+	respQ := make(chan *op, 2*s.cfg.QueueDepth)
+
+	// Executor: one tm.Thread per connection, critical sections in
+	// arrival order.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		th := s.r.NewThread()
+		defer th.Release()
+		for o := range execQ {
+			o.resolve(s.execute(th, o))
+			s.queued.Add(-1)
+		}
+	}()
+
+	// Writer: responses strictly in request order; owns the socket close.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer c.Close()
+		bw := bufio.NewWriter(c)
+		for o := range respQ {
+			<-o.done
+			if o.resp != nil {
+				if _, err := bw.Write(o.resp); err != nil {
+					// Client gone: keep draining respQ so the decoder
+					// and executor never block on a dead writer.
+					continue
+				}
+			}
+			if len(respQ) == 0 {
+				bw.Flush()
+			}
+			if o.quit {
+				break
+			}
+		}
+		bw.Flush()
+		// Drain any remainder after quit/write failure.
+		for o := range respQ {
+			<-o.done
+		}
+	}()
+
+	s.decodeLoop(c, execQ, respQ)
+	close(execQ)
+	close(respQ)
+}
+
+// decodeLoop reads commands until EOF, error, quit, or drain.
+func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op) {
+	br := bufio.NewReaderSize(c, 16<<10)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		cmd, perr := ParseCommand(line)
+		o := &op{cmd: cmd, done: make(chan struct{})}
+		if perr == nil && cmd.Op.HasData() {
+			buf := make([]byte, cmd.Bytes+2)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return
+			}
+			if buf[cmd.Bytes] != '\r' || buf[cmd.Bytes+1] != '\n' {
+				perr = clientErr("bad data chunk")
+			}
+			o.data = buf[:cmd.Bytes]
+		}
+		if perr != nil {
+			s.protoErrs.Add(1)
+			var ce *ClientError
+			if errors.As(perr, &ce) {
+				o.resp = []byte("CLIENT_ERROR " + ce.Msg + "\r\n")
+			} else {
+				o.resp = respError
+			}
+			close(o.done)
+			respQ <- o
+			continue
+		}
+		if cmd.Op == OpQuit {
+			o.quit = true
+			close(o.done)
+			respQ <- o
+			return
+		}
+		// Admission control: never block the socket on a full queue.
+		select {
+		case execQ <- o:
+			s.queued.Add(1)
+		default:
+			s.shedOps.Add(1)
+			o.resolve(respBusy)
+		}
+		respQ <- o
+	}
+}
+
+// readLine reads one CRLF (or bare LF) terminated line, bounded by the
+// reader's buffer size; over-long lines kill the connection.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	sl, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	sl = sl[:len(sl)-1]
+	if n := len(sl); n > 0 && sl[n-1] == '\r' {
+		sl = sl[:n-1]
+	}
+	// ReadSlice's buffer is reused by the next read, but parsed commands
+	// (keys, deltas) outlive it in the pipeline: copy.
+	return append([]byte(nil), sl...), nil
+}
+
+// execute runs one op's critical sections on the connection's thread and
+// returns the wire response.
+func (s *Server) execute(th *tm.Thread, o *op) []byte {
+	cmd := &o.cmd
+	switch cmd.Op {
+	case OpGet, OpGets:
+		s.cmdGet.Add(uint64(len(cmd.Keys)))
+		var out []byte
+		for _, k := range cmd.Keys {
+			it, ok, err := s.store.GetItem(th, k)
+			if err != nil {
+				return serverError(err)
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, "VALUE "...)
+			out = append(out, k...)
+			out = append(out, ' ')
+			out = strconv.AppendUint(out, uint64(it.Flags), 10)
+			out = append(out, ' ')
+			out = strconv.AppendInt(out, int64(len(it.Value)), 10)
+			if cmd.Op == OpGets {
+				out = append(out, ' ')
+				out = strconv.AppendUint(out, it.CAS, 10)
+			}
+			out = append(out, '\r', '\n')
+			out = append(out, it.Value...)
+			out = append(out, '\r', '\n')
+		}
+		return append(out, respEnd...)
+
+	case OpSet, OpAdd, OpReplace, OpCas:
+		s.cmdSet.Add(1)
+		if len(o.data) > kvstore.MaxValLen {
+			return respTooBig
+		}
+		switch cmd.Op {
+		case OpSet:
+			if err := s.store.SetItem(th, cmd.Key, o.data, cmd.Flags); err != nil {
+				return serverError(err)
+			}
+			return respStored
+		case OpAdd:
+			ok, err := s.store.Add(th, cmd.Key, o.data, cmd.Flags)
+			return storedOr(ok, err, respNotSt)
+		case OpReplace:
+			ok, err := s.store.Replace(th, cmd.Key, o.data, cmd.Flags)
+			return storedOr(ok, err, respNotSt)
+		default:
+			st, err := s.store.CompareAndSwap(th, cmd.Key, o.data, cmd.Flags, cmd.Cas)
+			if err != nil {
+				return serverError(err)
+			}
+			switch st {
+			case kvstore.Stored:
+				return respStored
+			case kvstore.CASExists:
+				return respExists
+			case kvstore.CASNotFound:
+				return respNotFound
+			default:
+				return respNotSt
+			}
+		}
+
+	case OpDelete:
+		ok, err := s.store.Delete(th, cmd.Key)
+		if err != nil {
+			return serverError(err)
+		}
+		if ok {
+			return respDeleted
+		}
+		return respNotFound
+
+	case OpIncr, OpDecr:
+		v, st, err := s.store.Incr(th, cmd.Key, cmd.Delta, cmd.Op == OpDecr)
+		if err != nil {
+			return serverError(err)
+		}
+		switch st {
+		case kvstore.IncrStored:
+			return append(strconv.AppendUint(nil, v, 10), '\r', '\n')
+		case kvstore.IncrNaN:
+			return respNaN
+		default:
+			return respNotFound
+		}
+
+	case OpStats:
+		return s.statsResponse(th)
+
+	case OpVersion:
+		return []byte("VERSION " + s.cfg.Version + "\r\n")
+
+	default:
+		return respError
+	}
+}
+
+func storedOr(ok bool, err error, miss []byte) []byte {
+	if err != nil {
+		return serverError(err)
+	}
+	if ok {
+		return respStored
+	}
+	return miss
+}
+
+func serverError(err error) []byte {
+	return []byte("SERVER_ERROR " + err.Error() + "\r\n")
+}
+
+// statsResponse renders the stats command: cache counters, server gauges,
+// and — when an adaptive controller is attached — per-shard policy,
+// switch counts, abort rates and the live queue depth.
+func (s *Server) statsResponse(th *tm.Thread) []byte {
+	var b []byte
+	stat := func(k, v string) {
+		b = append(b, "STAT "...)
+		b = append(b, k...)
+		b = append(b, ' ')
+		b = append(b, v...)
+		b = append(b, '\r', '\n')
+	}
+	u := func(k string, v uint64) { stat(k, strconv.FormatUint(v, 10)) }
+
+	u("cmd_get", s.cmdGet.Load())
+	u("cmd_set", s.cmdSet.Load())
+	ks, err := s.store.Stats(th)
+	if err == nil {
+		u("get_hits", ks.Hits)
+		u("get_misses", ks.Gets-ks.Hits)
+		u("evictions", ks.Evictions)
+	}
+	if n, err := s.store.Len(th); err == nil {
+		u("curr_items", uint64(n))
+	}
+	u("curr_connections", uint64(s.currConns.Load()))
+	u("total_connections", s.totalConns.Load())
+	u("queue_depth", uint64(s.queued.Load()))
+	u("shed_ops", s.shedOps.Load())
+	u("shed_connections", s.shedConns.Load())
+	u("protocol_errors", s.protoErrs.Load())
+
+	if ctl := s.cfg.Controller; ctl != nil {
+		sts := ctl.Status()
+		sort.Slice(sts, func(i, j int) bool { return sts[i].Shard < sts[j].Shard })
+		for _, st := range sts {
+			p := fmt.Sprintf("shard%d_", st.Shard)
+			stat(p+"policy", st.Policy.String())
+			u(p+"switches", st.Switches)
+			stat(p+"conflict_rate", fmt.Sprintf("%.4f", st.Window.Conflict))
+			stat(p+"capacity_rate", fmt.Sprintf("%.4f", st.Window.Capacity))
+			stat(p+"serial_rate", fmt.Sprintf("%.4f", st.Window.Serial))
+		}
+	}
+	return append(b, respEnd...)
+}

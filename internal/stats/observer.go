@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observer is an optional per-call-site counter sink: one lock's (or one
+// transaction class's) view of the engine-wide counters. The adaptive
+// policy controller (package adaptive) attaches one Observer per elided
+// mutex and decides each lock's execution policy from the observed abort
+// mix — the per-lock decision GOCC argues for, as opposed to the paper's
+// one-policy-per-run configuration.
+//
+// All methods are safe for concurrent use; the engine bumps an Observer on
+// the commit/abort paths of every critical section that carries one.
+type Observer struct {
+	commits      atomic.Uint64
+	serialRuns   atomic.Uint64
+	quiesces     atomic.Uint64
+	quiesceNanos atomic.Uint64
+	aborts       [numCauses]atomic.Uint64
+	_            [16]byte
+}
+
+// Commit records a committed critical section.
+func (o *Observer) Commit() { o.commits.Add(1) }
+
+// SerialRun records a critical section that executed under the serial lock.
+func (o *Observer) SerialRun() { o.serialRuns.Add(1) }
+
+// Abort records a failed attempt with its cause.
+func (o *Observer) Abort(cause AbortCause) {
+	if cause < 0 || cause >= numCauses {
+		cause = Conflict
+	}
+	o.aborts[cause].Add(1)
+}
+
+// Quiesce records one post-commit quiescence wait.
+func (o *Observer) Quiesce(d time.Duration) {
+	o.quiesces.Add(1)
+	if d > 0 {
+		o.quiesceNanos.Add(uint64(d))
+	}
+}
+
+// ObserverSnapshot is an immutable view of one Observer.
+type ObserverSnapshot struct {
+	Commits     uint64
+	SerialRuns  uint64
+	Quiesces    uint64
+	QuiesceTime time.Duration
+	Aborts      [NumCauses]uint64
+}
+
+// Snapshot reads the observer's counters.
+func (o *Observer) Snapshot() ObserverSnapshot {
+	var s ObserverSnapshot
+	s.Commits = o.commits.Load()
+	s.SerialRuns = o.serialRuns.Load()
+	s.Quiesces = o.quiesces.Load()
+	s.QuiesceTime = time.Duration(o.quiesceNanos.Load())
+	for i := range s.Aborts {
+		s.Aborts[i] = o.aborts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the component-wise difference s - prev (one sampling window).
+func (s ObserverSnapshot) Sub(prev ObserverSnapshot) ObserverSnapshot {
+	d := ObserverSnapshot{
+		Commits:     s.Commits - prev.Commits,
+		SerialRuns:  s.SerialRuns - prev.SerialRuns,
+		Quiesces:    s.Quiesces - prev.Quiesces,
+		QuiesceTime: s.QuiesceTime - prev.QuiesceTime,
+	}
+	for i := range d.Aborts {
+		d.Aborts[i] = s.Aborts[i] - prev.Aborts[i]
+	}
+	return d
+}
+
+// Starts derives the attempt count: every attempt ends in exactly one
+// commit or abort (serial runs commit or abort like any other).
+func (s ObserverSnapshot) Starts() uint64 {
+	n := s.Commits
+	for _, a := range s.Aborts {
+		n += a
+	}
+	return n
+}
+
+// TotalAborts sums aborts over all causes.
+func (s ObserverSnapshot) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborts {
+		n += a
+	}
+	return n
+}
+
+// CapacityRate is capacity aborts / starts, in [0,1].
+func (s ObserverSnapshot) CapacityRate() float64 {
+	return s.rate(s.Aborts[Capacity])
+}
+
+// ConflictRate is non-capacity, non-explicit aborts / starts: the conflict-
+// class failures (conflict, validation, locked, serial, event).
+func (s ObserverSnapshot) ConflictRate() float64 {
+	return s.rate(s.TotalAborts() - s.Aborts[Capacity] - s.Aborts[Explicit])
+}
+
+// SerialRate is serial-lock executions / starts.
+func (s ObserverSnapshot) SerialRate() float64 {
+	return s.rate(s.SerialRuns)
+}
+
+func (s ObserverSnapshot) rate(n uint64) float64 {
+	starts := s.Starts()
+	if starts == 0 {
+		return 0
+	}
+	return float64(n) / float64(starts)
+}

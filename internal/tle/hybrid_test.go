@@ -1,0 +1,132 @@
+package tle
+
+import (
+	"sync"
+	"testing"
+
+	"gotle/internal/stats"
+	"gotle/internal/tm"
+)
+
+// A hybrid runtime must run the same mutex under every policy, swapping
+// live while workers hammer the critical section, without losing a single
+// increment. This is the soundness core of the adaptive controller: a swap
+// only lands while the mutex is provably idle, so no two mechanisms ever
+// race on the guarded words.
+func TestHybridPolicySwapUnderLoad(t *testing.T) {
+	r := New(PolicyHTMCondVar, Config{MemWords: 1 << 16, Hybrid: true, Observe: true})
+	m := r.NewMutex("swap")
+	ctr := r.Engine().Alloc(1)
+
+	const workers, per = 8, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := r.NewThread()
+		wg.Add(1)
+		go func(th *tm.Thread) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := m.Do(th, func(tx tm.Tx) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}(th)
+	}
+	// Cycle the mutex through the full ladder, repeatedly, while workers run.
+	swaps := []Policy{PolicySTMCondVarNoQ, PolicySTMCondVar, PolicyPthread, PolicySTMSpin, PolicyHTMCondVar}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 6; round++ {
+			for _, p := range swaps {
+				if err := m.SetPolicy(p); err != nil {
+					t.Errorf("SetPolicy(%s): %v", p, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	th := r.NewThread()
+	var final uint64
+	if err := m.Do(th, func(tx tm.Tx) error {
+		final = tx.Load(ctr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(workers * per); final != want {
+		t.Fatalf("counter = %d, want %d (lost updates across policy swaps)", final, want)
+	}
+	obs := m.Observer()
+	if obs == nil {
+		t.Fatal("Observe runtime returned nil observer")
+	}
+	if s := obs.Snapshot(); s.Commits < workers*per {
+		t.Fatalf("observer commits = %d, want >= %d", s.Commits, workers*per)
+	}
+}
+
+// A single-mode runtime must refuse policies its engine cannot execute and
+// accept the ones it can.
+func TestSetPolicySupport(t *testing.T) {
+	r := New(PolicySTMCondVar, Config{MemWords: 1 << 14})
+	m := r.NewMutex("stm-only")
+	if err := m.SetPolicy(PolicyHTMCondVar); err == nil {
+		t.Fatal("STM-only runtime accepted htm-cv")
+	}
+	if err := m.SetPolicy(PolicyPthread); err != nil {
+		t.Fatalf("pthread rejected: %v", err)
+	}
+	if err := m.SetPolicy(PolicySTMCondVarNoQ); err != nil {
+		t.Fatalf("stm-cv-noq rejected: %v", err)
+	}
+	if got := m.CurrentPolicy(); got != PolicySTMCondVarNoQ {
+		t.Fatalf("CurrentPolicy = %s", got)
+	}
+
+	h := New(PolicyHTMCondVar, Config{MemWords: 1 << 14})
+	hm := h.NewMutex("htm-only")
+	if err := hm.SetPolicy(PolicySTMCondVar); err == nil {
+		t.Fatal("HTM-only runtime accepted stm-cv")
+	}
+	hy := New(PolicyPthread, Config{MemWords: 1 << 14, Hybrid: true})
+	for _, p := range Policies {
+		if !hy.Supports(p) {
+			t.Fatalf("hybrid runtime does not support %s", p)
+		}
+	}
+}
+
+// The per-mutex observer separates traffic by lock: only the mutex that
+// executed sections accumulates counts.
+func TestObserverPerMutex(t *testing.T) {
+	r := New(PolicySTMCondVar, Config{MemWords: 1 << 14, Observe: true})
+	a, b := r.NewMutex("a"), r.NewMutex("b")
+	th := r.NewThread()
+	w := r.Engine().Alloc(1)
+	for i := 0; i < 10; i++ {
+		if err := a.Do(th, func(tx tm.Tx) error {
+			tx.Store(w, tx.Load(w)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Observer().Snapshot().Commits; got != 10 {
+		t.Fatalf("a commits = %d", got)
+	}
+	if got := b.Observer().Snapshot(); got.Starts() != 0 {
+		t.Fatalf("b saw traffic: %+v", got)
+	}
+	var zero stats.ObserverSnapshot
+	if d := b.Observer().Snapshot().Sub(zero); d.Starts() != 0 {
+		t.Fatalf("Sub: %+v", d)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gotle/internal/abortsig"
@@ -106,6 +107,18 @@ type Config struct {
 	// pointer test per site); the chaos stress suite and cmd/chaosbench set
 	// it to shake out interleaving bugs.
 	FaultInjector *chaos.Injector
+	// Hybrid builds both the STM and the simulated HTM into the engine, so
+	// individual mutexes can be switched among all of the paper's policies
+	// at runtime (Mutex.SetPolicy; the adaptive controller in package
+	// adaptive drives this). Without it, a mutex can only switch among the
+	// policies its engine's single mechanism supports. Hybrid threads
+	// consume HTM contexts: at most htm.MaxThreads live threads.
+	Hybrid bool
+	// Observe attaches a per-mutex statistics observer to every NewMutex,
+	// feeding Mutex.Observer — the per-lock counters the adaptive policy
+	// controller samples. Off by default: per-operation atomic adds on a
+	// shared counter line are measurable on hot uncontended paths.
+	Observe bool
 }
 
 // Tracer observes critical-section structure for analysis tools.
@@ -122,12 +135,15 @@ type Runtime struct {
 	policy  Policy
 	engine  *tm.Engine
 	tracer  Tracer
+	observe bool
 	mutexes sync.Map // mid -> name, for diagnostics
 	nextMID int64
 	midMu   sync.Mutex
 }
 
-// New constructs a runtime for the given policy.
+// New constructs a runtime for the given policy (each mutex's initial
+// policy; with Config.Hybrid, mutexes can be re-pointed individually at
+// runtime via Mutex.SetPolicy).
 func New(policy Policy, cfg Config) *Runtime {
 	ecfg := tm.Config{
 		MemWords:     cfg.MemWords,
@@ -155,11 +171,35 @@ func New(policy Policy, cfg Config) *Runtime {
 	default:
 		panic(fmt.Sprintf("tle: unknown policy %d", policy))
 	}
-	return &Runtime{policy: policy, engine: tm.New(ecfg), tracer: cfg.Tracer}
+	if cfg.Hybrid {
+		// Hybrid: both mechanisms are built; each mutex resolves its own
+		// mechanism and NoQuiesce treatment per critical section, so the
+		// engine-level knobs cover only direct Engine.Atomic callers.
+		ecfg.Hybrid = true
+		ecfg.Quiesce = tm.QuiesceAll
+	}
+	return &Runtime{policy: policy, engine: tm.New(ecfg), tracer: cfg.Tracer, observe: cfg.Observe}
 }
 
-// Policy returns the runtime's execution policy.
+// Policy returns the runtime's default execution policy (the policy new
+// mutexes start under).
 func (r *Runtime) Policy() Policy { return r.policy }
+
+// Supports reports whether the runtime's engine can execute mutexes under
+// policy p: a hybrid runtime supports all five policies; a single-mode
+// runtime supports pthread plus the policies of its own mechanism.
+func (r *Runtime) Supports(p Policy) bool {
+	switch p {
+	case PolicyPthread:
+		return true
+	case PolicySTMSpin, PolicySTMCondVar, PolicySTMCondVarNoQ:
+		return r.engine.HasMech(tm.MechSTM)
+	case PolicyHTMCondVar:
+		return r.engine.HasMech(tm.MechHTM)
+	default:
+		return false
+	}
+}
 
 // Engine exposes the underlying TM engine (heap access, stats).
 func (r *Runtime) Engine() *tm.Engine { return r.engine }
@@ -173,11 +213,21 @@ func (r *Runtime) NewCond() *condvar.Cond { return condvar.New() }
 // Mutex is an elidable lock. Under PolicyPthread it is a real mutex; under
 // the TM policies its critical sections run as transactions and the lock
 // itself is erased.
+//
+// Each Mutex carries its own execution policy (initially the runtime's),
+// switchable at runtime with SetPolicy. Mixed policies are sound only
+// under the discipline the adaptive controller maintains: the data a mutex
+// guards is reached exclusively through that mutex's critical sections, so
+// HTM-elided, STM-elided and lock-based sections never race on the same
+// words even though their conflict-detection schemes are blind to each
+// other.
 type Mutex struct {
-	r    *Runtime
-	mu   sync.Mutex
-	mid  int
-	name string
+	r      *Runtime
+	mu     sync.Mutex
+	mid    int
+	name   string
+	policy atomic.Int32
+	obs    *stats.Observer // nil unless Config.Observe
 	// retries, when positive, overrides the engine's retry budget for this
 	// mutex's critical sections — the per-transaction retry policy of
 	// Section VII.A ("for queues that are expected to be un-contended,
@@ -203,6 +253,10 @@ func (r *Runtime) NewMutex(name string) *Mutex {
 	mid := int(r.nextMID)
 	r.midMu.Unlock()
 	m := &Mutex{r: r, mid: mid, name: name}
+	m.policy.Store(int32(r.policy))
+	if r.observe {
+		m.obs = &stats.Observer{}
+	}
 	r.mutexes.Store(mid, name)
 	if ln, ok := r.tracer.(LockNamer); ok {
 		if _, file, line, found := runtime.Caller(1); found {
@@ -215,11 +269,40 @@ func (r *Runtime) NewMutex(name string) *Mutex {
 // Name returns the mutex's diagnostic name.
 func (m *Mutex) Name() string { return m.name }
 
+// CurrentPolicy returns the mutex's execution policy right now. The value
+// can be stale by the time the caller acts on it; Do re-validates under
+// the appropriate lock.
+func (m *Mutex) CurrentPolicy() Policy { return Policy(m.policy.Load()) }
+
+// Observer returns the mutex's per-lock statistics observer (nil unless
+// the runtime was built with Config.Observe).
+func (m *Mutex) Observer() *stats.Observer { return m.obs }
+
 // SetRetryBudget overrides the number of aborted attempts this mutex's
 // critical sections tolerate before serial fallback (0 restores the engine
 // default). Tuning per lock is the knob the TMTS lacks (Section II.C,
 // citing Karnagel et al.).
 func (m *Mutex) SetRetryBudget(n int) { m.retries = n }
+
+// SetPolicy switches this mutex's execution policy, waiting until the
+// mutex is provably idle: the real lock is held (excluding lock-based
+// sections) and the engine is drained through the serial write lock
+// (excluding every in-flight transaction — elided sections of this mutex
+// included). Critical sections that race with the swap re-resolve and run
+// under the new policy; none ever runs under a mechanism that no longer
+// matches the mutex's data.
+//
+// SetPolicy fails if the runtime's engine lacks the mechanism p needs
+// (see Runtime.Supports); a hybrid runtime supports every policy.
+func (m *Mutex) SetPolicy(p Policy) error {
+	if !m.r.Supports(p) {
+		return fmt.Errorf("tle: mutex %q: runtime does not support policy %s", m.name, p)
+	}
+	m.mu.Lock()
+	m.r.engine.Drain(func() { m.policy.Store(int32(p)) })
+	m.mu.Unlock()
+	return nil
+}
 
 // Do executes body as a critical section of m on thread th.
 //
@@ -234,10 +317,46 @@ func (m *Mutex) Do(th *tm.Thread, body func(tx tm.Tx) error) error {
 		tr.Acquire(th.ID(), m.mid)
 		defer tr.Release(th.ID(), m.mid)
 	}
-	if m.r.policy == PolicyPthread {
-		return m.doLocked(th, body)
+	for {
+		p := Policy(m.policy.Load())
+		if p == PolicyPthread {
+			m.mu.Lock()
+			if Policy(m.policy.Load()) != PolicyPthread {
+				// Swapped between the load and the lock: the new policy is
+				// transactional, take the elided path instead.
+				m.mu.Unlock()
+				continue
+			}
+			return m.doLocked(th, body)
+		}
+		err := m.r.engine.AtomicOpts(th, tm.CallOpts{
+			Retries: m.retries,
+			Resolve: m.resolve,
+			Obs:     m.obs,
+		}, body)
+		if err == tm.ErrStale {
+			// The policy changed before the attempt began; re-dispatch.
+			continue
+		}
+		return err
 	}
-	return m.r.engine.AtomicRetries(th, m.retries, body)
+}
+
+// resolve maps the mutex's current policy onto a TM mechanism. It runs
+// under the engine's serial read lock (or write lock, for the serial
+// path), where SetPolicy's drain cannot overlap, so the answer is stable
+// for the attempt that asked.
+func (m *Mutex) resolve() (tm.Mech, bool, bool) {
+	switch Policy(m.policy.Load()) {
+	case PolicyPthread:
+		return tm.MechDefault, false, false // no longer elidable: re-dispatch
+	case PolicyHTMCondVar:
+		return tm.MechHTM, false, true
+	case PolicySTMCondVarNoQ:
+		return tm.MechSTM, true, true
+	default: // stm-spin, stm-cv
+		return tm.MechSTM, false, true
+	}
 }
 
 // Coalesce runs body as ONE critical section spanning what would otherwise
@@ -251,10 +370,10 @@ func (m *Mutex) Coalesce(th *tm.Thread, body func(tx tm.Tx) error) error {
 	return m.Do(th, body)
 }
 
-// doLocked is the pthread baseline path.
+// doLocked is the pthread baseline path. The caller holds m.mu (Do
+// acquires it to double-check the policy); doLocked releases it.
 func (m *Mutex) doLocked(th *tm.Thread, body func(tx tm.Tx) error) (err error) {
 	d := &directTx{e: m.r.engine}
-	m.mu.Lock()
 	retried := false
 	func() {
 		defer func() {
@@ -271,13 +390,22 @@ func (m *Mutex) doLocked(th *tm.Thread, body func(tx tm.Tx) error) (err error) {
 		err = body(d)
 	}()
 	if retried {
+		if m.obs != nil {
+			m.obs.Abort(stats.Explicit)
+		}
 		return tm.ErrRetry
 	}
 	if err != nil {
 		if d.wrote {
 			panic("tle: critical section failed after writes under pthread policy (no rollback available)")
 		}
+		if m.obs != nil {
+			m.obs.Abort(stats.Explicit)
+		}
 		return err
+	}
+	if m.obs != nil {
+		m.obs.Commit()
 	}
 	for _, fn := range d.deferred {
 		fn()
@@ -295,7 +423,7 @@ func (m *Mutex) Await(th *tm.Thread, cv *condvar.Cond, timeout time.Duration, bo
 		if err != tm.ErrRetry {
 			return err
 		}
-		if m.r.policy == PolicySTMSpin || cv == nil {
+		if m.CurrentPolicy() == PolicySTMSpin || cv == nil {
 			// Spin: re-execute the transaction. Yield so the thread that
 			// will satisfy the predicate can run; the waste and cache
 			// traffic this causes is the point of the Spin configuration.

@@ -1,6 +1,8 @@
 package tm
 
 import (
+	"errors"
+
 	"gotle/internal/abortsig"
 	"gotle/internal/chaos"
 	"gotle/internal/memseg"
@@ -33,13 +35,42 @@ func (e *Engine) Atomic(th *Thread, fn func(Tx) error) error {
 // for programmers to be able to suggest retry policies on a transaction-by-
 // transaction basis". A non-positive budget uses the engine default.
 func (e *Engine) AtomicRetries(th *Thread, maxRetries int, fn func(Tx) error) error {
-	if maxRetries <= 0 {
-		maxRetries = e.cfg.MaxRetries
+	return e.AtomicOpts(th, CallOpts{Retries: maxRetries}, fn)
+}
+
+// CallOpts parameterises one atomic-block execution beyond the engine
+// defaults. The zero value reproduces Atomic exactly.
+type CallOpts struct {
+	// Retries overrides the engine retry budget (non-positive = default).
+	Retries int
+	// Resolve, when non-nil, is consulted at the start of every attempt —
+	// after the attempt is pinned under the serial read lock — and selects
+	// the mechanism and whether Tx.NoQuiesce is honored for that attempt.
+	// Returning ok=false abandons the call with ErrStale; the caller is
+	// expected to re-resolve its configuration and call again. Because the
+	// serial read lock is held across the attempt and configuration swaps
+	// happen under Engine.Drain (the write side), a resolution observed
+	// under the read lock cannot change mid-attempt.
+	Resolve func() (mech Mech, honorNoQuiesce bool, ok bool)
+	// Obs, when non-nil, additionally receives this call's commit/abort/
+	// quiesce events (per-mutex statistics for the adaptive controller).
+	Obs *stats.Observer
+}
+
+// ErrStale is returned by AtomicOpts when CallOpts.Resolve reported that
+// the call's configuration is no longer valid before any attempt ran.
+var ErrStale = errors.New("tm: call configuration went stale")
+
+// AtomicOpts executes fn as an atomic block with per-call options.
+func (e *Engine) AtomicOpts(th *Thread, o CallOpts, fn func(Tx) error) error {
+	if o.Retries <= 0 {
+		o.Retries = e.cfg.MaxRetries
 	}
 	if th.depth > 0 {
 		// Flat nesting: run in the parent's transaction. A cancel or retry
 		// unwinds the whole outer transaction via the returned error / the
-		// abort signal respectively.
+		// abort signal respectively. The parent's mechanism and observer
+		// stay in charge.
 		th.depth++
 		defer func() { th.depth-- }()
 		return fn(th.cur)
@@ -49,12 +80,15 @@ func (e *Engine) AtomicRetries(th *Thread, maxRetries int, fn func(Tx) error) er
 		// already spent. Under HTM this dooms every running transaction;
 		// under STM it drains them — either way the whole engine feels it
 		// (the "lock erasure" effect the chaos suite must show is safe).
-		return e.runSerial(th, fn)
+		return e.runSerial(th, &o, fn)
 	}
 	var backoff spinwait.Backoff
 	retries := 0
 	for {
-		err, committed, cause := e.attempt(th, fn)
+		err, committed, cause, stale := e.attempt(th, &o, fn)
+		if stale {
+			return ErrStale
+		}
 		if committed {
 			return nil
 		}
@@ -65,8 +99,8 @@ func (e *Engine) AtomicRetries(th *Thread, maxRetries int, fn func(Tx) error) er
 			return ErrRetry
 		}
 		retries++
-		if retries > maxRetries {
-			return e.runSerial(th, fn)
+		if retries > o.Retries {
+			return e.runSerial(th, &o, fn)
 		}
 		backoff.Wait()
 	}
@@ -79,22 +113,46 @@ func (e *Engine) Synchronized(th *Thread, fn func(Tx) error) error {
 	if th.depth > 0 {
 		panic("tm: Synchronized inside an atomic block")
 	}
-	return e.runSerial(th, fn)
+	return e.runSerial(th, nil, fn)
 }
 
 // attempt runs fn once speculatively. It returns committed=true on success;
 // otherwise cause carries the abort cause, and err is non-nil only for a
-// user cancel (which also rolls back).
-func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bool, cause stats.AbortCause) {
+// user cancel (which also rolls back). stale=true means o.Resolve vetoed
+// the attempt before it began.
+func (e *Engine) attempt(th *Thread, o *CallOpts, fn func(Tx) error) (err error, committed bool, cause stats.AbortCause, stale bool) {
 	e.serial.rlock()
+	mech := e.defaultMech()
+	honorNoQ := e.cfg.HonorNoQuiesce
+	if o != nil && o.Resolve != nil {
+		// Resolved under the read lock: a concurrent Engine.Drain (policy
+		// swap) cannot complete until this attempt releases it, so the
+		// resolution holds for the whole attempt.
+		m, h, ok := o.Resolve()
+		if !ok {
+			e.serial.runlock()
+			return nil, false, 0, true
+		}
+		if m != MechDefault {
+			mech = m
+		}
+		honorNoQ = h
+	}
 	th.resetTxnState()
+	th.mech = mech
+	th.honorNoQ = honorNoQ
+	if o != nil {
+		th.obs = o.Obs
+	} else {
+		th.obs = nil
+	}
 	th.slot.Enter()
 
 	var tx Tx
-	if th.stx != nil {
-		tx = stmTx{th: th}
-	} else {
+	if mech == MechHTM {
 		tx = htmTx{th: th}
+	} else {
+		tx = stmTx{th: th}
 	}
 	th.cur = tx
 	th.depth = 1
@@ -139,15 +197,18 @@ func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bo
 	// the transition).
 	th.slot.Exit()
 
-	if th.stx != nil {
+	if mech == MechSTM && th.stx != nil {
 		th.st.ReadsDeduped(th.stx.TakeDedupedReads())
 	}
 
 	if committed {
 		th.st.Commit(readOnly)
+		if th.obs != nil {
+			th.obs.Commit()
+		}
 		e.postCommit(th, readOnly)
 		e.serial.runlock()
-		return nil, true, 0
+		return nil, true, 0, false
 	}
 
 	// Abort path: return eagerly-allocated blocks.
@@ -158,28 +219,34 @@ func (e *Engine) attempt(th *Thread, fn func(Tx) error) (err error, committed bo
 		// User cancel: not a conflict, no stats abort classification beyond
 		// explicit.
 		th.st.Abort(stats.Explicit)
+		if th.obs != nil {
+			th.obs.Abort(stats.Explicit)
+		}
 		e.serial.runlock()
-		return err, false, stats.Explicit
+		return err, false, stats.Explicit, false
 	}
 	_ = aborted
 	th.st.Abort(cause)
+	if th.obs != nil {
+		th.obs.Abort(cause)
+	}
 	e.serial.runlock()
-	return nil, false, cause
+	return nil, false, cause, false
 }
 
 func (th *Thread) beginTx() {
-	if th.stx != nil {
-		th.stx.Begin()
-	} else {
+	if th.mech == MechHTM {
 		th.htx.Begin()
+	} else {
+		th.stx.Begin()
 	}
 }
 
 func (th *Thread) commitTx() (readOnly bool) {
-	if th.stx != nil {
-		return th.stx.Commit()
+	if th.mech == MechHTM {
+		return th.htx.Commit()
 	}
-	return th.htx.Commit()
+	return th.stx.Commit()
 }
 
 // rollbackLive undoes the running attempt if one is live.
@@ -197,10 +264,13 @@ func (th *Thread) rollbackLive() {
 func (e *Engine) postCommit(th *Thread, readOnly bool) {
 	// The allocator requires freeing transactions to quiesce under STM
 	// (Section VII.C); under HTM the InvalidateBlock pass below provides
-	// the equivalent guarantee through strong isolation.
-	mustQuiesce := e.stm != nil && len(th.frees) > 0
+	// the equivalent guarantee through strong isolation. In a hybrid
+	// engine the attempt's own mechanism decides: an HTM-executed block
+	// is strongly isolated regardless of what else the engine can run.
+	stmAttempt := th.mech == MechSTM
+	mustQuiesce := stmAttempt && len(th.frees) > 0
 	wantQuiesce := false
-	if e.stm != nil {
+	if stmAttempt {
 		switch e.cfg.Quiesce {
 		case QuiesceAll:
 			wantQuiesce = true
@@ -209,7 +279,7 @@ func (e *Engine) postCommit(th *Thread, readOnly bool) {
 		case QuiesceNone:
 			wantQuiesce = false
 		}
-		if wantQuiesce && th.noQuiesce && e.cfg.HonorNoQuiesce {
+		if wantQuiesce && th.noQuiesce && th.honorNoQ {
 			wantQuiesce = false
 			th.st.NoQuiesce()
 		}
@@ -217,6 +287,9 @@ func (e *Engine) postCommit(th *Thread, readOnly bool) {
 	if mustQuiesce || wantQuiesce {
 		res := e.epochs.QuiesceWith(th.slot, &th.qs)
 		th.st.Quiesce(res.Wait)
+		if th.obs != nil {
+			th.obs.Quiesce(res.Wait)
+		}
 		if res.Shared {
 			th.st.SharedGrace(!res.Scanned)
 		}
@@ -237,7 +310,7 @@ func (e *Engine) postCommit(th *Thread, readOnly bool) {
 
 // runSerial executes fn irrevocably: it drains all transactions via the
 // serial lock's write side, then runs fn with direct memory access.
-func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
+func (e *Engine) runSerial(th *Thread, o *CallOpts, fn func(Tx) error) error {
 	e.serial.wlock(func() {
 		if e.htm != nil {
 			e.htm.DoomAll(stats.Serial)
@@ -246,7 +319,22 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 	defer e.serial.wunlock()
 
 	th.resetTxnState()
+	th.obs = nil
+	if o != nil {
+		// A serial run is mechanism-agnostic (exclusive, direct access),
+		// but a stale configuration still abandons the call: the caller's
+		// policy may have stopped being transactional altogether.
+		if o.Resolve != nil {
+			if _, _, ok := o.Resolve(); !ok {
+				return ErrStale
+			}
+		}
+		th.obs = o.Obs
+	}
 	th.st.SerialRun()
+	if th.obs != nil {
+		th.obs.SerialRun()
+	}
 	tx := &serialTx{th: th}
 	th.cur = tx
 	th.depth = 1
@@ -272,6 +360,9 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 			e.mem.Free(a)
 		}
 		th.st.Abort(stats.Explicit)
+		if th.obs != nil {
+			th.obs.Abort(stats.Explicit)
+		}
 		return ErrRetry
 	}
 	if err != nil {
@@ -283,9 +374,15 @@ func (e *Engine) runSerial(th *Thread, fn func(Tx) error) error {
 			e.mem.Free(a)
 		}
 		th.st.Abort(stats.Explicit)
+		if th.obs != nil {
+			th.obs.Abort(stats.Explicit)
+		}
 		return err
 	}
 	th.st.Commit(!tx.wrote)
+	if th.obs != nil {
+		th.obs.Commit()
+	}
 	// No quiescence needed: the write lock excluded every transaction.
 	for _, a := range th.frees {
 		e.mem.Free(a)

@@ -27,6 +27,12 @@ type Thread struct {
 	deferred  []func()
 	noQuiesce bool
 	cur       Tx // active wrapper for flat nesting
+
+	// Per-call configuration, pinned by attempt/runSerial for the duration
+	// of one top-level execution (see CallOpts).
+	mech     Mech
+	honorNoQ bool
+	obs      *stats.Observer
 }
 
 // NewThread registers a new transactional thread with the engine. Under HTM
@@ -60,9 +66,12 @@ func (e *Engine) NewThread() *Thread {
 	if e.stm != nil {
 		th.stx = e.stm.NewTx(id)
 		th.stx.SetWriteBack(e.cfg.WriteBack)
-	} else {
+	}
+	if e.htm != nil {
 		th.htx = e.htm.NewTx(id) // panics past htm.MaxThreads
 	}
+	th.mech = e.defaultMech()
+	th.honorNoQ = e.cfg.HonorNoQuiesce
 	return th
 }
 

@@ -56,6 +56,27 @@ func (m Mode) String() string {
 	}
 }
 
+// Mech names the TM mechanism executing one particular atomic block. In a
+// hybrid engine (Config.Hybrid) both mechanisms coexist over the one heap
+// and each critical section picks one; in a single-mode engine the only
+// valid mech is the engine's mode.
+//
+// Mixing mechanisms is sound only when the data guarded by HTM-executed
+// critical sections and the data guarded by STM-executed ones are disjoint:
+// the two conflict-detection schemes do not see each other. The tle layer
+// maintains that invariant by assigning a mechanism per mutex and swapping
+// it only under a full engine drain (Engine.Drain).
+type Mech int
+
+const (
+	// MechDefault selects the engine's mode (STM for hybrid engines).
+	MechDefault Mech = iota
+	// MechSTM runs the block on the software TM.
+	MechSTM
+	// MechHTM runs the block on the simulated hardware TM.
+	MechHTM
+)
+
 // QuiescePolicy selects when committing STM transactions quiesce. HTM never
 // quiesces (strong isolation makes it unnecessary, Section IV).
 type QuiescePolicy int
@@ -105,6 +126,13 @@ type Config struct {
 	// The STM is always free to ignore the call (Section IV.B); disabling
 	// this reproduces the baseline "STM" configuration.
 	HonorNoQuiesce bool
+	// Hybrid builds both the STM and the simulated HTM over the one heap,
+	// so individual atomic blocks can select their mechanism via
+	// CallOpts.Resolve (the adaptive per-lock policy controller requires
+	// this). Mode still selects the default mechanism for calls that do
+	// not resolve one. Threads of a hybrid engine consume HTM contexts,
+	// so at most htm.MaxThreads threads may be live at once.
+	Hybrid bool
 	// MaxRetries is the number of aborted attempts before an atomic block
 	// falls back to serial-irrevocable execution. The paper's HTM falls
 	// back "after hardware transactions fail twice"; GCC's STM retries
@@ -177,22 +205,58 @@ func New(cfg Config) *Engine {
 		reg:    stats.NewRegistry(),
 		inj:    cfg.Injector,
 	}
-	switch cfg.Mode {
-	case ModeSTM:
+	if cfg.Mode != ModeSTM && cfg.Mode != ModeHTM {
+		panic(fmt.Sprintf("tm: unknown mode %d", cfg.Mode))
+	}
+	if cfg.Hybrid || cfg.Mode == ModeSTM {
 		e.stm = stm.New(e.mem, stm.Config{
 			OrecSizeLog2: cfg.OrecSizeLog2,
 			StripeShift:  cfg.StripeShift,
 			CM:           cfg.CM,
 			Injector:     cfg.Injector,
 		})
-	case ModeHTM:
+	}
+	if cfg.Hybrid || cfg.Mode == ModeHTM {
 		hcfg := cfg.HTM
 		hcfg.Injector = cfg.Injector
 		e.htm = htm.New(e.mem, hcfg)
-	default:
-		panic(fmt.Sprintf("tm: unknown mode %d", cfg.Mode))
 	}
 	return e
+}
+
+// HasMech reports whether the engine can execute atomic blocks on mech.
+func (e *Engine) HasMech(m Mech) bool {
+	switch m {
+	case MechSTM:
+		return e.stm != nil
+	case MechHTM:
+		return e.htm != nil
+	default:
+		return true
+	}
+}
+
+// defaultMech is the mechanism used by calls that do not resolve one.
+func (e *Engine) defaultMech() Mech {
+	if e.cfg.Mode == ModeHTM {
+		return MechHTM
+	}
+	return MechSTM
+}
+
+// Drain executes fn while the engine is fully serialized: the serial
+// write lock is held, every in-flight transaction has finished or been
+// doomed (HTM), and no new attempt can start until fn returns. The tle
+// layer uses it to swap a mutex's execution policy while the mutex — and
+// every other elided critical section — is provably idle.
+func (e *Engine) Drain(fn func()) {
+	e.serial.wlock(func() {
+		if e.htm != nil {
+			e.htm.DoomAll(stats.Serial)
+		}
+	})
+	fn()
+	e.serial.wunlock()
 }
 
 // Injector returns the engine's fault injector (nil when chaos is disabled).
