@@ -7,7 +7,9 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 5
 CHAOS_SEED ?= 1
 
-.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench serve-smoke serve-bench clean
+.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench serve-smoke serve-bench crash-smoke crash-chaos clean
+
+CRASH_SEED ?= 1
 
 # The TM stack proper: the packages `make race-tm` sweeps before merging
 # engine changes.
@@ -48,6 +50,7 @@ race-tm:
 
 # Short bursts of the native fuzz targets (long-form: go test -fuzz=X -fuzztime=10m).
 fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzPackUnpack -fuzztime $(FUZZTIME) ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/bzlike
 	$(GO) test -run '^$$' -fuzz FuzzCompressRoundTrip -fuzztime $(FUZZTIME) ./internal/bzlike
@@ -85,7 +88,9 @@ serve-smoke:
 # = a 1.5 KiB write budget, so the 2 KiB sets overflow HTM capacity and
 # drive the adaptive ladder off htm-cv), checked for per-key
 # linearizability, folded into the same BENCH_$(BENCHDATE).json trajectory
-# as `make bench`.
+# as `make bench`. A second pass reruns the identical mix with the redo
+# WAL enabled (`serve-wal` label) so the JSON carries the durability tax:
+# ops/sec and p99 WAL-on vs WAL-off, plus the group-commit fsyncs/sec.
 SERVE_ADDR ?= 127.0.0.1:19333
 SERVE_OPS ?= 100000
 serve-bench:
@@ -99,13 +104,35 @@ serve-bench:
 	rc=$$?; cat $(BENCHDIR)/serve.txt; \
 	kill `cat $(BENCHDIR)/tleserved.pid`; rm -f $(BENCHDIR)/tleserved.pid; \
 	test $$rc -eq 0
+	rm -rf $(BENCHDIR)/wal
+	$(BENCHDIR)/tleserved -addr $(SERVE_ADDR) -htm-write-lines 24 \
+		-wal $(BENCHDIR)/wal \
+		& echo $$! > $(BENCHDIR)/tleserved.pid; sleep 1; \
+	$(BENCHDIR)/loadgen -addr $(SERVE_ADDR) -conns 16 -depth 8 -ops $(SERVE_OPS) \
+		-set 30 -del 5 -valsize 64,2048 -check -label ServeWAL \
+		> $(BENCHDIR)/serve-wal.txt 2>&1; \
+	rc=$$?; cat $(BENCHDIR)/serve-wal.txt; \
+	kill `cat $(BENCHDIR)/tleserved.pid`; rm -f $(BENCHDIR)/tleserved.pid; \
+	test $$rc -eq 0
 	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json \
 		$(if $(wildcard $(BENCHDIR)/current.txt),current=$(BENCHDIR)/current.txt) \
-		serve=$(BENCHDIR)/serve.txt
+		serve=$(BENCHDIR)/serve.txt serve-wal=$(BENCHDIR)/serve-wal.txt
 
 # Prove the chaos checker still bites: a sabotaged engine must be caught.
 chaos-teeth:
 	$(GO) run ./cmd/chaosbench -break-undo -policy stm-cv -faults none -runs $(CHAOS_RUNS) -seed $(CHAOS_SEED)
+
+# Kill-9 crash consistency (cmd/crashtest): tleserved with -wal under live
+# load, SIGKILLed at a seeded random point, restarted from the log; the
+# merged pre/post-crash history must linearize per key (acked writes
+# survive, unacked may go either way). crash-smoke is the CI gate; crash-
+# chaos sweeps more seeds over a wider kill window.
+crash-smoke:
+	$(GO) run ./cmd/crashtest -runs 3 -seed $(CRASH_SEED)
+
+crash-chaos:
+	$(GO) run ./cmd/crashtest -runs 12 -seed $(CRASH_SEED) \
+		-kill-min 150ms -kill-max 1500ms -conns 12 -depth 8
 
 clean:
 	$(GO) clean ./...

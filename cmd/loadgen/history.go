@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gotle/internal/linearize"
+)
+
+// History persistence: the crash harness runs loadgen twice around a
+// kill-9 (phase 1 dies with the server; phase 2 drives the recovered
+// instance) and needs the two phases checked as ONE history. Phase 1
+// serializes its recorded operations — completed and pending alike — with
+// -history-out; phase 2 loads them with -history-in, offsets its own
+// clocks past the prior maximum, and checks the merged whole.
+
+// histOp is linearize.Op flattened for JSON: the KV model only ever uses
+// string (or absent) inputs/outputs, so pointers encode the nil cases
+// losslessly.
+type histOp struct {
+	Client  int     `json:"client"`
+	Call    int64   `json:"call"`
+	Return  int64   `json:"return,omitempty"` // 0 = never completed
+	Kind    string  `json:"kind"`
+	Key     string  `json:"key"`
+	Input   *string `json:"input,omitempty"`
+	Output  *string `json:"output,omitempty"`
+	OK      bool    `json:"ok,omitempty"`
+	Pending bool    `json:"pending,omitempty"`
+}
+
+type historyFile struct {
+	Ops []histOp `json:"ops"`
+}
+
+func toHistOp(o linearize.Op) histOp {
+	h := histOp{
+		Client: o.Client, Call: o.Call, Return: o.Return,
+		Kind: o.Kind, Key: o.Key, OK: o.OK, Pending: o.Pending,
+	}
+	if s, ok := o.Input.(string); ok {
+		h.Input = &s
+	}
+	if s, ok := o.Output.(string); ok {
+		h.Output = &s
+	}
+	return h
+}
+
+func fromHistOp(h histOp) linearize.Op {
+	o := linearize.Op{
+		Client: h.Client, Call: h.Call, Return: h.Return,
+		Kind: h.Kind, Key: h.Key, OK: h.OK, Pending: h.Pending,
+	}
+	if h.Input != nil {
+		o.Input = *h.Input
+	}
+	if h.Output != nil {
+		o.Output = *h.Output
+	}
+	return o
+}
+
+// saveHistory writes ops to path (completed and pending together).
+func saveHistory(path string, ops []linearize.Op) error {
+	f := historyFile{Ops: make([]histOp, len(ops))}
+	for i, o := range ops {
+		f.Ops[i] = toHistOp(o)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// loadHistory reads a history previously written by saveHistory.
+func loadHistory(path string) ([]linearize.Op, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f historyFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ops := make([]linearize.Op, len(f.Ops))
+	for i, h := range f.Ops {
+		if h.Return == 0 && !h.Pending {
+			return nil, fmt.Errorf("%s: op %d has no return but is not pending", path, i)
+		}
+		ops[i] = fromHistOp(h)
+	}
+	return ops, nil
+}
+
+// mergeHistories appends cur after prior on a common logical clock: every
+// current timestamp and client id is offset past the prior maximum, so
+// prior completed ops strictly precede all current ops in real time,
+// while prior PENDING ops (no return; the kill orphaned them) remain
+// concurrent with everything after their invocation — exactly the
+// uncertainty a crash leaves behind.
+func mergeHistories(prior, cur []linearize.Op) []linearize.Op {
+	var maxT int64
+	maxClient := -1
+	for _, o := range prior {
+		if o.Call > maxT {
+			maxT = o.Call
+		}
+		if o.Return > maxT {
+			maxT = o.Return
+		}
+		if o.Client > maxClient {
+			maxClient = o.Client
+		}
+	}
+	out := make([]linearize.Op, 0, len(prior)+len(cur))
+	out = append(out, prior...)
+	for _, o := range cur {
+		o.Call += maxT
+		if o.Return != 0 {
+			o.Return += maxT
+		}
+		o.Client += maxClient + 1
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gotle/internal/linearize"
+)
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.json")
+	ops := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "key:1", Input: "v1"},
+		{Client: 1, Call: 3, Return: 4, Kind: "get", Key: "key:1", Output: "v1", OK: true},
+		{Client: 2, Call: 5, Return: 6, Kind: "get", Key: "key:2", Output: "", OK: false},
+		{Client: 0, Call: 7, Kind: "delete", Key: "key:1", Pending: true},
+	}
+	if err := saveHistory(path, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("loaded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestHistoryLoadRejectsHalfRecordedOp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.json")
+	// Return 0 without Pending marks an op that neither completed nor was
+	// classified — a recorder bug, not a crash artifact.
+	bad := []linearize.Op{{Client: 0, Call: 1, Kind: "set", Key: "k", Input: "v"}}
+	if err := saveHistory(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHistory(path); err == nil {
+		t.Fatal("loaded an op with no return and no pending mark")
+	}
+}
+
+func TestMergeHistoriesOffsets(t *testing.T) {
+	prior := []linearize.Op{
+		{Client: 0, Call: 1, Return: 8, Kind: "set", Key: "k", Input: "a"},
+		{Client: 3, Call: 5, Kind: "set", Key: "k", Input: "b", Pending: true},
+	}
+	cur := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "get", Key: "k", Output: "a", OK: true},
+		{Client: 1, Call: 3, Kind: "delete", Key: "k", Pending: true},
+	}
+	merged := mergeHistories(prior, cur)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d ops", len(merged))
+	}
+	// Prior ops are unchanged.
+	if merged[0] != prior[0] || merged[1] != prior[1] {
+		t.Fatalf("prior ops modified: %+v", merged[:2])
+	}
+	// Current ops shift past the prior max timestamp (8) and client (3).
+	if merged[2].Call != 9 || merged[2].Return != 10 || merged[2].Client != 4 {
+		t.Fatalf("completed cur op misoffset: %+v", merged[2])
+	}
+	// A pending cur op keeps Return == 0 (still unreturned), Call shifts.
+	if merged[3].Call != 11 || merged[3].Return != 0 || merged[3].Client != 5 || !merged[3].Pending {
+		t.Fatalf("pending cur op misoffset: %+v", merged[3])
+	}
+}
+
+// TestMergedCrashHistoryChecks is the end-to-end shape the crash harness
+// produces: phase 1 acked a set and left another in flight at the kill;
+// phase 2's presweep observes the recovered state. The combined history
+// must linearize exactly when the acked write survived.
+func TestMergedCrashHistoryChecks(t *testing.T) {
+	phase1 := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "key:1", Input: "acked"},
+		{Client: 1, Call: 3, Kind: "set", Key: "key:1", Input: "unacked", Pending: true},
+		{Client: 2, Call: 4, Kind: "set", Key: "key:2", Input: "maybe", Pending: true},
+	}
+
+	// Recovery preserved the acked write; key:2's unacked set never ran.
+	good := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "get", Key: "key:1", Output: "acked", OK: true},
+		{Client: 0, Call: 3, Return: 4, Kind: "get", Key: "key:2", Output: "", OK: false},
+	}
+	if res := linearize.Check(linearize.KVModel{}, mergeHistories(phase1, good)); !res.OK {
+		t.Fatalf("good recovery flagged:\n%v", res)
+	}
+
+	// The unacked write surviving instead is equally legal.
+	alsoGood := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "get", Key: "key:1", Output: "unacked", OK: true},
+		{Client: 0, Call: 3, Return: 4, Kind: "get", Key: "key:2", Output: "maybe", OK: true},
+	}
+	if res := linearize.Check(linearize.KVModel{}, mergeHistories(phase1, alsoGood)); !res.OK {
+		t.Fatalf("surviving unacked write flagged:\n%v", res)
+	}
+
+	// The acked write vanishing is the bug.
+	lost := []linearize.Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "get", Key: "key:1", Output: "", OK: false},
+	}
+	if res := linearize.Check(linearize.KVModel{}, mergeHistories(phase1, lost)); res.OK {
+		t.Fatal("lost acked write passed the merged check")
+	}
+}

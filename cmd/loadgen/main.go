@@ -31,17 +31,21 @@ import (
 )
 
 type options struct {
-	addr     string
-	conns    int
-	depth    int
-	ops      int
-	keyspace int
-	skew     float64
-	valSizes []int
-	mix      workload.Mix
-	seed     int64
-	check    bool
-	label    string
+	addr         string
+	conns        int
+	depth        int
+	ops          int
+	keyspace     int
+	skew         float64
+	valSizes     []int
+	mix          workload.Mix
+	seed         int64
+	check        bool
+	label        string
+	historyOut   string
+	historyIn    string
+	tolerateDisc bool
+	presweep     bool
 }
 
 // pending is one in-flight request's bookkeeping, queued FIFO per
@@ -56,11 +60,12 @@ type pending struct {
 
 // workerResult aggregates one connection's run.
 type workerResult struct {
-	lat       histo.Histogram
-	completed int
-	shed      int
-	protoErrs int
-	err       error
+	lat          histo.Histogram
+	completed    int
+	shed         int
+	protoErrs    int
+	disconnected bool
+	err          error
 }
 
 func main() {
@@ -78,6 +83,10 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload seed")
 	flag.BoolVar(&o.check, "check", false, "record and verify per-key linearizability")
 	flag.StringVar(&o.label, "label", "Serve", "benchmark name component")
+	flag.StringVar(&o.historyOut, "history-out", "", "write the recorded history (completed + pending ops) to this file")
+	flag.StringVar(&o.historyIn, "history-in", "", "load a prior phase's history and check the merged whole")
+	flag.BoolVar(&o.tolerateDisc, "tolerate-disconnect", false, "treat a mid-run server death as expected: in-flight ops become pending, exit 0")
+	flag.BoolVar(&o.presweep, "presweep", false, "with -check: read every key once before the load, pinning the post-recovery state (needs -history-in — only the prior phase's history can explain recovered values)")
 	set := flag.Int("set", 20, "percentage of sets")
 	del := flag.Int("del", 0, "percentage of deletes")
 	incr := flag.Int("incr", 0, "percentage of incrs")
@@ -118,6 +127,13 @@ func run(o options) error {
 	if err != nil {
 		return fmt.Errorf("server not reachable: %w", err)
 	}
+	if o.presweep && rec != nil {
+		n, err := presweep(o, rec)
+		if err != nil {
+			return fmt.Errorf("presweep: %w", err)
+		}
+		fmt.Printf("presweep: read %d keys\n", n)
+	}
 
 	results := make([]workerResult, o.conns)
 	var wg sync.WaitGroup
@@ -144,6 +160,7 @@ func run(o options) error {
 		total.completed += results[i].completed
 		total.shed += results[i].shed
 		total.protoErrs += results[i].protoErrs
+		total.disconnected = total.disconnected || results[i].disconnected
 		total.lat.Merge(&results[i].lat)
 	}
 
@@ -156,11 +173,37 @@ func run(o options) error {
 		thr, total.lat.Quantile(0.50), total.lat.Quantile(0.99), total.lat.Max())
 
 	if o.check {
+		// Completed ops plus in-flight ops the kill orphaned (pending).
+		// Shed ops were Discarded at response time; in a run that joined
+		// cleanly nothing is pending.
+		hist := append(rec.History(), rec.Pending()...)
+		if o.historyIn != "" {
+			prior, err := loadHistory(o.historyIn)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("history: merged %d prior ops from %s\n", len(prior), o.historyIn)
+			hist = mergeHistories(prior, hist)
+		}
+		if o.historyOut != "" {
+			if err := saveHistory(o.historyOut, hist); err != nil {
+				return err
+			}
+			fmt.Printf("history: wrote %d ops to %s\n", len(hist), o.historyOut)
+		}
+		if total.disconnected {
+			// The server died under us (expected with -tolerate-disconnect):
+			// this phase's observations are incomplete without the
+			// post-restart phase, so defer the verdict to the run that
+			// loads this history back in.
+			fmt.Printf("check: DEFERRED — server disconnected mid-run; "+
+				"%d ops (incl. pending) saved for the post-restart phase\n", len(hist))
+			return nil
+		}
 		evAfter, err := serverCounter(o.addr, "evictions")
 		if err != nil {
 			return err
 		}
-		hist := rec.History()
 		if evAfter > evBefore {
 			fmt.Printf("check: SKIPPED — server evicted %d items during the run; "+
 				"the no-eviction KV model would report false violations "+
@@ -174,9 +217,12 @@ func run(o options) error {
 				}
 				return fmt.Errorf("history of %d ops is not linearizable", len(hist))
 			}
-			fmt.Printf("check: OK — %d completed ops linearizable per key (%d shed ops excluded)\n",
+			fmt.Printf("check: OK — %d ops linearizable per key (%d shed ops excluded)\n",
 				res.Checked, total.shed)
 		}
+	} else if total.disconnected {
+		fmt.Printf("disconnected mid-run (tolerated); completed=%d\n", total.completed)
+		return nil
 	}
 	if total.protoErrs > 0 {
 		return fmt.Errorf("%d protocol errors", total.protoErrs)
@@ -185,6 +231,7 @@ func run(o options) error {
 	// Surface the server's adaptive state (if the controller is running):
 	// per-shard policy plus the total number of policy switches the run
 	// provoked.
+	fsyncRate := -1.0 // >= 0 only when the server is running with -wal
 	if st, err := serverStats(o.addr); err == nil {
 		switches := 0
 		var shards []string
@@ -201,15 +248,31 @@ func run(o options) error {
 			fmt.Printf("adaptive: %d policy switches [shard:policy(switches)] %s\n",
 				switches, strings.Join(shards, " "))
 		}
+		// Durability counters (present only when the server runs with -wal).
+		if appendsStr, ok := st["wal_appends"]; ok {
+			appends, _ := strconv.ParseFloat(appendsStr, 64)
+			fsyncs, _ := strconv.ParseUint(st["wal_fsyncs"], 10, 64)
+			perFsync := 0.0
+			if fsyncs > 0 {
+				perFsync = appends / float64(fsyncs)
+			}
+			fsyncRate = float64(fsyncs) / elapsed.Seconds()
+			fmt.Printf("wal: appends=%s fsyncs=%d bytes=%s (%.0f fsyncs/sec, %.1f appends/fsync)\n",
+				appendsStr, fsyncs, st["wal_bytes"], fsyncRate, perFsync)
+		}
 	}
 
 	// Benchstat-compatible trailer for cmd/benchjson.
 	name := fmt.Sprintf("Benchmark%s/conns=%d/depth=%d/mix=%s", o.label, o.conns, o.depth, o.mix)
-	fmt.Printf("%s %d %.0f ns/op %.0f ops/sec %d p50-ns %d p99-ns %d shed-ops\n",
+	walMetric := ""
+	if fsyncRate >= 0 {
+		walMetric = fmt.Sprintf(" %.0f fsyncs/sec", fsyncRate)
+	}
+	fmt.Printf("%s %d %.0f ns/op %.0f ops/sec %d p50-ns %d p99-ns %d shed-ops%s\n",
 		name, total.completed,
 		float64(elapsed.Nanoseconds())/float64(max(total.completed, 1)),
 		thr, total.lat.Quantile(0.50).Nanoseconds(), total.lat.Quantile(0.99).Nanoseconds(),
-		total.shed)
+		total.shed, walMetric)
 	return nil
 }
 
@@ -218,6 +281,12 @@ func run(o options) error {
 func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResult) {
 	c, err := client.Dial(o.addr)
 	if err != nil {
+		if o.tolerateDisc {
+			// The server died before this worker connected: nothing was
+			// sent, nothing is in doubt.
+			res.disconnected = true
+			return
+		}
 		res.err = err
 		return
 	}
@@ -240,8 +309,13 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 		}
 		res.lat.Record(time.Since(p.start))
 		if rsp.Busy() {
-			// Shed at admission: never ran, never Completed.
+			// Shed at admission: provably never reached a critical
+			// section, so discard the invocation outright (leaving it
+			// would make it a pending "maybe ran" op after a crash).
 			res.shed++
+			if p.id >= 0 {
+				rec.Discard(p.id)
+			}
 			return nil
 		}
 		if rsp.Err != "" {
@@ -293,6 +367,13 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 				err = c.SendIncr(p.key, 1, false)
 			}
 			if err != nil {
+				if o.tolerateDisc {
+					// The request may or may not have reached the server
+					// before the connection died: leave it un-Completed so
+					// it surfaces as a pending op.
+					res.disconnected = true
+					return
+				}
 				res.err = err
 				return
 			}
@@ -301,11 +382,44 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 			continue
 		}
 		if err := recvOne(); err != nil {
+			if o.tolerateDisc {
+				// Every op still in flight becomes pending: the kill may
+				// have landed before, between, or after their commits.
+				res.disconnected = true
+				return
+			}
 			res.err = err
 			return
 		}
 	}
 	return
+}
+
+// presweep reads every key in the keyspace once on a dedicated
+// connection, recording the gets. Run directly after a crash recovery it
+// pins the recovered state into the history: an acked-then-lost write
+// shows up as a miss (or stale value) here even if the main load never
+// touches that key again.
+func presweep(o options, rec *linearize.Recorder) (int, error) {
+	c, err := client.Dial(o.addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	for i := 0; i < o.keyspace; i++ {
+		key := fmt.Sprintf("key:%d", i) // workload's default key prefix
+		id := rec.Invoke(o.conns, "get", key, nil)
+		it, ok, err := c.Get(key)
+		if err != nil {
+			return i, err
+		}
+		if ok {
+			rec.Complete(id, string(it.Value), true)
+		} else {
+			rec.Complete(id, "", false)
+		}
+	}
+	return o.keyspace, nil
 }
 
 // serverStats fetches the stats map over a throwaway connection.

@@ -29,6 +29,7 @@ import (
 	"gotle/internal/server"
 	"gotle/internal/server/client"
 	"gotle/internal/tle"
+	"gotle/internal/wal"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		queueDepth = flag.Int("queue", 128, "per-connection execution queue depth")
 		htmLines   = flag.Int("htm-write-lines", 0, "HTM write-set budget in cache lines (0 = default 512)")
 		htmEvents  = flag.Int("htm-event-ppm", 5, "HTM spurious-event abort rate per million accesses (-1 disables)")
+		walDir     = flag.String("wal", "", "redo-log directory: enables durability (recover on start, group-fsync per mutation)")
 		smoke      = flag.Bool("smoke", false, "start, run a loopback self-test, and exit")
 	)
 	flag.Parse()
@@ -72,6 +74,37 @@ func main() {
 	})
 	store := kvstore.New(r, kvstore.Config{Shards: *shards, MaxItemsPerShard: *capacity})
 
+	// Durability: recover first (replay runs through the normal mutators
+	// while no WAL is attached, so nothing is re-logged), then attach so
+	// every mutation from here on is redo-logged in commit order.
+	var wlog *wal.Log
+	if *walDir != "" {
+		wlog, err = wal.Open(*walDir, store.ShardCount(), wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rth := r.NewThread()
+		recovered, err := wlog.Recover(func(_ int, rec wal.Record) error {
+			switch rec.Op {
+			case wal.OpSet:
+				return store.SetItem(rth, rec.Key, rec.Val, rec.Flags)
+			case wal.OpDelete:
+				_, err := store.Delete(rth, rec.Key)
+				return err
+			default:
+				return fmt.Errorf("wal: unknown op %v", rec.Op)
+			}
+		})
+		rth.Release()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.AttachWAL(wlog); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wal: recovered %d records from %s\n", recovered, *walDir)
+	}
+
 	var ctl *adaptive.Controller
 	if *adapt {
 		ctl, err = adaptive.New(r, store.ShardMutexes(), adaptive.Config{Interval: *interval})
@@ -87,6 +120,7 @@ func main() {
 		MaxConns:   *maxConns,
 		QueueDepth: *queueDepth,
 		Controller: ctl,
+		WAL:        wlog,
 	})
 	bound, err := srv.Start()
 	if err != nil {
@@ -94,12 +128,25 @@ func main() {
 	}
 	fmt.Printf("listening on %s (policy=%s adaptive=%v shards=%d)\n", bound, policy, *adapt, *shards)
 
+	// closeWAL flushes and fsyncs the tail after the server has drained
+	// (every acked mutation is already durable; this just tidies up).
+	closeWAL := func() {
+		if wlog == nil {
+			return
+		}
+		if err := wlog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
+
 	if *smoke {
 		if err := runSmoke(bound.String()); err != nil {
 			srv.Shutdown(2 * time.Second)
+			closeWAL()
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		srv.Shutdown(5 * time.Second)
+		closeWAL()
 		fmt.Println("SMOKE OK")
 		return
 	}
@@ -109,6 +156,7 @@ func main() {
 	<-sig
 	fmt.Println("draining...")
 	srv.Shutdown(10 * time.Second)
+	closeWAL()
 }
 
 // runSmoke exercises every protocol verb over loopback.

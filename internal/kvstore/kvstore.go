@@ -36,6 +36,7 @@ import (
 	"gotle/internal/memseg"
 	"gotle/internal/tle"
 	"gotle/internal/tm"
+	"gotle/internal/wal"
 )
 
 // Item block layout (word offsets).
@@ -57,7 +58,8 @@ const (
 	shLRUHead = 1 // most recently used
 	shLRUTail = 2 // least recently used
 	shCasSeq  = 3 // CAS token sequence
-	shStats   = 4 // stWords counters
+	shWalSeq  = 4 // WAL commit sequence (drawn inside mutating transactions)
+	shStats   = 5 // stWords counters
 	shBuckets = shStats + stWords
 )
 
@@ -105,6 +107,9 @@ type Store struct {
 	r      *tle.Runtime
 	cfg    Config
 	shards []shard
+	// wal, when attached, receives a redo record for every committed
+	// mutation. Nil means no durability (the default).
+	wal *wal.Log
 	// notFull supports blocking Set when a shard is saturated with
 	// in-flight evictions (not used by default paths; exposed for apps).
 	notFull *condvar.Cond
@@ -154,6 +159,42 @@ func (s *Store) ShardMutexes() []*tle.Mutex {
 		ms[i] = s.shards[i].mu
 	}
 	return ms
+}
+
+// AttachWAL arms redo logging: every committed mutation from here on
+// appends a wal.Record in the shard's serialization order. Call it after
+// any recovery replay (replay runs through the normal mutators while wal
+// is still nil, so recovered records are not re-logged) and before
+// serving traffic. The per-shard sequence words are seeded from the log's
+// recovered tail so fresh records continue the contiguous sequence.
+func (s *Store) AttachWAL(l *wal.Log) error {
+	if l.Shards() != len(s.shards) {
+		return fmt.Errorf("kvstore: WAL has %d shards, store has %d (records are routed by key hash, so the counts must match)", l.Shards(), len(s.shards))
+	}
+	e := s.r.Engine()
+	for i := range s.shards {
+		e.Store(s.shards[i].base+shWalSeq, l.LastSeq(i))
+	}
+	s.wal = l
+	return nil
+}
+
+// walPublish is the commit-pipeline tap. It draws the shard's next commit
+// sequence number inside tx — so the number rolls back with the attempt
+// and the log order equals the shard's serialization order — and defers
+// the actual append to post-commit, the sanctioned channel for
+// irrevocable effects. The Ticket lands in *out only if the transaction
+// commits; callers wait on it AFTER the critical section, keeping the
+// fsync out of the transaction.
+func (s *Store) walPublish(tx tm.Tx, sh *shard, shardIdx int, op wal.Op, flags uint32, key, val []byte, out *wal.Ticket) {
+	if s.wal == nil {
+		return
+	}
+	seq := tx.Load(sh.base+shWalSeq) + 1
+	tx.Store(sh.base+shWalSeq, seq)
+	rec := wal.Record{Seq: seq, Op: op, Flags: flags, Key: key, Val: val}
+	l := s.wal
+	tx.Defer(func() { *out = l.Append(shardIdx, rec) })
 }
 
 func ceilPow2(v int) int {
@@ -380,48 +421,75 @@ const (
 // Set inserts or replaces key's value, evicting LRU items past the shard
 // capacity.
 func (s *Store) Set(th *tm.Thread, key, val []byte) error {
-	_, err := s.mutate(th, key, val, 0, modeSet, 0)
+	_, _, err := s.mutate(th, key, val, 0, modeSet, 0)
 	return err
 }
 
 // SetItem is Set with client flags.
 func (s *Store) SetItem(th *tm.Thread, key, val []byte, flags uint32) error {
-	_, err := s.mutate(th, key, val, flags, modeSet, 0)
+	_, _, err := s.mutate(th, key, val, flags, modeSet, 0)
 	return err
+}
+
+// SetItemD is SetItem returning a durability ticket: Wait on it before
+// acking the client. With no WAL attached the ticket is a no-op.
+func (s *Store) SetItemD(th *tm.Thread, key, val []byte, flags uint32) (wal.Ticket, error) {
+	_, tk, err := s.mutate(th, key, val, flags, modeSet, 0)
+	return tk, err
 }
 
 // Add stores only if key is absent; reports whether it stored.
 func (s *Store) Add(th *tm.Thread, key, val []byte, flags uint32) (bool, error) {
-	st, err := s.mutate(th, key, val, flags, modeAdd, 0)
+	st, _, err := s.mutate(th, key, val, flags, modeAdd, 0)
 	return st == Stored, err
+}
+
+// AddD is Add with a durability ticket.
+func (s *Store) AddD(th *tm.Thread, key, val []byte, flags uint32) (bool, wal.Ticket, error) {
+	st, tk, err := s.mutate(th, key, val, flags, modeAdd, 0)
+	return st == Stored, tk, err
 }
 
 // Replace stores only if key is present; reports whether it stored.
 func (s *Store) Replace(th *tm.Thread, key, val []byte, flags uint32) (bool, error) {
-	st, err := s.mutate(th, key, val, flags, modeReplace, 0)
+	st, _, err := s.mutate(th, key, val, flags, modeReplace, 0)
 	return st == Stored, err
+}
+
+// ReplaceD is Replace with a durability ticket.
+func (s *Store) ReplaceD(th *tm.Thread, key, val []byte, flags uint32) (bool, wal.Ticket, error) {
+	st, tk, err := s.mutate(th, key, val, flags, modeReplace, 0)
+	return st == Stored, tk, err
 }
 
 // CompareAndSwap stores only if key is present and its CAS token equals
 // cas (from a previous GetItem).
 func (s *Store) CompareAndSwap(th *tm.Thread, key, val []byte, flags uint32, cas uint64) (StoreStatus, error) {
+	st, _, err := s.mutate(th, key, val, flags, modeCAS, cas)
+	return st, err
+}
+
+// CompareAndSwapD is CompareAndSwap with a durability ticket.
+func (s *Store) CompareAndSwapD(th *tm.Thread, key, val []byte, flags uint32, cas uint64) (StoreStatus, wal.Ticket, error) {
 	return s.mutate(th, key, val, flags, modeCAS, cas)
 }
 
 // mutate is the single conditional-store critical section behind Set, Add,
 // Replace and CompareAndSwap: find, check the verb's precondition, unlink
 // and free any old entry, insert the new one, evict past capacity.
-func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeMode, wantCas uint64) (StoreStatus, error) {
+func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeMode, wantCas uint64) (StoreStatus, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return NotStored, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return NotStored, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	if len(val) > MaxValLen {
-		return NotStored, fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
+		return NotStored, wal.Ticket{}, fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
+	shardIdx := int(h % uint64(len(s.shards)))
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	status := Stored
+	var ticket wal.Ticket
 	// capest ranks this body worst in the module: the chain walk, LRU
 	// eviction sweep, and byte packing all iterate over unknown-length
 	// data, so the estimator assumes fresh lines per iteration. That is
@@ -502,12 +570,16 @@ func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeM
 		if evicted > 0 {
 			bump(tx, sh, stEvictions, evicted)
 		}
+		// Evictions are deliberately NOT logged: they are a cache-policy
+		// decision, not an acked client mutation, and replay re-applies
+		// the same capacity bound anyway.
+		s.walPublish(tx, sh, shardIdx, wal.OpSet, flags, key, val, &ticket)
 		return nil
 	})
 	if err != nil {
-		return NotStored, err
+		return NotStored, wal.Ticket{}, err
 	}
-	return status, nil
+	return status, ticket, nil
 }
 
 // IncrStatus is the outcome of an Incr/Decr.
@@ -528,13 +600,24 @@ const (
 // lock elision must keep indivisible. Decrement floors at zero, increment
 // wraps at 2^64, matching memcached.
 func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64, IncrStatus, error) {
+	v, st, _, err := s.IncrD(th, key, delta, decr)
+	return v, st, err
+}
+
+// IncrD is Incr with a durability ticket. The redo record is a logical
+// OpSet of the post-arithmetic decimal bytes (flags preserved): replay
+// must not re-run the arithmetic, because the pre-state it read may
+// itself be a replayed value.
+func (s *Store) IncrD(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64, IncrStatus, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return 0, IncrNotFound, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return 0, IncrNotFound, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
+	shardIdx := int(h % uint64(len(s.shards)))
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	var newVal uint64
+	var ticket wal.Ticket
 	status := IncrStored
 	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
@@ -566,6 +649,7 @@ func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64
 			next = cur + delta // wraps at 2^64, like memcached
 		}
 		newBytes := strconv.AppendUint(nil, next, 10)
+		flags := tx.Load(item + itFlags)
 		if len(newBytes) == valLen {
 			// Same digit count: overwrite the value words in place. The
 			// value region starts on a word boundary, so packBytes'
@@ -574,12 +658,12 @@ func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64
 			tx.Store(item+itCas, nextCas(tx, sh))
 			status = IncrStored
 			newVal = next
+			s.walPublish(tx, sh, shardIdx, wal.OpSet, uint32(flags), key, newBytes, &ticket)
 			//gotle:allow noqpriv in-place update frees nothing
 			tx.NoQuiesce()
 			return nil
 		}
 		// Digit count changed: reallocate the item (same key, new value).
-		flags := tx.Load(item + itFlags)
 		tx.Store(linkAt, tx.Load(item+itChain))
 		s.lruUnlink(tx, sh, item)
 		tx.Free(item)
@@ -594,12 +678,13 @@ func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64
 		s.lruPushFront(tx, sh, fresh)
 		status = IncrStored
 		newVal = next
+		s.walPublish(tx, sh, shardIdx, wal.OpSet, uint32(flags), key, newBytes, &ticket)
 		return nil
 	})
 	if err != nil {
-		return 0, IncrNotFound, err
+		return 0, IncrNotFound, wal.Ticket{}, err
 	}
-	return newVal, status, nil
+	return newVal, status, ticket, nil
 }
 
 // parseDecimal parses an unsigned decimal byte string strictly (no sign,
@@ -636,13 +721,21 @@ func (s *Store) evict(tx tm.Tx, sh *shard, victim memseg.Addr) {
 
 // Delete removes key; it reports whether the key was present.
 func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
+	removed, _, err := s.DeleteD(th, key)
+	return removed, err
+}
+
+// DeleteD is Delete with a durability ticket.
+func (s *Store) DeleteD(th *tm.Thread, key []byte) (bool, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return false, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return false, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
+	shardIdx := int(h % uint64(len(s.shards)))
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	removed := false
+	var ticket wal.Ticket
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
 		linkAt, item := s.findInChain(tx, sh, bucket, key)
 		if item == memseg.Nil {
@@ -657,9 +750,10 @@ func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
 		tx.Free(item)
 		removed = true
 		bump(tx, sh, stDeletes, 1)
+		s.walPublish(tx, sh, shardIdx, wal.OpDelete, 0, key, nil, &ticket)
 		return nil
 	})
-	return removed, err
+	return removed, ticket, err
 }
 
 // Len reports the total item count across shards.

@@ -26,20 +26,22 @@ package linearize
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Op is one completed operation in a concurrent history.
+// Op is one operation in a concurrent history.
 type Op struct {
 	// Client identifies the recording thread (diagnostics only; the checker
 	// derives ordering from timestamps alone).
 	Client int
 	// Call and Return are logical timestamps from the Recorder's global
 	// clock: Call is taken immediately before the operation starts, Return
-	// immediately after it completes. Return > Call always.
+	// immediately after it completes. Return > Call always for completed
+	// operations; Pending operations have no Return.
 	Call, Return int64
 	// Kind names the operation ("get", "set", "delete", "inc", "read", ...).
 	Kind string
@@ -50,6 +52,14 @@ type Op struct {
 	Input, Output any
 	// OK carries a boolean result component (found / removed).
 	OK bool
+	// Pending marks an operation whose response was never observed — the
+	// client was killed (or disconnected) between invocation and reply.
+	// The crash harness produces these: an unacked set may have committed
+	// just before the kill or never have started. The checker treats a
+	// pending op as OPTIONAL — it may linearize at any point after Call,
+	// or not at all — and its Output/OK are ignored (there was no
+	// observation to validate).
+	Pending bool
 }
 
 func (o Op) String() string {
@@ -60,6 +70,10 @@ func (o Op) String() string {
 	in := o.Input
 	if in == nil {
 		in = "-"
+	}
+	if o.Pending {
+		return fmt.Sprintf("[%4d,   ?] t%d %s(%s %v) -> pending (no ack)",
+			o.Call, o.Client, o.Kind, o.Key, in)
 	}
 	return fmt.Sprintf("[%4d,%4d] t%d %s(%s %v) -> (%v, ok=%v)",
 		o.Call, o.Return, o.Client, o.Kind, o.Key, in, out, o.OK)
@@ -108,8 +122,11 @@ func (r Result) String() string {
 }
 
 // Check verifies that the history is linearizable with respect to the model.
-// Only completed operations may appear (Return must be set); the harness
-// joins its workers before checking, so pending operations do not arise.
+// Completed operations (Return set) must all linearize; Pending operations
+// (crash-orphaned, no response observed) are optional: the search may place
+// each one anywhere after its Call, or leave it out entirely. A history from
+// a kill-9 run therefore passes iff every acked effect is explained and
+// every surviving unacked effect is attributable to some pending op.
 func Check(m Model, ops []Op) Result {
 	res := Result{OK: true, Checked: len(ops)}
 	for _, part := range m.Partition(ops) {
@@ -147,11 +164,23 @@ func (b bitset) key() string {
 	return sb.String()
 }
 
-// checkPartition runs the Wing–Gong search on one partition.
+// checkPartition runs the Wing–Gong search on one partition. Pending
+// operations act as if they returned at +infinity (they are concurrent
+// with everything after their Call) and do not count towards the
+// completion target: the search succeeds once every completed op is
+// linearized, whether or not any pending ops were placed.
 func checkPartition(m Model, ops []Op) bool {
 	n := len(ops)
 	sorted := make([]Op, n)
 	copy(sorted, ops)
+	required := 0
+	for i := range sorted {
+		if sorted[i].Pending {
+			sorted[i].Return = math.MaxInt64
+		} else {
+			required++
+		}
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
 
 	done := newBitset(n)
@@ -167,8 +196,9 @@ func checkPartition(m Model, ops []Op) bool {
 			return false // this frontier was already explored and failed
 		}
 		// An op is a candidate for the next linearization point iff no other
-		// unlinearized op returned before it was invoked.
-		minReturn := int64(1<<63 - 1)
+		// unlinearized op returned before it was invoked. Pending ops never
+		// returned, so they never constrain the window.
+		minReturn := int64(math.MaxInt64)
 		for i := 0; i < n; i++ {
 			if !done.has(i) && sorted[i].Return < minReturn {
 				minReturn = sorted[i].Return
@@ -183,7 +213,11 @@ func checkPartition(m Model, ops []Op) bool {
 				continue
 			}
 			done.set(i)
-			if search(next, remaining-1) {
+			dec := 1
+			if sorted[i].Pending {
+				dec = 0
+			}
+			if search(next, remaining-dec) {
 				return true
 			}
 			done.clear(i)
@@ -191,7 +225,7 @@ func checkPartition(m Model, ops []Op) bool {
 		memo[key] = true
 		return false
 	}
-	return search(m.Init(), n)
+	return search(m.Init(), required)
 }
 
 // minimize greedily removes operations whose absence keeps the partition
@@ -218,9 +252,10 @@ func minimize(m Model, ops []Op) []Op {
 // use; each worker calls Invoke immediately before an operation and Complete
 // immediately after, so the logical clock order is consistent with real time.
 type Recorder struct {
-	clock atomic.Int64
-	mu    sync.Mutex
-	ops   []Op
+	clock     atomic.Int64
+	mu        sync.Mutex
+	ops       []Op
+	discarded map[int]bool
 }
 
 // NewRecorder returns an empty recorder.
@@ -248,15 +283,46 @@ func (r *Recorder) Complete(id int, output any, ok bool) {
 	r.mu.Unlock()
 }
 
+// Discard removes a previously invoked operation from the history. Use it
+// only for operations that provably never executed — e.g. requests the
+// server shed at admission control before reaching any critical section.
+// Discarding an op that might have run would mask lost updates.
+func (r *Recorder) Discard(id int) {
+	r.mu.Lock()
+	if r.discarded == nil {
+		r.discarded = make(map[int]bool)
+	}
+	r.discarded[id] = true
+	r.mu.Unlock()
+}
+
 // History returns the completed operations. Invoked-but-never-completed
 // operations (a worker died mid-call) are dropped; the harness treats any
-// such death as a failure on its own.
+// such death as a failure on its own — unless it expected the death, in
+// which case Pending captures them.
 func (r *Recorder) History() []Op {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Op, 0, len(r.ops))
-	for _, o := range r.ops {
-		if o.Return != 0 {
+	for id, o := range r.ops {
+		if o.Return != 0 && !r.discarded[id] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Pending returns the invoked-but-never-completed (and not discarded)
+// operations, marked Pending. After a deliberate kill these are the
+// in-flight requests whose fate is unknown; feed them to Check alongside
+// History so the search may (but need not) linearize them.
+func (r *Recorder) Pending() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Op
+	for id, o := range r.ops {
+		if o.Return == 0 && !r.discarded[id] {
+			o.Pending = true
 			out = append(out, o)
 		}
 	}

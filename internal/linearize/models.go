@@ -26,11 +26,17 @@ type kvState struct {
 // single cell).
 func (KVModel) Init() any { return kvState{} }
 
-// Step applies one kv operation.
+// Step applies one kv operation. A Pending op carries no observation, so
+// only its effect matters: a pending set writes, a pending delete removes,
+// a pending get is a no-op (the harness normally drops those — a read
+// nobody saw constrains nothing).
 func (KVModel) Step(state any, op Op) (any, bool) {
 	s := state.(kvState)
 	switch op.Kind {
 	case "get":
+		if op.Pending {
+			return s, true
+		}
 		if !s.present {
 			return s, !op.OK
 		}
@@ -40,6 +46,9 @@ func (KVModel) Step(state any, op Op) (any, bool) {
 		in, _ := op.Input.(string)
 		return kvState{present: true, val: in}, true
 	case "delete":
+		if op.Pending {
+			return kvState{}, true
+		}
 		if s.present != op.OK {
 			return s, false
 		}

@@ -1,0 +1,127 @@
+package linearize
+
+import (
+	"testing"
+)
+
+// The pending-op scenarios mirror a kill-9 crash: a client invoked a
+// mutation, the process died before the reply, and a later read either
+// observes the effect (it committed just before the kill) or does not (it
+// never ran). Both observations must linearize; only effects with no
+// explaining op at all are violations.
+
+func TestPendingSetMayTakeEffect(t *testing.T) {
+	// Unacked set("a") followed (post-restart) by a read seeing "a":
+	// the pending set linearized before the kill.
+	ops := []Op{
+		{Client: 0, Call: 1, Kind: "set", Key: "k", Input: "a", Pending: true},
+		{Client: 1, Call: 10, Return: 11, Kind: "get", Key: "k", Output: "a", OK: true},
+	}
+	if res := Check(KVModel{}, ops); !res.OK {
+		t.Fatalf("pending set's effect should be explainable:\n%v", res)
+	}
+}
+
+func TestPendingSetMayVanish(t *testing.T) {
+	// The same unacked set, but the post-restart read misses: the set
+	// never executed. Also legal.
+	ops := []Op{
+		{Client: 0, Call: 1, Kind: "set", Key: "k", Input: "a", Pending: true},
+		{Client: 1, Call: 10, Return: 11, Kind: "get", Key: "k", OK: false},
+	}
+	if res := Check(KVModel{}, ops); !res.OK {
+		t.Fatalf("pending set vanishing should be legal:\n%v", res)
+	}
+}
+
+func TestAckedSetMustSurvive(t *testing.T) {
+	// An ACKED set whose value is gone after restart — the lost-durable-
+	// write bug the WAL exists to prevent. Must be flagged.
+	ops := []Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "k", Input: "a"},
+		{Client: 1, Call: 10, Return: 11, Kind: "get", Key: "k", OK: false},
+	}
+	res := Check(KVModel{}, ops)
+	if res.OK {
+		t.Fatal("lost acked write went undetected")
+	}
+	if len(res.Violation) == 0 {
+		t.Fatal("no counterexample produced")
+	}
+}
+
+func TestPendingCannotExplainWrongValue(t *testing.T) {
+	// A pending set of "a" cannot explain a read of "b".
+	ops := []Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "k", Input: "a"},
+		{Client: 1, Call: 3, Kind: "set", Key: "k", Input: "x", Pending: true},
+		{Client: 2, Call: 10, Return: 11, Kind: "get", Key: "k", Output: "b", OK: true},
+	}
+	if res := Check(KVModel{}, ops); res.OK {
+		t.Fatal("phantom value slipped past pending handling")
+	}
+}
+
+func TestPendingNotBoundByRealTime(t *testing.T) {
+	// A pending op is concurrent with everything after its Call: reads on
+	// both sides of its (unknown) effect point are fine even when an
+	// acked op separates them.
+	ops := []Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "k", Input: "a"},
+		{Client: 1, Call: 3, Kind: "delete", Key: "k", Pending: true},
+		{Client: 2, Call: 4, Return: 5, Kind: "get", Key: "k", Output: "a", OK: true},
+		{Client: 2, Call: 6, Return: 7, Kind: "get", Key: "k", OK: false},
+	}
+	if res := Check(KVModel{}, ops); !res.OK {
+		t.Fatalf("pending delete should explain the later miss:\n%v", res)
+	}
+}
+
+func TestPendingCannotActBeforeCall(t *testing.T) {
+	// Real time still bounds the front edge: a read that completed before
+	// the pending delete was even invoked must not observe it.
+	ops := []Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "set", Key: "k", Input: "a"},
+		{Client: 2, Call: 3, Return: 4, Kind: "get", Key: "k", OK: false},
+		{Client: 1, Call: 5, Kind: "delete", Key: "k", Pending: true},
+	}
+	if res := Check(KVModel{}, ops); res.OK {
+		t.Fatal("a pending op linearized before its invocation")
+	}
+}
+
+func TestRecorderPendingAndDiscard(t *testing.T) {
+	r := NewRecorder()
+	a := r.Invoke(0, "set", "k", "v1") // completed
+	b := r.Invoke(1, "set", "k", "v2") // in flight at the kill
+	c := r.Invoke(2, "set", "k", "v3") // shed: provably never ran
+	r.Complete(a, nil, true)
+	r.Discard(c)
+
+	hist := r.History()
+	if len(hist) != 1 || hist[0].Input != "v1" {
+		t.Fatalf("History = %v", hist)
+	}
+	pend := r.Pending()
+	if len(pend) != 1 || pend[0].Input != "v2" || !pend[0].Pending {
+		t.Fatalf("Pending = %v", pend)
+	}
+	_ = b
+}
+
+func TestPendingRegisterInc(t *testing.T) {
+	// The register model has no pending special-casing: an unacked inc
+	// either happened (later read sees 2) or not (sees 1)... but its
+	// recorded Output is zero, so Step would reject any placement where
+	// the fetch value differs. Keep pending ops out of models that
+	// validate outputs on every kind — this test just pins the KV-only
+	// scope by checking the unplaced path works.
+	ops := []Op{
+		{Client: 0, Call: 1, Return: 2, Kind: "inc", Output: uint64(0)},
+		{Client: 1, Call: 3, Kind: "inc", Pending: true},
+		{Client: 2, Call: 4, Return: 5, Kind: "read", Output: uint64(1)},
+	}
+	if res := Check(RegisterModel{}, ops); !res.OK {
+		t.Fatalf("unplaced pending inc should pass:\n%v", res)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"gotle/internal/kvstore"
 	"gotle/internal/tle"
 	"gotle/internal/tm"
+	"gotle/internal/wal"
 )
 
 // Config parameterises a Server.
@@ -60,6 +61,12 @@ type Config struct {
 	Version string
 	// Controller, when set, exposes per-shard adaptive state via stats.
 	Controller *adaptive.Controller
+	// WAL, when set, is the store's attached redo log. The server never
+	// appends to it directly — the kvstore tap does that inside the commit
+	// order — but it waits each mutation's durability ticket before acking
+	// (so a reply implies the record is fsynced) and surfaces the log's
+	// counters via stats.
+	WAL *wal.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -420,24 +427,25 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 		}
 		switch cmd.Op {
 		case OpSet:
-			if err := s.store.SetItem(th, cmd.Key, o.data, cmd.Flags); err != nil {
+			tk, err := s.store.SetItemD(th, cmd.Key, o.data, cmd.Flags)
+			if err != nil {
 				return serverError(err)
 			}
-			return respStored
+			return durable(respStored, tk)
 		case OpAdd:
-			ok, err := s.store.Add(th, cmd.Key, o.data, cmd.Flags)
-			return storedOr(ok, err, respNotSt)
+			ok, tk, err := s.store.AddD(th, cmd.Key, o.data, cmd.Flags)
+			return durableStoredOr(ok, tk, err, respNotSt)
 		case OpReplace:
-			ok, err := s.store.Replace(th, cmd.Key, o.data, cmd.Flags)
-			return storedOr(ok, err, respNotSt)
+			ok, tk, err := s.store.ReplaceD(th, cmd.Key, o.data, cmd.Flags)
+			return durableStoredOr(ok, tk, err, respNotSt)
 		default:
-			st, err := s.store.CompareAndSwap(th, cmd.Key, o.data, cmd.Flags, cmd.Cas)
+			st, tk, err := s.store.CompareAndSwapD(th, cmd.Key, o.data, cmd.Flags, cmd.Cas)
 			if err != nil {
 				return serverError(err)
 			}
 			switch st {
 			case kvstore.Stored:
-				return respStored
+				return durable(respStored, tk)
 			case kvstore.CASExists:
 				return respExists
 			case kvstore.CASNotFound:
@@ -448,23 +456,23 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 		}
 
 	case OpDelete:
-		ok, err := s.store.Delete(th, cmd.Key)
+		ok, tk, err := s.store.DeleteD(th, cmd.Key)
 		if err != nil {
 			return serverError(err)
 		}
 		if ok {
-			return respDeleted
+			return durable(respDeleted, tk)
 		}
 		return respNotFound
 
 	case OpIncr, OpDecr:
-		v, st, err := s.store.Incr(th, cmd.Key, cmd.Delta, cmd.Op == OpDecr)
+		v, st, tk, err := s.store.IncrD(th, cmd.Key, cmd.Delta, cmd.Op == OpDecr)
 		if err != nil {
 			return serverError(err)
 		}
 		switch st {
 		case kvstore.IncrStored:
-			return append(strconv.AppendUint(nil, v, 10), '\r', '\n')
+			return durable(append(strconv.AppendUint(nil, v, 10), '\r', '\n'), tk)
 		case kvstore.IncrNaN:
 			return respNaN
 		default:
@@ -482,12 +490,26 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 	}
 }
 
-func storedOr(ok bool, err error, miss []byte) []byte {
+// durable gates resp on the mutation's durability ticket: the executor
+// calls it strictly after the critical section returns, so the group-
+// commit fsync wait never runs inside a transaction or under the serial
+// lock. With no WAL attached the ticket is zero and Wait is free.
+func durable(resp []byte, tk wal.Ticket) []byte {
+	if err := tk.Wait(); err != nil {
+		// The mutation is applied in memory but not durable (log write or
+		// fsync failed, or the log is closing). Refuse the ack: an acked
+		// response must always survive a crash.
+		return serverError(err)
+	}
+	return resp
+}
+
+func durableStoredOr(ok bool, tk wal.Ticket, err error, miss []byte) []byte {
 	if err != nil {
 		return serverError(err)
 	}
 	if ok {
-		return respStored
+		return durable(respStored, tk)
 	}
 	return miss
 }
@@ -527,6 +549,15 @@ func (s *Server) statsResponse(th *tm.Thread) []byte {
 	u("shed_ops", s.shedOps.Load())
 	u("shed_connections", s.shedConns.Load())
 	u("protocol_errors", s.protoErrs.Load())
+
+	if l := s.cfg.WAL; l != nil {
+		ws := l.Stats()
+		u("wal_appends", ws.Appends)
+		u("wal_fsyncs", ws.Fsyncs)
+		u("wal_bytes", ws.Bytes)
+		u("wal_segments", ws.Segments)
+		u("recovered_records", ws.Recovered)
+	}
 
 	if ctl := s.cfg.Controller; ctl != nil {
 		sts := ctl.Status()

@@ -1,0 +1,445 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Options parameterises a Log.
+type Options struct {
+	// SegmentBytes rotates a shard's segment once it exceeds this size
+	// (default 8 MiB). Rotation happens between fsync batches, so a
+	// record never spans segments.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appends counts records accepted by Append.
+	Appends uint64
+	// Fsyncs counts group-commit fsync batches (one fsync may cover many
+	// appends — the amortization the group-commit loop exists for).
+	Fsyncs uint64
+	// Bytes counts bytes written to segment files.
+	Bytes uint64
+	// Recovered counts records replayed by Recover at open.
+	Recovered uint64
+	// Segments counts segment files created this run (rotation).
+	Segments uint64
+}
+
+// Log is a per-shard redo write-ahead log rooted at one directory.
+//
+// Lifecycle: Open → Recover (exactly once; replays existing segments and
+// arms the appenders) → Append/Wait traffic → Close.
+type Log struct {
+	dir    string
+	opts   Options
+	shards []shardLog
+
+	appends   atomic.Uint64
+	fsyncs    atomic.Uint64
+	bytes     atomic.Uint64
+	recovered atomic.Uint64
+	segments  atomic.Uint64
+
+	wg     sync.WaitGroup
+	opened bool
+}
+
+// shardLog is one shard's append pipeline. Appends land in a seq-ordered
+// reorder buffer and drain contiguously into buf; the syncer goroutine
+// writes buf and fsyncs in batches.
+type shardLog struct {
+	l     *Log
+	shard int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	segIdx  int
+	segSize int64
+	nextSeq uint64            // next contiguous sequence number expected
+	pending map[uint64]Record // committed out of publish order, waiting
+	buf     []byte            // encoded contiguous records, not yet written
+	bufTop  uint64            // highest seq encoded into buf/file
+	durable uint64            // highest seq covered by an fsync
+	err     error             // sticky I/O error; fails all waiters
+	closed  bool
+
+	dirty chan struct{} // capacity 1: wake the syncer
+}
+
+// Manifest pins the shard count: records are routed by key hash, so a
+// reopen with a different shard count would replay records into the wrong
+// shards' sequence spaces.
+const manifestName = "MANIFEST"
+
+// Open creates or reopens a log directory for the given shard count. No
+// appends are accepted until Recover has run.
+func Open(dir string, shards int, opts Options) (*Log, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("wal: shard count %d < 1", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := checkManifest(dir, shards); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults(), shards: make([]shardLog, shards)}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.l = l
+		s.shard = i
+		s.cond = sync.NewCond(&s.mu)
+		s.nextSeq = 1
+		s.pending = make(map[uint64]Record)
+		s.dirty = make(chan struct{}, 1)
+	}
+	return l, nil
+}
+
+func checkManifest(dir string, shards int) error {
+	path := filepath.Join(dir, manifestName)
+	want := fmt.Sprintf("gotle-wal v1\nshards %d\n", shards)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return os.WriteFile(path, []byte(want), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if string(b) != want {
+		return fmt.Errorf("wal: manifest mismatch: dir has %q, this run wants %q (shard count must match the recorded log)", string(b), want)
+	}
+	return nil
+}
+
+// Shards reports the log's shard count.
+func (l *Log) Shards() int { return len(l.shards) }
+
+// Dir reports the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// segName names shard sh's segment idx.
+func segName(sh, idx int) string { return fmt.Sprintf("s%03d-%08d.wal", sh, idx) }
+
+// segmentsOf lists shard sh's existing segment indices in order.
+func (l *Log) segmentsOf(sh int) ([]int, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range ents {
+		var gotSh, idx int
+		if n, _ := fmt.Sscanf(e.Name(), "s%03d-%08d.wal", &gotSh, &idx); n == 2 && gotSh == sh {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// Recover replays every shard's segments in order, calling apply for each
+// intact record, and then arms the log for appends: each shard resumes its
+// sequence numbering after the last recovered record and appends to a
+// fresh segment (the torn tail, if any, is left behind untouched for
+// forensics — recovery never rewrites history).
+//
+// Recovery stops a shard at the first torn or corrupt frame: everything
+// before it replays, everything after is dropped. That is the contract
+// group commit establishes — an acked record is fsynced, file order is
+// sequence order, so acked records are always in the replayed prefix.
+//
+// apply may be nil (scan only). Recover returns the records replayed.
+func (l *Log) Recover(apply func(shard int, r Record) error) (int, error) {
+	if l.opened {
+		return 0, fmt.Errorf("wal: Recover called twice")
+	}
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		idxs, err := l.segmentsOf(i)
+		if err != nil {
+			return total, err
+		}
+		lastSeq := uint64(0)
+		stopped := false
+		for _, idx := range idxs {
+			if stopped {
+				// A later segment after a torn/corrupt one cannot be
+				// trusted: its records would leave a sequence gap.
+				break
+			}
+			b, err := os.ReadFile(filepath.Join(l.dir, segName(i, idx)))
+			if err != nil {
+				return total, err
+			}
+			off := 0
+			for off < len(b) {
+				rec, n, err := DecodeRecord(b[off:])
+				if err != nil {
+					// Torn or corrupt: drop the tail, stop this shard.
+					stopped = true
+					break
+				}
+				if rec.Seq != lastSeq+1 {
+					// A sequence gap inside intact frames means the file
+					// set is inconsistent; stop conservatively.
+					stopped = true
+					break
+				}
+				if apply != nil {
+					if err := apply(i, rec); err != nil {
+						return total, fmt.Errorf("wal: replay shard %d seq %d: %w", i, rec.Seq, err)
+					}
+				}
+				lastSeq = rec.Seq
+				total++
+				off += n
+			}
+		}
+		nextIdx := 0
+		if n := len(idxs); n > 0 {
+			nextIdx = idxs[n-1] + 1
+		}
+		f, err := os.OpenFile(filepath.Join(l.dir, segName(i, nextIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return total, err
+		}
+		s.f = f
+		s.segIdx = nextIdx
+		s.nextSeq = lastSeq + 1
+		s.durable = lastSeq
+		s.bufTop = lastSeq
+		l.segments.Add(1)
+	}
+	l.recovered.Store(uint64(total))
+	l.opened = true
+	for i := range l.shards {
+		l.wg.Add(1)
+		go l.shards[i].syncLoop()
+	}
+	return total, nil
+}
+
+// LastSeq reports shard sh's last recovered sequence number (0 when the
+// shard's log was empty). Valid after Recover; the store seeds its
+// in-transaction sequence words from this.
+func (l *Log) LastSeq(sh int) uint64 {
+	s := &l.shards[sh]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq - 1
+}
+
+// Ticket is a durability handle for one appended record. The zero Ticket
+// is valid and already durable (Wait returns nil immediately) — callers on
+// non-logging paths can wait unconditionally.
+type Ticket struct {
+	s   *shardLog
+	seq uint64
+}
+
+// Wait blocks until the record is covered by an fsync (or the log failed
+// or closed first, in which case it returns the error).
+func (t Ticket) Wait() error {
+	if t.s == nil {
+		return nil
+	}
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.durable < t.seq && s.err == nil {
+		s.cond.Wait()
+	}
+	if s.durable >= t.seq {
+		return nil
+	}
+	return s.err
+}
+
+// Append accepts one record for shard sh. The record's key and value are
+// copied out before Append returns, so callers may reuse their buffers.
+//
+// Records may arrive out of sequence order (deferred post-commit actions
+// interleave across threads); Append parks early arrivals and encodes only
+// the contiguous prefix, so file order is always sequence order. The
+// returned Ticket's Wait blocks until the record is durable.
+func (l *Log) Append(sh int, r Record) Ticket {
+	s := &l.shards[sh]
+	r.Key = append([]byte(nil), r.Key...)
+	r.Val = append([]byte(nil), r.Val...)
+	s.mu.Lock()
+	if !l.opened || s.closed || s.err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("wal: append to closed log")
+		}
+		s.mu.Unlock()
+		return Ticket{s: s, seq: r.Seq}
+	}
+	s.pending[r.Seq] = r
+	drained := false
+	for {
+		rec, ok := s.pending[s.nextSeq]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.nextSeq)
+		s.buf = AppendRecord(s.buf, rec)
+		s.bufTop = s.nextSeq
+		s.nextSeq++
+		drained = true
+	}
+	s.mu.Unlock()
+	l.appends.Add(1)
+	if drained {
+		s.wake()
+	}
+	return Ticket{s: s, seq: r.Seq}
+}
+
+// wake nudges the syncer without blocking (the channel has capacity 1; a
+// pending wakeup already covers this batch).
+func (s *shardLog) wake() {
+	select {
+	case s.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// syncLoop is the shard's group-commit loop: each iteration takes whatever
+// contiguous records accumulated since the last fsync, writes them with
+// one write, makes them durable with one fsync, then releases every waiter
+// they cover — the amortization that lets N concurrent committers share
+// one disk flush.
+func (s *shardLog) syncLoop() {
+	defer s.l.wg.Done()
+	for range s.dirty {
+		s.mu.Lock()
+		if len(s.buf) == 0 {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		chunk := s.buf
+		top := s.bufTop
+		f := s.f
+		s.buf = nil
+		s.mu.Unlock()
+
+		// Write and fsync outside the lock: appends keep accumulating the
+		// next batch while this one hits the disk.
+		_, werr := f.Write(chunk)
+		if werr == nil {
+			werr = f.Sync()
+		}
+
+		s.mu.Lock()
+		if werr != nil {
+			s.err = fmt.Errorf("wal: shard %d segment %d: %w", s.shard, s.segIdx, werr)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.durable = top
+		s.segSize += int64(len(chunk))
+		s.l.fsyncs.Add(1)
+		s.l.bytes.Add(uint64(len(chunk)))
+		if s.segSize >= s.l.opts.SegmentBytes {
+			if err := s.rotateLocked(); err != nil {
+				s.err = err
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+		}
+		closed := s.closed && len(s.buf) == 0
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// rotateLocked closes the current (fully synced) segment and opens the
+// next. Called with s.mu held, between fsync batches, so no record ever
+// spans segments and a closed segment is always internally consistent.
+func (s *shardLog) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate shard %d: %w", s.shard, err)
+	}
+	s.segIdx++
+	f, err := os.OpenFile(filepath.Join(s.l.dir, segName(s.shard, s.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate shard %d: %w", s.shard, err)
+	}
+	s.f = f
+	s.segSize = 0
+	s.l.segments.Add(1)
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:   l.appends.Load(),
+		Fsyncs:    l.fsyncs.Load(),
+		Bytes:     l.bytes.Load(),
+		Recovered: l.recovered.Load(),
+		Segments:  l.segments.Load(),
+	}
+}
+
+// Close flushes every contiguous record, fsyncs, and stops the syncers.
+// Records still parked out-of-order (their predecessor never committed —
+// only possible if the process is dying anyway) are dropped.
+func (l *Log) Close() error {
+	if !l.opened {
+		return nil
+	}
+	var firstErr error
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.wake()
+	}
+	l.wg.Wait()
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+		}
+		// Wake any waiter that raced Close.
+		if s.err == nil {
+			s.err = fmt.Errorf("wal: log closed")
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	return firstErr
+}
