@@ -77,11 +77,17 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json \
 		$(if $(BENCH_BASELINE),baseline=$(BENCH_BASELINE)) current=$(BENCHDIR)/current.txt
 
-# The network server's zero-to-OK gate: start tleserved (hybrid runtime +
-# adaptive controller), run the loopback protocol self-test, exit. CI runs
-# this so "the binary actually serves" can never regress silently.
+# The network server's zero-to-OK gate: the allocation gate (the serving
+# hot path must do exactly 0 allocs/op — see TestZeroAllocHotPath), then
+# start tleserved (hybrid runtime + adaptive controller), run the
+# loopback protocol self-test, exit — once WAL-off and once WAL-on, so
+# "the binary actually serves, durably too" can never regress silently.
 serve-smoke:
+	$(GO) test -run TestZeroAllocHotPath -count 1 ./internal/server
 	$(GO) run ./cmd/tleserved -smoke
+	rm -rf $(BENCHDIR)/smoke-wal
+	$(GO) run ./cmd/tleserved -smoke -wal $(BENCHDIR)/smoke-wal
+	rm -rf $(BENCHDIR)/smoke-wal
 
 # Closed-loop network benchmark: tleserved under a capacity-heavy pipelined
 # mix (16 conns x depth 8, mixed 64/2048-byte values, -htm-write-lines 24

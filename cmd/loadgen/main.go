@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,9 +55,23 @@ type options struct {
 type pending struct {
 	kind  workload.OpKind
 	key   string
-	val   string // sets only
-	id    int    // linearize handle, -1 when unchecked
+	id    int // linearize handle, -1 when unchecked
 	start time.Time
+}
+
+// vhash fingerprints a value for the linearizability history. The KV model
+// treats values as opaque strings, so recording a 64-bit FNV-1a digest in
+// place of the value itself is equivalent as long as every recording site
+// (set inputs, get outputs, presweep reads, saved histories) uses the same
+// convention — and it spares -check a copy of every multi-KiB payload per
+// recorded op, which at 2 KiB values is most of the checker's cost.
+func vhash(b []byte) string {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return strconv.FormatUint(h, 16)
 }
 
 // workerResult aggregates one connection's run.
@@ -90,7 +106,19 @@ func main() {
 	set := flag.Int("set", 20, "percentage of sets")
 	del := flag.Int("del", 0, "percentage of deletes")
 	incr := flag.Int("incr", 0, "percentage of incrs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load phase to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	o.mix = workload.Mix{SetPct: *set, DelPct: *del, IncrPct: *incr}
 	if err := o.mix.Validate(); err != nil {
@@ -248,6 +276,20 @@ func run(o options) error {
 			fmt.Printf("adaptive: %d policy switches [shard:policy(switches)] %s\n",
 				switches, strings.Join(shards, " "))
 		}
+		// Group-commit counters: how much batch fusion and shared grace the
+		// run actually got. Zero shared_grace under real pipelined load
+		// means quiescence is not being amortized — worth investigating.
+		if fbStr, ok := st["fused_batches"]; ok {
+			fb, _ := strconv.ParseFloat(fbStr, 64)
+			fo, _ := strconv.ParseFloat(st["fused_ops"], 64)
+			width := 0.0
+			if fb > 0 {
+				width = fo / fb
+			}
+			fmt.Printf("fusion: batches=%s fused_ops=%s (%.1f ops/batch)  grace: quiesces=%s shared_grace=%s scans_avoided=%s\n",
+				fbStr, st["fused_ops"], width,
+				st["quiesces"], st["shared_grace"], st["scans_avoided"])
+		}
 		// Durability counters (present only when the server runs with -wal).
 		if appendsStr, ok := st["wal_appends"]; ok {
 			appends, _ := strconv.ParseFloat(appendsStr, 64)
@@ -329,7 +371,7 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 		switch p.kind {
 		case workload.OpGet:
 			if len(rsp.Items) > 0 {
-				rec.Complete(p.id, string(rsp.Items[0].Value), true)
+				rec.Complete(p.id, vhash(rsp.Items[0].Value), true)
 			} else {
 				rec.Complete(p.id, "", false)
 			}
@@ -342,7 +384,7 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 	}
 
 	for sent < quota || len(inflight) > 0 {
-		if sent < quota && len(inflight) < o.depth {
+		for sent < quota && len(inflight) < o.depth {
 			p := pending{kind: gen.Op(o.mix), key: gen.Key(), id: -1, start: time.Now()}
 			var err error
 			switch p.kind {
@@ -353,9 +395,8 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 				err = c.SendGet(false, p.key)
 			case workload.OpSet:
 				v := gen.Value()
-				p.val = string(v)
 				if rec != nil {
-					p.id = rec.Invoke(w, "set", p.key, p.val)
+					p.id = rec.Invoke(w, "set", p.key, vhash(v))
 				}
 				err = c.SendSet(p.key, v, 0)
 			case workload.OpDelete:
@@ -379,17 +420,29 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 			}
 			inflight = append(inflight, p)
 			sent++
-			continue
 		}
-		if err := recvOne(); err != nil {
-			if o.tolerateDisc {
-				// Every op still in flight becomes pending: the kill may
-				// have landed before, between, or after their commits.
-				res.disconnected = true
+		// The window is full (or the quota exhausted): drain half of it —
+		// all of it on the final lap — before topping it back up. Recv
+		// flushes queued requests before reading, so draining in batches
+		// means each write syscall carries several requests; the old
+		// send-one-recv-one alternation paid a syscall per op, and on a
+		// box where client and server share cores, the client's syscalls
+		// come straight out of the server's budget.
+		drain := len(inflight)
+		if sent < quota && drain > (o.depth+1)/2 {
+			drain = (o.depth + 1) / 2
+		}
+		for i := 0; i < drain; i++ {
+			if err := recvOne(); err != nil {
+				if o.tolerateDisc {
+					// Every op still in flight becomes pending: the kill may
+					// have landed before, between, or after their commits.
+					res.disconnected = true
+					return
+				}
+				res.err = err
 				return
 			}
-			res.err = err
-			return
 		}
 	}
 	return
@@ -414,7 +467,7 @@ func presweep(o options, rec *linearize.Recorder) (int, error) {
 			return i, err
 		}
 		if ok {
-			rec.Complete(id, string(it.Value), true)
+			rec.Complete(id, vhash(it.Value), true)
 		} else {
 			rec.Complete(id, "", false)
 		}

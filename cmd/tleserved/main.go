@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -48,9 +49,22 @@ func main() {
 		htmLines   = flag.Int("htm-write-lines", 0, "HTM write-set budget in cache lines (0 = default 512)")
 		htmEvents  = flag.Int("htm-event-ppm", 5, "HTM spurious-event abort rate per million accesses (-1 disables)")
 		walDir     = flag.String("wal", "", "redo-log directory: enables durability (recover on start, group-fsync per mutation)")
+		fsyncWin   = flag.Duration("fsync-window", wal.DefaultFsyncWindow, "group-commit window: how long the WAL syncer accumulates appends before each fsync (0 = fsync eagerly)")
+		deferRecl  = flag.Bool("deferred-reclaim", true, "retire transactionally freed item memory in batched background grace periods instead of on the commit path")
+		stripeLog  = flag.Int("stripe-shift", 3, "STM orec granularity: 1<<n consecutive words share one ownership record (3 = 64-byte cache-line stripes; 0 = per-word)")
 		smoke      = flag.Bool("smoke", false, "start, run a loopback self-test, and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pprof.StartCPUProfile(f)
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
 
 	policy, err := tle.ParsePolicy(*policyName)
 	if err != nil {
@@ -64,14 +78,17 @@ func main() {
 	// The adaptive ladder spans both TM mechanisms, so the runtime is
 	// hybrid whenever the controller runs.
 	r := tle.New(policy, tle.Config{
-		MemWords: *memWords,
-		Hybrid:   *adapt,
-		Observe:  true,
+		MemWords:        *memWords,
+		Hybrid:          *adapt,
+		Observe:         true,
+		DeferredReclaim: *deferRecl,
+		StripeShift:     *stripeLog,
 		HTM: htm.Config{
 			WriteCapacityLines:   *htmLines,
 			EventAbortPerMillion: *htmEvents,
 		},
 	})
+	defer r.Close()
 	store := kvstore.New(r, kvstore.Config{Shards: *shards, MaxItemsPerShard: *capacity})
 
 	// Durability: recover first (replay runs through the normal mutators
@@ -79,7 +96,11 @@ func main() {
 	// every mutation from here on is redo-logged in commit order.
 	var wlog *wal.Log
 	if *walDir != "" {
-		wlog, err = wal.Open(*walDir, store.ShardCount(), wal.Options{})
+		win := *fsyncWin
+		if win <= 0 {
+			win = -1 // flag 0 means "fsync eagerly"; the wal package uses negative for that
+		}
+		wlog, err = wal.Open(*walDir, store.ShardCount(), wal.Options{FsyncWindow: win})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,11 +14,15 @@
 //
 // Demotion triggers:
 //
-//   - a capacity-abort storm at htm-cv jumps straight to stm-cv (not
-//     stm-cv-noq): sections that overflow the HTM write set are large
-//     writers, exactly the transactions whose frees force quiescence
-//     anyway, so skipping the noq rung costs nothing and avoids a second
-//     switch one window later;
+//   - a capacity-abort storm at htm-cv steps down to stm-cv-noq and bars
+//     re-entry for a holdoff. The noq rung is the right landing spot even
+//     for the large writers that overflow HTM write sets: their frees no
+//     longer force a synchronous grace period — the engine defers them to
+//     the batched background reclaimer — so honoring NoQuiesce is where
+//     big freeing transactions are cheap. (Before deferred reclamation
+//     this jumped straight to stm-cv on the theory that freeing commits
+//     quiesce anyway; that theory no longer holds.) If the shard still
+//     struggles there, the conflict/serial triggers walk it further down;
 //   - a high conflict or serial-fallback rate steps down one rung — the
 //     serial rate is the "lemming effect" signal that elision is not
 //     paying for itself.
@@ -26,7 +30,11 @@
 // Promotion requires a streak of consecutive quiet windows (hysteresis),
 // and a shard that was capacity-demoted is barred from re-entering htm-cv
 // for a holdoff period, because the capacity behaviour that evicted it is
-// a property of the workload, not of the moment.
+// a property of the workload, not of the moment. The holdoff doubles on
+// every capacity demotion that strikes shortly after a re-promotion:
+// a storm that returns the instant the shard climbs back proves the
+// workload has not changed, so the shard parks on the stm rungs for
+// geometrically longer spells instead of round-tripping.
 //
 // The Decider is pure (one Step per window, no clocks, no goroutines) so
 // tests can drive it with synthetic traces; the Controller owns the
@@ -61,7 +69,7 @@ type Config struct {
 	// as idle and decide nothing (default 64).
 	MinStarts uint64
 	// CapacityDemote: capacity-abort rate above which htm-cv is abandoned
-	// for stm-cv (default 0.10).
+	// for the next rung down (default 0.10).
 	CapacityDemote float64
 	// ConflictDemote / SerialDemote: conflict-class abort rate or
 	// serial-fallback rate above which the shard steps down one rung
@@ -79,7 +87,11 @@ type Config struct {
 	// shard holds still (default 2) — the hysteresis floor.
 	Cooldown int
 	// HTMHoldoff is the number of windows a capacity-demoted shard is
-	// barred from promoting back into htm-cv (default 16).
+	// barred from promoting back into htm-cv (default 64, and doubling
+	// on every recurrence). Capacity holdoffs run much longer than the
+	// conflict-side cooldowns because a write set that overflows the HTM
+	// budget is a property of the data being served, not of a passing
+	// contention spike: the first probe back almost always re-storms.
 	HTMHoldoff int
 	// Ladder overrides DefaultLadder (rungs unsupported by the runtime
 	// are dropped at Controller construction).
@@ -115,7 +127,7 @@ func (c Config) withDefaults() Config {
 		c.Cooldown = 2
 	}
 	if c.HTMHoldoff == 0 {
-		c.HTMHoldoff = 16
+		c.HTMHoldoff = 64
 	}
 	if len(c.Ladder) == 0 {
 		c.Ladder = DefaultLadder
@@ -164,6 +176,15 @@ type Decider struct {
 	// the shard instead of making it round-trip each period.
 	penalty int
 	decay   int
+	// capEsc counts consecutive capacity demotions that struck soon after
+	// (re-)entering htm-cv; each one doubles the next holdoff. A storm
+	// that returns the moment the shard climbs back is a workload
+	// property, not a transient, and the shard should park on stm rungs
+	// for geometrically longer spells. htmAge (windows survived at htm-cv
+	// since the last promotion) is what distinguishes "storm returned
+	// instantly" from "ran fine for a long time, then the workload shifted".
+	capEsc int
+	htmAge int
 }
 
 // NewDecider builds a decider positioned at current on ladder. If current
@@ -190,6 +211,9 @@ func (d *Decider) Step(s Sample) Decision {
 	if d.htmHold > 0 {
 		d.htmHold--
 	}
+	if d.Current() == tle.PolicyHTMCondVar {
+		d.htmAge++
+	}
 	if d.cooldown > 0 {
 		d.cooldown--
 		return Decision{Target: d.Current(), Reason: "cooldown"}
@@ -202,13 +226,17 @@ func (d *Decider) Step(s Sample) Decision {
 	// Demotions first: getting out of a pathological regime beats
 	// chasing a promotion.
 	if d.Current() == tle.PolicyHTMCondVar && s.Capacity > d.cfg.CapacityDemote {
-		target := d.rungOf(tle.PolicySTMCondVar)
-		if target <= d.idx {
-			target = min(d.idx+1, len(d.ladder)-1)
+		// A long clean spell at htm-cv means this storm is news, not a
+		// rerun: restart the escalation from the base holdoff.
+		if d.htmAge > 4*d.cfg.HTMHoldoff {
+			d.capEsc = 0
 		}
-		d.idx = target
+		if d.capEsc < 6 {
+			d.capEsc++
+		}
+		d.idx = min(d.idx+1, len(d.ladder)-1)
 		d.switched()
-		d.htmHold = d.cfg.HTMHoldoff
+		d.htmHold = d.cfg.HTMHoldoff << (d.capEsc - 1)
 		return Decision{Target: d.Current(), Switched: true,
 			Reason: fmt.Sprintf("capacity storm (%.0f%% of attempts)", s.Capacity*100)}
 	}
@@ -233,6 +261,9 @@ func (d *Decider) Step(s Sample) Decision {
 			}
 			d.idx--
 			d.switched()
+			if d.Current() == tle.PolicyHTMCondVar {
+				d.htmAge = 0
+			}
 			return Decision{Target: d.Current(), Switched: true,
 				Reason: fmt.Sprintf("quiet for %d windows", d.cfg.PromoteStreak+d.penalty)}
 		}
@@ -263,15 +294,6 @@ func (d *Decider) decayPenalty() {
 		d.decay = 0
 		d.penalty--
 	}
-}
-
-func (d *Decider) rungOf(p tle.Policy) int {
-	for i, q := range d.ladder {
-		if q == p {
-			return i
-		}
-	}
-	return len(d.ladder) - 1
 }
 
 func min(a, b int) int {

@@ -25,14 +25,15 @@ var (
 	border   = Sample{Starts: 1000, Conflict: 0.30, Serial: 0.05} // between promote and demote thresholds
 )
 
-// The teeth test: a capacity-abort storm at htm-cv must demote straight to
-// stm-cv — the oversized write sets that overflow HTM are the transactions
-// whose frees force quiescence anyway, so the noq rung is skipped.
-func TestCapacityStormDemotesHTMToSTMCV(t *testing.T) {
+// The teeth test: a capacity-abort storm at htm-cv must demote to
+// stm-cv-noq, the rung where large freeing writers are cheap now that the
+// engine defers their grace periods to the batched background reclaimer —
+// and must then stay out of htm-cv for the holdoff.
+func TestCapacityStormDemotesHTMToSTMCVNoQ(t *testing.T) {
 	d := NewDecider(cfg(), DefaultLadder, tle.PolicyHTMCondVar)
 	dec := d.Step(capStorm)
-	if !dec.Switched || dec.Target != tle.PolicySTMCondVar {
-		t.Fatalf("capacity storm: switched=%v target=%s, want switch to stm-cv", dec.Switched, dec.Target)
+	if !dec.Switched || dec.Target != tle.PolicySTMCondVarNoQ {
+		t.Fatalf("capacity storm: switched=%v target=%s, want switch to stm-cv-noq", dec.Switched, dec.Target)
 	}
 	// The shard must not crawl back into htm-cv the moment things calm
 	// down: the holdoff keeps it out even after the promote streak.
@@ -48,6 +49,42 @@ func TestCapacityStormDemotesHTMToSTMCV(t *testing.T) {
 	}
 	if !saw {
 		t.Fatal("never re-promoted to htm-cv after holdoff expiry")
+	}
+}
+
+// A workload whose capacity storms are intrinsic (the storm returns the
+// moment the shard re-enters htm-cv) must be held out geometrically
+// longer each round trip, not re-admitted every HTMHoldoff windows.
+func TestRepeatedCapacityStormsEscalateHoldoff(t *testing.T) {
+	d := NewDecider(cfg(), DefaultLadder, tle.PolicyHTMCondVar)
+
+	// roundTrip storms the shard off htm-cv (riding out any switch
+	// cooldown), then feeds quiet windows until it climbs back,
+	// returning how many quiet windows the climb took.
+	roundTrip := func() int {
+		demoted := false
+		for i := 0; i < 10 && !demoted; i++ {
+			dec := d.Step(capStorm)
+			demoted = dec.Switched && dec.Target == tle.PolicySTMCondVarNoQ
+		}
+		if !demoted {
+			t.Fatal("capacity storm never demoted the shard")
+		}
+		for i := 1; i <= 2000; i++ {
+			if d.Step(quiet).Target == tle.PolicyHTMCondVar {
+				return i
+			}
+		}
+		t.Fatal("never re-promoted to htm-cv")
+		return 0
+	}
+
+	first := roundTrip()
+	second := roundTrip()
+	third := roundTrip()
+	if second < first+cfg().HTMHoldoff || third < second+2*cfg().HTMHoldoff {
+		t.Fatalf("holdoff not escalating: round trips took %d, %d, %d windows",
+			first, second, third)
 	}
 }
 

@@ -146,6 +146,18 @@ func callFootprint(pkg *analysis.Package, call *ast.CallExpr, weight float64, re
 			addAccess(pkg, call, call.Args[0], weight, writes)
 		}
 		return true
+	case analysis.IsTxMethod(fn, "LoadRange"):
+		if len(call.Args) == 2 {
+			reads.widened += weight * rangeLines(pkg, call.Args[1])
+		}
+		return true
+	case analysis.IsTxMethod(fn, "StoreRange"):
+		if len(call.Args) == 2 {
+			writes.widened += weight * rangeLines(pkg, call.Args[1])
+		}
+		return true
+	case analysis.IsTxMethod(fn, "RangeBuf"):
+		return true // scratch handoff: no transactional access
 	case analysis.IsTxMethod(fn, "Alloc"):
 		words := int64(1)
 		if len(call.Args) == 1 {
@@ -225,6 +237,33 @@ func worstImpl(prog *analysis.Program, ifaceFn *types.Func) Footprint {
 		}
 	}
 	return worst
+}
+
+// rangeLines estimates the cache lines one LoadRange/StoreRange transfer
+// touches: the buffer length in words when statically evident (a
+// constant-bound reslice or an array value), else DefaultLoopWeight words
+// — mirroring what an unknown-trip per-word loop would assume — rounded
+// up to lines plus one for misalignment.
+func rangeLines(pkg *analysis.Package, buf ast.Expr) float64 {
+	words := int64(DefaultLoopWeight)
+	switch e := ast.Unparen(buf).(type) {
+	case *ast.SliceExpr:
+		if e.High != nil {
+			if c, ok := constValue(pkg, e.High); ok {
+				words = c
+			}
+		}
+	default:
+		if tv, ok := pkg.Info.Types[e]; ok {
+			if arr, ok := types.Unalias(tv.Type).Underlying().(*types.Array); ok {
+				words = arr.Len()
+			}
+		}
+	}
+	if words < 1 {
+		words = 1
+	}
+	return float64((words+WordsPerLine-1)/WordsPerLine + 1)
 }
 
 // addAccess records one Tx.Load/Store address expression. The address

@@ -15,14 +15,20 @@
 // Grace-period sharing: the scan-and-wait above is a grace period in the
 // RCU sense, and grace periods compose — a scan that *starts* after a
 // quiescer's entry and completes covers everything that quiescer is obliged
-// to wait for. When a quiescer finds an active slot it takes a ticket
-// (gpStarted), re-snapshots the slots *after* the ticket, and on finishing
-// its wait publishes the ticket as completed (gpCompleted, the RCU gp_seq
-// analogue). Any quiescer that observes a completed ticket larger than its
-// own was covered by that later-started scan and stops waiting immediately.
-// The uncontended path — no transaction in flight anywhere — takes no
-// ticket and publishes nothing, so it performs no read-modify-write on
-// shared counters at all: just the slot loads the paper's design requires.
+// to wait for. Contended quiescers therefore elect a leader: one thread
+// takes a ticket (gpStarted), re-snapshots the slots *after* the ticket,
+// runs the scan, and publishes the ticket as completed (gpCompleted, the
+// RCU gp_seq analogue). Every other contended quiescer records its entry
+// point (a gpStarted load) and parks until gpCompleted passes it — a
+// ticket larger than the entry point was issued after the follower
+// arrived, so its snapshot saw (and its scan waited out) every transaction
+// the follower is obliged to wait for. N concurrent quiescers thus cost at
+// most two scans: the incumbent leader's (which may predate some
+// followers) and one successor's, whose ticket exceeds every parked
+// follower's entry point. The uncontended path — no transaction in flight
+// anywhere — takes no ticket and publishes nothing, so it performs no
+// read-modify-write on shared counters at all: just the slot loads the
+// paper's design requires.
 package epoch
 
 import (
@@ -81,10 +87,17 @@ type Manager struct {
 	scanHook func()
 	_        [32]byte // keep the grace counters off the slots pointer's line
 
-	// gpStarted issues one ticket per contended quiescer, in entry order.
-	// A scan whose ticket is larger than ours took its slot snapshot after
-	// our ticket was issued, so its completion covers every transaction we
-	// must wait for.
+	// leaderMu elects the single scanning quiescer. Contended quiescers
+	// that lose the race park on gpCompleted instead of scanning — the
+	// rendezvous that lets one snapshot scan retire a whole convoy of
+	// concurrent commits.
+	leaderMu sync.Mutex
+	_        [40]byte
+
+	// gpStarted issues one ticket per leader scan, in entry order. A scan
+	// whose ticket is larger than a quiescer's entry point took its slot
+	// snapshot after that quiescer arrived, so its completion covers every
+	// transaction the quiescer must wait for.
 	gpStarted atomic.Uint64
 	_         [56]byte
 
@@ -139,10 +152,10 @@ func (m *Manager) Unregister(s *Slot) {
 // Threads reports the number of registered slots.
 func (m *Manager) Threads() int { return len(*m.slots.Load()) }
 
-// GracePeriods reports the tickets issued to contended quiescers — those
-// that found at least one active slot — and the largest completed ticket
-// (for tests and observability; both are monotone). Uncontended quiesces
-// take no ticket.
+// GracePeriods reports the tickets issued to leader scans — contended
+// quiescers that won the election and snapshotted the slots themselves —
+// and the largest completed ticket (for tests and observability; both are
+// monotone). Uncontended quiesces and parked followers take no ticket.
 func (m *Manager) GracePeriods() (started, completed uint64) {
 	return m.gpStarted.Load(), m.gpCompleted.Load()
 }
@@ -211,25 +224,57 @@ func (m *Manager) QuiesceWith(self *Slot, sc *Scratch) Result {
 		m.scanHook()
 	}
 	start := time.Now()
-	ticket := m.gpStarted.Add(1)
-	if m.gpCompleted.Load() > ticket {
-		// A scan with a later ticket — begun after our entry — already ran
-		// to completion: everything we must wait out has finished.
+	// Entry point: any leader ticket issued after this load — gpStarted
+	// RMWs are totally ordered, so ticket > entry means exactly that —
+	// belongs to a scan whose snapshot postdates our arrival. Its
+	// completion covers everything we must wait for.
+	entry := m.gpStarted.Load()
+	if m.gpCompleted.Load() > entry {
 		return Result{Shared: true}
 	}
-	// A caller honouring the sharing contract (slot exited before Quiesce)
-	// may publish its scan for others; a legacy caller whose own slot still
-	// reads active must not — its grace period would omit its own
-	// still-visible transaction.
-	publish := self == nil || self.seq.Load()%2 == 0
-	// Snapshot pass, after the ticket — and that means the slot *list* too,
-	// not just the seq loads: a thread that registered and entered between
-	// the probe's list load and our ticket is absent from the pre-ticket
-	// list, yet a quiescer covered by our ticket may be obliged to wait for
-	// it. Publishing a scan over the stale list would let that quiescer
-	// return early via gpCompleted while the missed transaction still runs.
-	// (The probe above ran before the ticket and proves nothing.)
-	slots = *m.slots.Load()
+	if self != nil && self.seq.Load()%2 == 1 {
+		// Caller outside the sharing contract: its own transaction still
+		// reads as active. It can neither publish (its scan omits its own
+		// slot) nor park as a follower (a leader's scan waits for *this*
+		// slot to exit — mutual wait). Scan privately, off the election.
+		m.scan(self, sc)
+		return Result{Wait: time.Since(start), Scanned: true}
+	}
+	// Leader election. Losers park on gpCompleted: they are retired in
+	// bulk by the first leader scan ticketed after their entry point —
+	// either the incumbent's successor or, if the convoy has drained, a
+	// scan they win themselves.
+	var b spinwait.Backoff
+	for {
+		if m.gpCompleted.Load() > entry {
+			return Result{Wait: time.Since(start), Shared: true}
+		}
+		if m.leaderMu.TryLock() {
+			break
+		}
+		b.Wait()
+	}
+	if m.gpCompleted.Load() > entry {
+		// Published between our check and the lock: covered after all.
+		m.leaderMu.Unlock()
+		return Result{Wait: time.Since(start), Shared: true}
+	}
+	ticket := m.gpStarted.Add(1)
+	m.scan(self, sc)
+	m.completeGP(ticket)
+	m.leaderMu.Unlock()
+	return Result{Wait: time.Since(start), Scanned: true}
+}
+
+// scan snapshots the active slots and waits each of them out. On the leader
+// path it runs after the ticket draw — and it re-loads the slot *list*, not
+// just the seq words: a thread that registered and entered between the
+// probe's list load and the ticket is absent from the pre-ticket list, yet
+// a follower covered by the ticket may be obliged to wait for it.
+// Publishing a scan over the stale list would release that follower via
+// gpCompleted while the missed transaction still runs.
+func (m *Manager) scan(self *Slot, sc *Scratch) {
+	slots := *m.slots.Load()
 	pend := sc.pend[:0]
 	for _, s := range slots {
 		if s == self {
@@ -245,18 +290,9 @@ func (m *Manager) QuiesceWith(self *Slot, sc *Scratch) Result {
 		// slot i+1 at the maximum backoff step.
 		var b spinwait.Backoff
 		for pend[i].s.seq.Load() == pend[i].seen {
-			if m.gpCompleted.Load() > ticket {
-				// A later-ticket scan finished while we waited; its grace
-				// period covers ours.
-				return Result{Wait: time.Since(start), Shared: true, Scanned: true}
-			}
 			b.Wait()
 		}
 	}
-	if publish {
-		m.completeGP(ticket)
-	}
-	return Result{Wait: time.Since(start), Scanned: true}
 }
 
 // completeGP publishes a finished scan: advance gpCompleted to ticket unless

@@ -54,6 +54,44 @@ func TestQuantileBucketBounds(t *testing.T) {
 	}
 }
 
+// TestSubOctaveResolution pins the log-linear fix: values between
+// adjacent powers of two must resolve to within one subbucket (~3%), not
+// snap to the octave edge. A pure log2 histogram reports 16.78ms for
+// every latency in (8.39ms, 16.78ms] — exactly the band a 10ms SLO
+// lives in.
+func TestSubOctaveResolution(t *testing.T) {
+	cases := []time.Duration{
+		700 * time.Nanosecond,
+		100 * time.Microsecond,
+		4200 * time.Microsecond,
+		9500 * time.Microsecond, // between 8.39ms and 16.78ms
+		13 * time.Millisecond,
+	}
+	for _, d := range cases {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Record(d)
+		}
+		got := h.Quantile(0.99)
+		if got < d {
+			t.Fatalf("p99(%v) = %v: quantile below the recorded value", d, got)
+		}
+		if maxErr := d / 16; got > d+maxErr {
+			t.Fatalf("p99(%v) = %v: error %v exceeds one subbucket (%v)", d, got, got-d, maxErr)
+		}
+	}
+	// Distinguishability across one octave: 9.5ms and 15ms must not land
+	// in the same bucket.
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Record(9500 * time.Microsecond)
+	}
+	h.Record(15 * time.Millisecond)
+	if p50, p100 := h.Quantile(0.5), h.Quantile(1); p50 >= p100 {
+		t.Fatalf("9.5ms and 15ms collapsed into one bucket: p50=%v p100=%v", p50, p100)
+	}
+}
+
 func TestQuantileClamps(t *testing.T) {
 	var h Histogram
 	h.Record(time.Microsecond)

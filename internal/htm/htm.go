@@ -258,42 +258,48 @@ func (t *Tx) Load(a memseg.Addr) uint64 {
 	if v, ok := t.writeBuf[a]; ok {
 		return v
 	}
-	line := a.Line()
-	rec := &t.h.lines[line]
-	if _, tracked := t.readLines[line]; !tracked {
-		if len(t.readLines) >= t.h.cfg.ReadCapacityLines {
-			t.abort(stats.Capacity)
-		}
-		// Record the line before touching the shared record so that an
-		// abort anywhere below still releases the reader bit in OnAbort
-		// (clearing an unset bit is harmless).
-		t.readLines[line] = struct{}{}
-		// Resolve against a concurrent writer, register, then re-check: the
-		// re-check closes the race where a writer registers between our
-		// check and our registration.
-		for {
-			if w := rec.writer.Load(); w != 0 && w != t.id+1 {
-				if !t.h.doom(w-1, stats.Conflict) {
-					t.abort(stats.Conflict) // writer is committing
-				}
-				// The victim is doomed and can never flush; revoke its
-				// claim immediately (hardware aborts the victim instantly,
-				// our victims abort lazily at their next access). The
-				// victim's own cleanup uses a conditional release, so the
-				// steal is safe.
-				rec.writer.CompareAndSwap(w, 0)
-				continue
-			}
-			rec.readers.Or(t.bit)
-			if w := rec.writer.Load(); w != 0 && w != t.id+1 {
-				rec.readers.And(^t.bit)
-				continue
-			}
-			break
-		}
-	}
+	t.trackReadLine(a.Line())
 	t.checkDoom()
 	return t.h.mem.Load(a)
+}
+
+// trackReadLine registers a line in the read set, resolving conflicts with
+// concurrent writers. A no-op when the line is already tracked.
+func (t *Tx) trackReadLine(line uint32) {
+	if _, tracked := t.readLines[line]; tracked {
+		return
+	}
+	if len(t.readLines) >= t.h.cfg.ReadCapacityLines {
+		t.abort(stats.Capacity)
+	}
+	// Record the line before touching the shared record so that an
+	// abort anywhere below still releases the reader bit in OnAbort
+	// (clearing an unset bit is harmless).
+	t.readLines[line] = struct{}{}
+	rec := &t.h.lines[line]
+	// Resolve against a concurrent writer, register, then re-check: the
+	// re-check closes the race where a writer registers between our
+	// check and our registration.
+	for {
+		if w := rec.writer.Load(); w != 0 && w != t.id+1 {
+			if !t.h.doom(w-1, stats.Conflict) {
+				t.abort(stats.Conflict) // writer is committing
+			}
+			// The victim is doomed and can never flush; revoke its
+			// claim immediately (hardware aborts the victim instantly,
+			// our victims abort lazily at their next access). The
+			// victim's own cleanup uses a conditional release, so the
+			// steal is safe.
+			rec.writer.CompareAndSwap(w, 0)
+			continue
+		}
+		rec.readers.Or(t.bit)
+		if w := rec.writer.Load(); w != 0 && w != t.id+1 {
+			rec.readers.And(^t.bit)
+			continue
+		}
+		break
+	}
 }
 
 // Store performs a transactional (buffered) write of the word at a.
@@ -305,24 +311,80 @@ func (t *Tx) Store(a memseg.Addr, v uint64) {
 		// best-effort HTM is always allowed to decide.
 		t.abort(stats.Capacity)
 	}
-	line := a.Line()
-	if _, tracked := t.writeLines[line]; !tracked {
-		if len(t.writeLines) >= t.h.cfg.WriteCapacityLines {
-			t.abort(stats.Capacity)
-		}
-		if t.setOccupancy != nil {
-			set := line % uint32(len(t.setOccupancy))
-			if int(t.setOccupancy[set]) >= t.h.cfg.Associativity {
-				t.abort(stats.Capacity) // set conflict: ways exhausted
-			}
-			t.setOccupancy[set]++
-		}
-		// Record before claiming: if claimLine aborts mid-way, OnAbort's
-		// conditional release (CAS id+1 → 0) cleans up whatever was taken.
-		t.writeLines[line] = struct{}{}
-		t.claimLine(line)
-	}
+	t.trackWriteLine(a.Line())
 	t.writeBuf[a] = v
+	t.checkDoom()
+}
+
+// trackWriteLine registers a line in the write set, charging the capacity
+// model and claiming exclusive ownership. A no-op when already tracked.
+func (t *Tx) trackWriteLine(line uint32) {
+	if _, tracked := t.writeLines[line]; tracked {
+		return
+	}
+	if len(t.writeLines) >= t.h.cfg.WriteCapacityLines {
+		t.abort(stats.Capacity)
+	}
+	if t.setOccupancy != nil {
+		set := line % uint32(len(t.setOccupancy))
+		if int(t.setOccupancy[set]) >= t.h.cfg.Associativity {
+			t.abort(stats.Capacity) // set conflict: ways exhausted
+		}
+		t.setOccupancy[set]++
+	}
+	// Record before claiming: if claimLine aborts mid-way, OnAbort's
+	// conditional release (CAS id+1 → 0) cleans up whatever was taken.
+	t.writeLines[line] = struct{}{}
+	t.claimLine(line)
+}
+
+// LoadRange reads the len(dst) consecutive words starting at a. Equivalent
+// to dst[i] = Load(a+i), but the per-access overheads — doom check, event
+// roll, chaos injection — are paid once per call (a range is one access to
+// the simulated hardware) and line tracking is amortized over the run.
+func (t *Tx) LoadRange(a memseg.Addr, dst []uint64) {
+	t.checkDoom()
+	t.maybeEvent()
+	if t.h.cfg.Injector.Fire(uint64(t.id), chaos.HTMConflict) {
+		// Injected coherence conflict: another core's request took our line.
+		t.abort(stats.Conflict)
+	}
+	prev := int64(-1)
+	for i := range dst {
+		aa := a + memseg.Addr(i)
+		if v, ok := t.writeBuf[aa]; ok {
+			dst[i] = v
+			continue
+		}
+		if l := aa.Line(); int64(l) != prev {
+			t.trackReadLine(l)
+			prev = int64(l)
+		}
+		dst[i] = t.h.mem.Load(aa)
+	}
+	t.checkDoom()
+}
+
+// StoreRange buffers writes of the words of src to consecutive addresses
+// starting at a. Equivalent to Store(a+i, src[i]) with the per-access
+// overheads paid once per call; capacity is still charged per line.
+func (t *Tx) StoreRange(a memseg.Addr, src []uint64) {
+	t.checkDoom()
+	t.maybeEvent()
+	if t.h.cfg.Injector.Fire(uint64(t.id), chaos.HTMCapacity) {
+		// Injected capacity abort: the write set overflowed early, as a
+		// best-effort HTM is always allowed to decide.
+		t.abort(stats.Capacity)
+	}
+	prev := int64(-1)
+	for i, v := range src {
+		aa := a + memseg.Addr(i)
+		if l := aa.Line(); int64(l) != prev {
+			t.trackWriteLine(l)
+			prev = int64(l)
+		}
+		t.writeBuf[aa] = v
+	}
 	t.checkDoom()
 }
 

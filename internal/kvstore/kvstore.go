@@ -29,6 +29,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 
@@ -229,38 +230,110 @@ func wordsFor(keyLen, valLen int) int {
 	return itData + (keyLen+7)/8 + (valLen+7)/8
 }
 
-// packBytes writes b into consecutive words starting at a.
+// rangeChunk is the staging size (in words) for bulk byte transfers: large
+// enough to amortize a LoadRange/StoreRange call over many stripes, small
+// enough that the scratch buffer stays cache-resident.
+const rangeChunk = 64
+
+// packBytes writes b into consecutive words starting at a. Bytes are
+// staged through the transaction's range buffer in rangeChunk-word slabs
+// and stored with one StoreRange per slab, so the TM acquires each
+// covering stripe once instead of once per word.
 func packBytes(tx tm.Tx, a memseg.Addr, b []byte) {
-	for i := 0; i < len(b); i += 8 {
-		var w uint64
-		for j := 0; j < 8 && i+j < len(b); j++ {
-			w |= uint64(b[i+j]) << (8 * j)
+	buf := tx.RangeBuf(rangeChunk)
+	for len(b) > 0 {
+		nw := (len(b) + 7) / 8
+		if nw > rangeChunk {
+			nw = rangeChunk
 		}
-		tx.Store(a+memseg.Addr(i/8), w)
+		take := nw * 8
+		if take > len(b) {
+			take = len(b)
+		}
+		full := take &^ 7
+		for i := 0; i < full; i += 8 {
+			buf[i/8] = binary.LittleEndian.Uint64(b[i:])
+		}
+		if full < take {
+			var w uint64
+			for j := 0; full+j < take; j++ {
+				w |= uint64(b[full+j]) << (8 * j)
+			}
+			buf[full/8] = w
+		}
+		tx.StoreRange(a, buf[:nw])
+		a += memseg.Addr(nw)
+		b = b[take:]
 	}
 }
 
 // unpackBytes reads n bytes from consecutive words starting at a.
 func unpackBytes(tx tm.Tx, a memseg.Addr, n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n; i += 8 {
-		w := tx.Load(a + memseg.Addr(i/8))
-		for j := 0; j < 8 && i+j < n; j++ {
-			out[i+j] = byte(w >> (8 * j))
-		}
-	}
-	return out
+	return unpackAppend(tx, a, n, nil)
 }
 
-// keyMatches compares the stored key at item against key.
+// unpackAppend appends n bytes read from consecutive words starting at a
+// to dst, growing it as needed. Reusing dst across calls keeps the hot
+// read path allocation-free once the buffer has warmed up.
+func unpackAppend(tx tm.Tx, a memseg.Addr, n int, dst []byte) []byte {
+	base := len(dst)
+	if cap(dst) < base+n {
+		grown := make([]byte, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	out := dst[base:]
+	buf := tx.RangeBuf(rangeChunk)
+	for len(out) > 0 {
+		nw := (len(out) + 7) / 8
+		if nw > rangeChunk {
+			nw = rangeChunk
+		}
+		tx.LoadRange(a, buf[:nw])
+		take := nw * 8
+		if take > len(out) {
+			take = len(out)
+		}
+		full := take &^ 7
+		for i := 0; i < full; i += 8 {
+			binary.LittleEndian.PutUint64(out[i:], buf[i/8])
+		}
+		for i := full; i < take; i++ {
+			out[i] = byte(buf[i/8] >> (8 * (i % 8)))
+		}
+		a += memseg.Addr(nw)
+		out = out[take:]
+	}
+	return dst
+}
+
+// keyMatches compares the stored key at item against key — no unpacked
+// copy, no allocation. The length check in the meta word screens most
+// mismatches; survivors load the whole packed key with one LoadRange
+// (MaxKeyLen is 32 words, so one call and one stripe entry per 1<<shift
+// words) and compare word-wise. packBytes zero-pads the final word, so
+// padding the probe key the same way makes whole-word equality exact.
 func keyMatches(tx tm.Tx, item memseg.Addr, key []byte) bool {
 	meta := tx.Load(item + itMeta)
 	if int(meta>>32) != len(key) {
 		return false
 	}
-	stored := unpackBytes(tx, item+itData, len(key))
-	for i := range key {
-		if stored[i] != key[i] {
+	nw := (len(key) + 7) / 8
+	buf := tx.RangeBuf(nw)
+	tx.LoadRange(item+itData, buf)
+	full := len(key) &^ 7
+	for i := 0; i < full; i += 8 {
+		if buf[i/8] != binary.LittleEndian.Uint64(key[i:]) {
+			return false
+		}
+	}
+	if full < len(key) {
+		var w uint64
+		for j := 0; full+j < len(key); j++ {
+			w |= uint64(key[full+j]) << (8 * j)
+		}
+		if buf[full/8] != w {
 			return false
 		}
 	}
@@ -341,17 +414,33 @@ func (s *Store) Get(th *tm.Thread, key []byte) ([]byte, bool, error) {
 // GetItem returns the full entry (value, flags, CAS token) for key,
 // bumping it to most-recently-used.
 func (s *Store) GetItem(th *tm.Thread, key []byte) (Item, bool, error) {
+	_, it, ok, err := s.GetItemAppend(th, key, nil)
+	return it, ok, err
+}
+
+// GetItemAppend is GetItem with caller-owned value storage: on a hit the
+// value bytes are appended to dst and the returned Item's Value aliases
+// that appended region. Reusing dst across calls makes the read path
+// allocation-free once the buffer has warmed up. The (possibly grown)
+// buffer is always returned, truncated back to its original length on a
+// miss or error.
+func (s *Store) GetItemAppend(th *tm.Thread, key, dst []byte) ([]byte, Item, bool, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return Item{}, false, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return dst, Item{}, false, fmt.Errorf("kvstore: bad key length %d", len(key))
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	base := len(dst)
 	var it Item
 	found := false
+	out := dst
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
 		// A get never privatizes: safe to skip quiescence (Listing 2).
 		tx.NoQuiesce()
+		// Rewind the append cursor: a retried attempt must not keep the
+		// previous attempt's bytes.
+		out = out[:base] //gotle:allow txpure the only cross-attempt read is this rewind to the pre-call length; the bytes beyond base are write-only per attempt
 		_, item := s.findInChain(tx, sh, bucket, key)
 		if item == memseg.Nil {
 			found = false
@@ -360,11 +449,9 @@ func (s *Store) GetItem(th *tm.Thread, key []byte) (Item, bool, error) {
 		}
 		meta := tx.Load(item + itMeta)
 		keyWords := (int(meta>>32) + 7) / 8
-		it = Item{
-			Value: unpackBytes(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF)),
-			Flags: uint32(tx.Load(item + itFlags)),
-			CAS:   tx.Load(item + itCas),
-		}
+		out = unpackAppend(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF), out) //gotle:allow txpure append-only past base, rewound above; a committed attempt's bytes are the last attempt's
+		it.Flags = uint32(tx.Load(item + itFlags))                                          //gotle:allow txpure write-once out-param, read only after Do returns
+		it.CAS = tx.Load(item + itCas)                                                      //gotle:allow txpure write-once out-param, read only after Do returns
 		s.lruUnlink(tx, sh, item)
 		s.lruPushFront(tx, sh, item)
 		found = true
@@ -373,9 +460,10 @@ func (s *Store) GetItem(th *tm.Thread, key []byte) (Item, bool, error) {
 		return nil
 	})
 	if err != nil || !found {
-		return Item{}, false, err
+		return out[:base], Item{}, false, err
 	}
-	return it, true, nil
+	it.Value = out[base:]
+	return out, it, true, nil
 }
 
 // StoreStatus is the outcome of a conditional store (memcached semantics).
@@ -487,7 +575,6 @@ func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeM
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	shardIdx := int(h % uint64(len(s.shards)))
-	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	status := Stored
 	var ticket wal.Ticket
 	// capest ranks this body worst in the module: the chain walk, LRU
@@ -497,89 +584,91 @@ func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeM
 	// bounds the tests exercise, the true footprint fits HTM.
 	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
-		linkAt, old := s.findInChain(tx, sh, bucket, key)
-		switch mode {
-		case modeAdd:
-			if old != memseg.Nil {
-				status = NotStored
-				//gotle:allow noqpriv precondition-failed paths free nothing
-				tx.NoQuiesce()
-				return nil
-			}
-		case modeReplace:
-			if old == memseg.Nil {
-				status = NotStored
-				//gotle:allow noqpriv precondition-failed paths free nothing
-				tx.NoQuiesce()
-				return nil
-			}
-		case modeCAS:
-			if old == memseg.Nil {
-				status = CASNotFound
-				//gotle:allow noqpriv precondition-failed paths free nothing
-				tx.NoQuiesce()
-				return nil
-			}
-			if tx.Load(old+itCas) != wantCas {
-				status = CASExists
-				//gotle:allow noqpriv precondition-failed paths free nothing
-				tx.NoQuiesce()
-				return nil
-			}
+		st, _, _ := s.applyStore(tx, sh, h, key, val, flags, mode, wantCas)
+		status = st
+		// Unconditional: the engine enforces (or defers, under
+		// DeferredReclaim) the allocator-safety wait for freeing attempts
+		// regardless of this call, and the store never touches privatized
+		// item memory non-transactionally after commit.
+		//gotle:allow noqpriv allocator safety is engine-enforced for freeing attempts; no post-commit non-transactional access to privatized items
+		tx.NoQuiesce()
+		if st == Stored {
+			s.walPublish(tx, sh, shardIdx, wal.OpSet, flags, key, val, &ticket)
 		}
-		privatized := false
-		if old != memseg.Nil {
-			// Replace: unlink and free the old item.
-			tx.Store(linkAt, tx.Load(old+itChain))
-			s.lruUnlink(tx, sh, old)
-			tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
-			tx.Free(old)
-			privatized = true
-		}
-		item := tx.Alloc(wordsFor(len(key), len(val)))
-		tx.Store(item+itMeta, uint64(len(key))<<32|uint64(len(val)))
-		tx.Store(item+itCas, nextCas(tx, sh))
-		tx.Store(item+itFlags, uint64(flags))
-		packBytes(tx, item+itData, key)
-		packBytes(tx, item+itData+memseg.Addr((len(key)+7)/8), val)
-		// Link into the bucket and the LRU front.
-		tx.Store(item+itChain, tx.Load(bucket))
-		tx.Store(bucket, uint64(item))
-		s.lruPushFront(tx, sh, item)
-		count := tx.Load(sh.base+shCount) + 1
-		tx.Store(sh.base+shCount, count)
-		// Evict past capacity.
-		evicted := uint64(0)
-		for count > uint64(s.cfg.MaxItemsPerShard) {
-			victim := memseg.Addr(tx.Load(sh.base + shLRUTail))
-			if victim == memseg.Nil || victim == item {
-				break
-			}
-			s.evict(tx, sh, victim)
-			count--
-			tx.Store(sh.base+shCount, count)
-			evicted++
-			privatized = true
-		}
-		if !privatized {
-			//gotle:allow noqpriv guarded: skipped only on attempts that evicted (freed) nothing, and the engine double-checks freeing transactions
-			tx.NoQuiesce()
-		}
-		status = Stored
-		bump(tx, sh, stSets, 1)
-		if evicted > 0 {
-			bump(tx, sh, stEvictions, evicted)
-		}
-		// Evictions are deliberately NOT logged: they are a cache-policy
-		// decision, not an acked client mutation, and replay re-applies
-		// the same capacity bound anyway.
-		s.walPublish(tx, sh, shardIdx, wal.OpSet, flags, key, val, &ticket)
 		return nil
 	})
 	if err != nil {
 		return NotStored, wal.Ticket{}, err
 	}
 	return status, ticket, nil
+}
+
+// applyStore is the conditional-store logic shared by mutate (one op per
+// critical section) and MutateBatch (a fused run of ops in one
+// transaction). It touches only sh's words. It returns the verb status,
+// whether any item memory was freed (the caller must then let the commit
+// quiesce), and the eviction count. WAL publication and the NoQuiesce
+// decision stay with the caller, which sees the whole transaction.
+func (s *Store) applyStore(tx tm.Tx, sh *shard, h uint64, key, val []byte, flags uint32, mode storeMode, wantCas uint64) (status StoreStatus, privatized bool, evicted uint64) {
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	linkAt, old := s.findInChain(tx, sh, bucket, key)
+	switch mode {
+	case modeAdd:
+		if old != memseg.Nil {
+			return NotStored, false, 0
+		}
+	case modeReplace:
+		if old == memseg.Nil {
+			return NotStored, false, 0
+		}
+	case modeCAS:
+		if old == memseg.Nil {
+			return CASNotFound, false, 0
+		}
+		if tx.Load(old+itCas) != wantCas {
+			return CASExists, false, 0
+		}
+	}
+	if old != memseg.Nil {
+		// Replace: unlink and free the old item.
+		tx.Store(linkAt, tx.Load(old+itChain))
+		s.lruUnlink(tx, sh, old)
+		tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
+		tx.Free(old)
+		privatized = true
+	}
+	item := tx.Alloc(wordsFor(len(key), len(val)))
+	tx.Store(item+itMeta, uint64(len(key))<<32|uint64(len(val)))
+	tx.Store(item+itCas, nextCas(tx, sh))
+	tx.Store(item+itFlags, uint64(flags))
+	packBytes(tx, item+itData, key)
+	packBytes(tx, item+itData+memseg.Addr((len(key)+7)/8), val)
+	// Link into the bucket and the LRU front.
+	tx.Store(item+itChain, tx.Load(bucket))
+	tx.Store(bucket, uint64(item))
+	s.lruPushFront(tx, sh, item)
+	count := tx.Load(sh.base+shCount) + 1
+	tx.Store(sh.base+shCount, count)
+	// Evict past capacity.
+	for count > uint64(s.cfg.MaxItemsPerShard) {
+		victim := memseg.Addr(tx.Load(sh.base + shLRUTail))
+		if victim == memseg.Nil || victim == item {
+			break
+		}
+		s.evict(tx, sh, victim)
+		count--
+		tx.Store(sh.base+shCount, count)
+		evicted++
+		privatized = true
+	}
+	bump(tx, sh, stSets, 1)
+	if evicted > 0 {
+		bump(tx, sh, stEvictions, evicted)
+	}
+	// Evictions are deliberately NOT logged: they are a cache-policy
+	// decision, not an acked client mutation, and replay re-applies
+	// the same capacity bound anyway.
+	return Stored, privatized, evicted
 }
 
 // IncrStatus is the outcome of an Incr/Decr.
@@ -615,76 +704,79 @@ func (s *Store) IncrD(th *tm.Thread, key []byte, delta uint64, decr bool) (uint6
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	shardIdx := int(h % uint64(len(s.shards)))
-	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	var newVal uint64
 	var ticket wal.Ticket
 	status := IncrStored
 	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
-		linkAt, item := s.findInChain(tx, sh, bucket, key)
-		if item == memseg.Nil {
-			status = IncrNotFound
-			//gotle:allow noqpriv miss path frees nothing
-			tx.NoQuiesce()
-			return nil
+		nv, newBytes, flags, st, _ := s.applyIncr(tx, sh, h, key, delta, decr)
+		newVal, status = nv, st
+		// Unconditional; see the store path for why this is always safe.
+		//gotle:allow noqpriv allocator safety is engine-enforced for freeing attempts; no post-commit non-transactional access to privatized items
+		tx.NoQuiesce()
+		if st == IncrStored {
+			s.walPublish(tx, sh, shardIdx, wal.OpSet, flags, key, newBytes, &ticket)
 		}
-		meta := tx.Load(item + itMeta)
-		keyWords := (int(meta>>32) + 7) / 8
-		valLen := int(meta & 0xFFFFFFFF)
-		cur, ok := parseDecimal(unpackBytes(tx, item+itData+memseg.Addr(keyWords), valLen))
-		if !ok {
-			status = IncrNaN
-			//gotle:allow noqpriv parse-failure path frees nothing
-			tx.NoQuiesce()
-			return nil
-		}
-		var next uint64
-		if decr {
-			if delta > cur {
-				next = 0
-			} else {
-				next = cur - delta
-			}
-		} else {
-			next = cur + delta // wraps at 2^64, like memcached
-		}
-		newBytes := strconv.AppendUint(nil, next, 10)
-		flags := tx.Load(item + itFlags)
-		if len(newBytes) == valLen {
-			// Same digit count: overwrite the value words in place. The
-			// value region starts on a word boundary, so packBytes'
-			// zero-padding never clobbers key bytes.
-			packBytes(tx, item+itData+memseg.Addr(keyWords), newBytes)
-			tx.Store(item+itCas, nextCas(tx, sh))
-			status = IncrStored
-			newVal = next
-			s.walPublish(tx, sh, shardIdx, wal.OpSet, uint32(flags), key, newBytes, &ticket)
-			//gotle:allow noqpriv in-place update frees nothing
-			tx.NoQuiesce()
-			return nil
-		}
-		// Digit count changed: reallocate the item (same key, new value).
-		tx.Store(linkAt, tx.Load(item+itChain))
-		s.lruUnlink(tx, sh, item)
-		tx.Free(item)
-		fresh := tx.Alloc(wordsFor(len(key), len(newBytes)))
-		tx.Store(fresh+itMeta, uint64(len(key))<<32|uint64(len(newBytes)))
-		tx.Store(fresh+itCas, nextCas(tx, sh))
-		tx.Store(fresh+itFlags, flags)
-		packBytes(tx, fresh+itData, key)
-		packBytes(tx, fresh+itData+memseg.Addr(keyWords), newBytes)
-		tx.Store(fresh+itChain, tx.Load(bucket))
-		tx.Store(bucket, uint64(fresh))
-		s.lruPushFront(tx, sh, fresh)
-		status = IncrStored
-		newVal = next
-		s.walPublish(tx, sh, shardIdx, wal.OpSet, uint32(flags), key, newBytes, &ticket)
 		return nil
 	})
 	if err != nil {
 		return 0, IncrNotFound, wal.Ticket{}, err
 	}
 	return newVal, status, ticket, nil
+}
+
+// applyIncr is the incr/decr logic shared by IncrD and MutateBatch. It
+// returns the new counter value, its decimal bytes (for the caller's redo
+// record — replay must not re-run the arithmetic), the item's flags, the
+// status, and whether the op freed item memory (digit-width change
+// reallocates).
+func (s *Store) applyIncr(tx tm.Tx, sh *shard, h uint64, key []byte, delta uint64, decr bool) (newVal uint64, newBytes []byte, flags uint32, status IncrStatus, privatized bool) {
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	linkAt, item := s.findInChain(tx, sh, bucket, key)
+	if item == memseg.Nil {
+		return 0, nil, 0, IncrNotFound, false
+	}
+	meta := tx.Load(item + itMeta)
+	keyWords := (int(meta>>32) + 7) / 8
+	valLen := int(meta & 0xFFFFFFFF)
+	cur, ok := parseDecimal(unpackBytes(tx, item+itData+memseg.Addr(keyWords), valLen))
+	if !ok {
+		return 0, nil, 0, IncrNaN, false
+	}
+	var next uint64
+	if decr {
+		if delta > cur {
+			next = 0
+		} else {
+			next = cur - delta
+		}
+	} else {
+		next = cur + delta // wraps at 2^64, like memcached
+	}
+	newBytes = strconv.AppendUint(nil, next, 10)
+	fl := tx.Load(item + itFlags)
+	if len(newBytes) == valLen {
+		// Same digit count: overwrite the value words in place. The
+		// value region starts on a word boundary, so packBytes'
+		// zero-padding never clobbers key bytes.
+		packBytes(tx, item+itData+memseg.Addr(keyWords), newBytes)
+		tx.Store(item+itCas, nextCas(tx, sh))
+		return next, newBytes, uint32(fl), IncrStored, false
+	}
+	// Digit count changed: reallocate the item (same key, new value).
+	tx.Store(linkAt, tx.Load(item+itChain))
+	s.lruUnlink(tx, sh, item)
+	tx.Free(item)
+	fresh := tx.Alloc(wordsFor(len(key), len(newBytes)))
+	tx.Store(fresh+itMeta, uint64(len(key))<<32|uint64(len(newBytes)))
+	tx.Store(fresh+itCas, nextCas(tx, sh))
+	tx.Store(fresh+itFlags, fl)
+	packBytes(tx, fresh+itData, key)
+	packBytes(tx, fresh+itData+memseg.Addr(keyWords), newBytes)
+	tx.Store(fresh+itChain, tx.Load(bucket))
+	tx.Store(bucket, uint64(fresh))
+	s.lruPushFront(tx, sh, fresh)
+	return next, newBytes, uint32(fl), IncrStored, true
 }
 
 // parseDecimal parses an unsigned decimal byte string strictly (no sign,
@@ -733,27 +825,37 @@ func (s *Store) DeleteD(th *tm.Thread, key []byte) (bool, wal.Ticket, error) {
 	h := fnv1a(key)
 	sh := s.shardFor(h)
 	shardIdx := int(h % uint64(len(s.shards)))
-	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	removed := false
 	var ticket wal.Ticket
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
-		linkAt, item := s.findInChain(tx, sh, bucket, key)
-		if item == memseg.Nil {
-			removed = false
-			//gotle:allow noqpriv guarded: miss path unlinks and frees nothing, and the engine double-checks freeing transactions
-			tx.NoQuiesce()
+		removed = s.applyDelete(tx, sh, h, key)
+		// Unconditional; see the store path for why this is always safe.
+		//gotle:allow noqpriv allocator safety is engine-enforced for freeing attempts; no post-commit non-transactional access to privatized items
+		tx.NoQuiesce()
+		if !removed {
 			return nil
 		}
-		tx.Store(linkAt, tx.Load(item+itChain))
-		s.lruUnlink(tx, sh, item)
-		tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
-		tx.Free(item)
-		removed = true
-		bump(tx, sh, stDeletes, 1)
 		s.walPublish(tx, sh, shardIdx, wal.OpDelete, 0, key, nil, &ticket)
 		return nil
 	})
 	return removed, ticket, err
+}
+
+// applyDelete is the delete logic shared by DeleteD and MutateBatch. It
+// reports whether an item was unlinked and freed (false = miss, nothing
+// privatized).
+func (s *Store) applyDelete(tx tm.Tx, sh *shard, h uint64, key []byte) bool {
+	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
+	linkAt, item := s.findInChain(tx, sh, bucket, key)
+	if item == memseg.Nil {
+		return false
+	}
+	tx.Store(linkAt, tx.Load(item+itChain))
+	s.lruUnlink(tx, sh, item)
+	tx.Store(sh.base+shCount, tx.Load(sh.base+shCount)-1)
+	tx.Free(item)
+	bump(tx, sh, stDeletes, 1)
+	return true
 }
 
 // Len reports the total item count across shards.

@@ -59,6 +59,68 @@ func TestGetSetDeleteBasics(t *testing.T) {
 	}
 }
 
+// TestStripedOrecs runs the store on cache-line-granularity orecs
+// (StripeShift 3) — the serving configuration, where pack/unpack/compare
+// go through LoadRange/StoreRange one stripe at a time — and checks value
+// round-trips and concurrent counter atomicity under every policy.
+func TestStripedOrecs(t *testing.T) {
+	for _, p := range tle.Policies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := tle.New(p, tle.Config{
+				MemWords:    1 << 20,
+				StripeShift: 3,
+				HTM:         htm.Config{EventAbortPerMillion: -1},
+			})
+			s := New(r, Config{Shards: 2})
+			th := r.NewThread()
+			for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 500, 2048} {
+				key := []byte(fmt.Sprintf("k%d", n))
+				val := make([]byte, n)
+				for i := range val {
+					val[i] = byte(i*13 + n)
+				}
+				if err := s.Set(th, key, val); err != nil {
+					t.Fatalf("Set len %d: %v", n, err)
+				}
+				got, ok, err := s.Get(th, key)
+				if err != nil || !ok || !bytes.Equal(got, val) {
+					t.Fatalf("len %d round trip: ok=%v err=%v", n, ok, err)
+				}
+			}
+			if err := s.Set(th, []byte("ctr"), []byte("0")); err != nil {
+				t.Fatal(err)
+			}
+			th.Release()
+			// Concurrent increments: with striped orecs neighbouring items
+			// share stripes, so this also shakes out false-conflict hangs.
+			const workers, rounds = 4, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					wth := r.NewThread()
+					defer wth.Release()
+					for i := 0; i < rounds; i++ {
+						if _, st, err := s.Incr(wth, []byte("ctr"), 1, false); err != nil || st != IncrStored {
+							t.Errorf("Incr: %v %v", st, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			th = r.NewThread()
+			defer th.Release()
+			v, ok, err := s.Get(th, []byte("ctr"))
+			if err != nil || !ok || string(v) != fmt.Sprint(workers*rounds) {
+				t.Fatalf("ctr = %q,%v,%v, want %d", v, ok, err, workers*rounds)
+			}
+		})
+	}
+}
+
 func TestValueLengths(t *testing.T) {
 	r := newRT(tle.PolicySTMCondVar)
 	s := New(r, Config{})

@@ -248,14 +248,28 @@ func minimize(m Model, ops []Op) []Op {
 
 // ---- Recorder ----
 
+// recShards is the number of independent op stores inside a Recorder.
+// Invocations from different clients land in different shards (client mod
+// recShards), so concurrent recording contends only on the logical clock's
+// atomic — never on a shared mutex — while op handles stay plain ints
+// (idx*recShards + shard).
+const recShards = 64
+
 // Recorder collects a concurrent history. Methods are safe for concurrent
 // use; each worker calls Invoke immediately before an operation and Complete
 // immediately after, so the logical clock order is consistent with real time.
 type Recorder struct {
-	clock     atomic.Int64
+	clock  atomic.Int64
+	shards [recShards]recShard
+}
+
+// recShard is one client bucket, padded so neighbouring shards' mutexes do
+// not share a cache line.
+type recShard struct {
 	mu        sync.Mutex
 	ops       []Op
 	discarded map[int]bool
+	_         [24]byte
 }
 
 // NewRecorder returns an empty recorder.
@@ -264,23 +278,27 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Invoke records the start of an operation and returns its handle.
 func (r *Recorder) Invoke(client int, kind, key string, input any) int {
 	ts := r.clock.Add(1)
-	r.mu.Lock()
-	id := len(r.ops)
-	r.ops = append(r.ops, Op{
+	si := uint(client) % recShards
+	s := &r.shards[si]
+	s.mu.Lock()
+	id := len(s.ops)*recShards + int(si)
+	s.ops = append(s.ops, Op{
 		Client: client, Call: ts, Kind: kind, Key: key, Input: input,
 	})
-	r.mu.Unlock()
+	s.mu.Unlock()
 	return id
 }
 
 // Complete records the response of a previously invoked operation.
 func (r *Recorder) Complete(id int, output any, ok bool) {
 	ts := r.clock.Add(1)
-	r.mu.Lock()
-	r.ops[id].Return = ts
-	r.ops[id].Output = output
-	r.ops[id].OK = ok
-	r.mu.Unlock()
+	s := &r.shards[id%recShards]
+	s.mu.Lock()
+	op := &s.ops[id/recShards]
+	op.Return = ts
+	op.Output = output
+	op.OK = ok
+	s.mu.Unlock()
 }
 
 // Discard removes a previously invoked operation from the history. Use it
@@ -288,12 +306,13 @@ func (r *Recorder) Complete(id int, output any, ok bool) {
 // server shed at admission control before reaching any critical section.
 // Discarding an op that might have run would mask lost updates.
 func (r *Recorder) Discard(id int) {
-	r.mu.Lock()
-	if r.discarded == nil {
-		r.discarded = make(map[int]bool)
+	s := &r.shards[id%recShards]
+	s.mu.Lock()
+	if s.discarded == nil {
+		s.discarded = make(map[int]bool)
 	}
-	r.discarded[id] = true
-	r.mu.Unlock()
+	s.discarded[id/recShards] = true
+	s.mu.Unlock()
 }
 
 // History returns the completed operations. Invoked-but-never-completed
@@ -301,13 +320,16 @@ func (r *Recorder) Discard(id int) {
 // such death as a failure on its own — unless it expected the death, in
 // which case Pending captures them.
 func (r *Recorder) History() []Op {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Op, 0, len(r.ops))
-	for id, o := range r.ops {
-		if o.Return != 0 && !r.discarded[id] {
-			out = append(out, o)
+	var out []Op
+	for si := range r.shards {
+		s := &r.shards[si]
+		s.mu.Lock()
+		for idx, o := range s.ops {
+			if o.Return != 0 && !s.discarded[idx] {
+				out = append(out, o)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -317,21 +339,29 @@ func (r *Recorder) History() []Op {
 // in-flight requests whose fate is unknown; feed them to Check alongside
 // History so the search may (but need not) linearize them.
 func (r *Recorder) Pending() []Op {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Op
-	for id, o := range r.ops {
-		if o.Return == 0 && !r.discarded[id] {
-			o.Pending = true
-			out = append(out, o)
+	for si := range r.shards {
+		s := &r.shards[si]
+		s.mu.Lock()
+		for idx, o := range s.ops {
+			if o.Return == 0 && !s.discarded[idx] {
+				o.Pending = true
+				out = append(out, o)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Len reports the number of recorded invocations.
 func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.ops)
+	n := 0
+	for si := range r.shards {
+		s := &r.shards[si]
+		s.mu.Lock()
+		n += len(s.ops)
+		s.mu.Unlock()
+	}
+	return n
 }

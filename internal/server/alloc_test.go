@@ -1,0 +1,119 @@
+package server
+
+import (
+	"testing"
+
+	"gotle/internal/htm"
+	"gotle/internal/kvstore"
+	"gotle/internal/tle"
+)
+
+// TestZeroAllocHotPath is the allocation gate for the serving path: with
+// warm per-connection buffers, decoding a request line, executing a get
+// or set, and rendering its response must not allocate. A regression
+// here multiplies directly into GC pressure at six-figure ops/sec, so
+// the gate is exact (0.0 allocs/op), not a budget.
+//
+// The gate covers the pieces the server owns end to end: field split +
+// parse (decoder), the solo get/set paths and the fused mutation path
+// (executor + kvstore + epoch), and response encoding. Socket I/O is
+// excluded — bufio and the kernel sit outside the op lifecycle.
+func TestZeroAllocHotPath(t *testing.T) {
+	r := tle.New(tle.PolicySTMCondVar, tle.Config{
+		MemWords: 1 << 20,
+		Observe:  true,
+		HTM:      htm.Config{EventAbortPerMillion: -1},
+	})
+	store := kvstore.New(r, kvstore.Config{Shards: 4})
+	s := New(r, store, Config{})
+	th := r.NewThread()
+	defer th.Release()
+
+	o := &op{done: make(chan struct{}, 1)}
+	var fields [][]byte
+
+	t.Run("decode", func(t *testing.T) {
+		lines := [][]byte{
+			[]byte("set somekey 42 0 5 noreply"),
+			[]byte("get somekey otherkey third"),
+			[]byte("delete somekey"),
+			[]byte("incr ctr 7"),
+		}
+		warm := func() {
+			for _, l := range lines {
+				fields = splitFields(l, fields[:0])
+				if err := parseCommandFields(fields, &o.cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		warm()
+		if n := testing.AllocsPerRun(200, warm); n != 0 {
+			t.Fatalf("decode path allocates %.1f times per 4 commands", n)
+		}
+	})
+
+	t.Run("set", func(t *testing.T) {
+		// Through the executor's batch path, exactly as the serving
+		// pipeline runs a queued mutation (solo or fused).
+		var (
+			bops    [maxFuse]kvstore.BatchOp
+			bres    [maxFuse]kvstore.BatchResult
+			sc      kvstore.BatchScratch
+			ackFree = make(chan *batchAck, 4)
+			run     = [1]*op{o}
+		)
+		key := []byte("allockey")
+		data := []byte("value")
+		one := func() {
+			o.cmd = Command{Op: OpSet, Key: key, Flags: 1}
+			o.data = data
+			s.executeBatch(th, run[:], bops[:0], bres[:], &sc, ackFree)
+			<-o.done
+			if len(o.resp) == 0 {
+				t.Fatal("empty response")
+			}
+			o.resp = nil
+		}
+		one()
+		if n := testing.AllocsPerRun(200, one); n != 0 {
+			t.Fatalf("executor set allocates %.1f/op", n)
+		}
+	})
+
+	t.Run("get", func(t *testing.T) {
+		o.cmd = Command{Op: OpGets, Keys: [][]byte{[]byte("allockey"), []byte("missing")}}
+		one := func() {
+			if resp := s.run(th, o); len(resp) == 0 {
+				t.Fatal("empty response")
+			}
+		}
+		one()
+		if n := testing.AllocsPerRun(200, one); n != 0 {
+			t.Fatalf("solo get allocates %.1f/op", n)
+		}
+	})
+
+	t.Run("fused", func(t *testing.T) {
+		var sc kvstore.BatchScratch
+		ops := make([]kvstore.BatchOp, 8)
+		res := make([]kvstore.BatchResult, 8)
+		keys := make([][]byte, 8)
+		for i := range keys {
+			keys[i] = []byte{'b', 'k', byte('0' + i)}
+		}
+		val := []byte("v")
+		one := func() {
+			for i := range ops {
+				ops[i] = kvstore.BatchOp{Verb: kvstore.BatchSet, Key: keys[i], Val: val}
+			}
+			if err := store.MutateBatch(th, ops, res, &sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		one()
+		if n := testing.AllocsPerRun(200, one); n != 0 {
+			t.Fatalf("fused batch allocates %.1f per 8-op batch", n)
+		}
+	})
+}

@@ -77,6 +77,8 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	pending []kind
+	num     []byte   // scratch for integer formatting
+	fields  [][]byte // scratch for reply-line splitting
 }
 
 // Dial connects.
@@ -122,12 +124,26 @@ func (c *Client) SendGet(withCas bool, keys ...string) error {
 	return err
 }
 
+// writeUint appends " <v>" to the request buffer without going through
+// fmt — the sender is loadgen's per-op hot path, and on a loaded box the
+// client's cycles come straight out of the server's.
+func (c *Client) writeUint(v uint64) {
+	c.num = strconv.AppendUint(c.num[:0], v, 10)
+	c.bw.WriteByte(' ')
+	c.bw.Write(c.num)
+}
+
 // SendStore queues set/add/replace/cas. verb is the wire verb; cas is
 // ignored unless verb == "cas".
 func (c *Client) SendStore(verb, key string, val []byte, flags uint32, cas uint64) error {
-	fmt.Fprintf(c.bw, "%s %s %d 0 %d", verb, key, flags, len(val))
+	c.bw.WriteString(verb)
+	c.bw.WriteByte(' ')
+	c.bw.WriteString(key)
+	c.writeUint(uint64(flags))
+	c.bw.WriteString(" 0")
+	c.writeUint(uint64(len(val)))
 	if verb == "cas" {
-		fmt.Fprintf(c.bw, " %d", cas)
+		c.writeUint(cas)
 	}
 	c.bw.WriteString("\r\n")
 	c.bw.Write(val)
@@ -143,7 +159,9 @@ func (c *Client) SendSet(key string, val []byte, flags uint32) error {
 
 // SendDelete queues a delete.
 func (c *Client) SendDelete(key string) error {
-	_, err := fmt.Fprintf(c.bw, "delete %s\r\n", key)
+	c.bw.WriteString("delete ")
+	c.bw.WriteString(key)
+	_, err := c.bw.WriteString("\r\n")
 	c.pending = append(c.pending, kDelete)
 	return err
 }
@@ -154,7 +172,11 @@ func (c *Client) SendIncr(key string, delta uint64, decr bool) error {
 	if decr {
 		verb = "decr"
 	}
-	_, err := fmt.Fprintf(c.bw, "%s %s %d\r\n", verb, key, delta)
+	c.bw.WriteString(verb)
+	c.bw.WriteByte(' ')
+	c.bw.WriteString(key)
+	c.writeUint(delta)
+	_, err := c.bw.WriteString("\r\n")
 	c.pending = append(c.pending, kIncr)
 	return err
 }
@@ -333,6 +355,47 @@ func errLine(line []byte) (string, bool) {
 	return "", false
 }
 
+// parseUint parses a decimal without converting to string first (the
+// strconv.ParseUint(string(b), ...) idiom allocates on every reply).
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		nv := v*10 + uint64(ch-'0')
+		if nv < v {
+			return 0, false
+		}
+		v = nv
+	}
+	return v, true
+}
+
+// splitFields splits line on single spaces into the reused dst (server
+// replies never use other whitespace or runs of separators).
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	for i := 0; i < len(line); {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
 func (c *Client) recvGet() (Response, error) {
 	var r Response
 	for {
@@ -347,19 +410,20 @@ func (c *Client) recvGet() (Response, error) {
 			r.Err = msg
 			return r, nil
 		}
-		f := bytes.Fields(line)
+		c.fields = splitFields(line, c.fields)
+		f := c.fields
 		if len(f) < 4 || !bytes.Equal(f[0], []byte("VALUE")) {
 			return r, fmt.Errorf("client: bad get reply line %q", line)
 		}
-		flags, err1 := strconv.ParseUint(string(f[2]), 10, 32)
-		n, err2 := strconv.Atoi(string(f[3]))
-		if err1 != nil || err2 != nil || n < 0 {
+		flags, ok1 := parseUint(f[2])
+		n, ok2 := parseUint(f[3])
+		if !ok1 || !ok2 || flags > 1<<32-1 {
 			return r, fmt.Errorf("client: bad get reply line %q", line)
 		}
 		it := Item{Key: string(f[1]), Flags: uint32(flags)}
 		if len(f) >= 5 {
-			cas, err := strconv.ParseUint(string(f[4]), 10, 64)
-			if err != nil {
+			cas, ok := parseUint(f[4])
+			if !ok {
 				return r, fmt.Errorf("client: bad cas in %q", line)
 			}
 			it.CAS = cas
@@ -384,7 +448,7 @@ func (c *Client) recvLine(k kind) (Response, error) {
 		return r, nil
 	}
 	if k == kIncr {
-		if v, perr := strconv.ParseUint(string(line), 10, 64); perr == nil {
+		if v, ok := parseUint(line); ok {
 			r.Status = "VALUE"
 			r.Value = v
 			return r, nil
@@ -394,7 +458,22 @@ func (c *Client) recvLine(k kind) (Response, error) {
 		r.Version = string(line[len("VERSION "):])
 		return r, nil
 	}
-	r.Status = string(line)
+	// Intern the fixed status vocabulary (a string(line) conversion in a
+	// switch does not allocate) so ack-heavy pipelines stay alloc-free.
+	switch string(line) {
+	case "STORED":
+		r.Status = "STORED"
+	case "NOT_STORED":
+		r.Status = "NOT_STORED"
+	case "EXISTS":
+		r.Status = "EXISTS"
+	case "NOT_FOUND":
+		r.Status = "NOT_FOUND"
+	case "DELETED":
+		r.Status = "DELETED"
+	default:
+		r.Status = string(line)
+	}
 	return r, nil
 }
 

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gotle/internal/server/client"
+)
+
+// dialRaw opens a raw protocol connection for tests that need exact
+// control of wire framing (noreply, hand-built pipelines).
+func dialRaw(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, bufio.NewReader(c)
+}
+
+func readReply(t *testing.T, br *bufio.Reader) string {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// TestFusedNoReplyRuns pins fusion across noreply mutations: a pipelined
+// run of noreply sets produces no responses at all, the next replying
+// command answers immediately, and every noreply write is applied.
+func TestFusedNoReplyRuns(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, br := dialRaw(t, addr)
+
+	var b strings.Builder
+	const n = 16
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "set nr%d 0 0 2 noreply\r\nv%d\r\n", i, i%10)
+	}
+	b.WriteString("get nr7\r\n")
+	if _, err := c.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	// The one and only response must be the get's VALUE block: any
+	// STORED leaking from a fused noreply op would land here first.
+	if got := readReply(t, br); got != "VALUE nr7 0 2" {
+		t.Fatalf("first reply = %q, want the get header", got)
+	}
+	if got := readReply(t, br); got != "v7" {
+		t.Fatalf("value = %q", got)
+	}
+	if got := readReply(t, br); got != "END" {
+		t.Fatalf("trailer = %q", got)
+	}
+
+	// Every noreply set must have applied.
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < n; i++ {
+		it, ok, err := cl.Get(fmt.Sprintf("nr%d", i))
+		if err != nil || !ok || string(it.Value) != fmt.Sprintf("v%d", i%10) {
+			t.Fatalf("nr%d = %+v, %v, %v", i, it, ok, err)
+		}
+	}
+}
+
+// TestFusedMixedPipelineOrder pins response ordering and per-op status
+// isolation through the fusion path: a pipelined burst mixing stores,
+// deletes, incrs, misses and interleaved gets must answer strictly in
+// order with each op's own status.
+func TestFusedMixedPipelineOrder(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, br := dialRaw(t, addr)
+
+	req := "set k1 0 0 1\r\na\r\n" +
+		"add k1 0 0 1\r\nb\r\n" + // exists: NOT_STORED
+		"set ctr 0 0 1\r\n5\r\n" +
+		"incr ctr 10\r\n" +
+		"delete k1\r\n" +
+		"delete k1\r\n" + // now a miss
+		"get ctr\r\n" +
+		"replace missing 0 0 1\r\nz\r\n" +
+		"decr ctr 100\r\n"
+	if _, err := c.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"STORED", "NOT_STORED", "STORED", "15",
+		"DELETED", "NOT_FOUND",
+		"VALUE ctr 0 2", "15", "END",
+		"NOT_STORED", "0",
+	}
+	for i, w := range want {
+		if got := readReply(t, br); got != w {
+			t.Fatalf("reply %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestFusionCountersAdvance drives enough pipelined mutation bursts at
+// one connection that the executor must drain multi-op batches, then
+// checks the stats verb exposes the fusion and grace counters.
+func TestFusionCountersAdvance(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const bursts, width = 50, 16
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < width; i++ {
+			if err := cl.SendSet(fmt.Sprintf("f%d", i), []byte("x"), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < width; i++ {
+			rsp, err := cl.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rsp.Stored() && !rsp.Busy() {
+				t.Fatalf("burst %d op %d: %+v", b, i, rsp)
+			}
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"fused_batches", "fused_ops", "quiesces", "shared_grace", "scans_avoided"} {
+		if _, ok := st[k]; !ok {
+			t.Fatalf("stats missing %q", k)
+		}
+	}
+	fb, _ := strconv.ParseUint(st["fused_batches"], 10, 64)
+	fo, _ := strconv.ParseUint(st["fused_ops"], 10, 64)
+	if fb == 0 || fo < 2*fb {
+		t.Fatalf("fusion never fired across %d pipelined bursts: fused_batches=%d fused_ops=%d",
+			bursts, fb, fo)
+	}
+	t.Logf("fused_batches=%d fused_ops=%d (mean width %.1f)", fb, fo, float64(fo)/float64(fb))
+}

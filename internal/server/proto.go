@@ -112,11 +112,53 @@ const maxDataLen = 4 * kvstore.MaxValLen
 
 // ParseCommand parses one request line (without the trailing CRLF).
 func ParseCommand(line []byte) (Command, error) {
-	f := bytes.Fields(line)
-	if len(f) == 0 {
-		return Command{}, ErrBadCommand
-	}
 	var c Command
+	if err := parseCommandFields(splitFields(line, nil), &c); err != nil {
+		return Command{}, err
+	}
+	return c, nil
+}
+
+// splitFields is bytes.Fields restricted to the protocol's ASCII
+// separators, appending into dst — the decoder reuses one scratch slice
+// per connection so field splitting never allocates on the hot path.
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && !asciiSpace(line[j]) {
+			j++
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
+func asciiSpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// parseCommandFields parses a pre-split request line into c, reusing c's
+// Keys backing array across calls. Key slices alias the line buffer; the
+// caller owns that buffer for the command's lifetime.
+func parseCommandFields(f [][]byte, c *Command) error {
+	keys := c.Keys[:0]
+	*c = Command{Keys: keys}
+	if len(f) == 0 {
+		c.Keys = nil
+		return ErrBadCommand
+	}
 	switch {
 	case bytes.Equal(f[0], []byte("get")), bytes.Equal(f[0], []byte("gets")):
 		c.Op = OpGet
@@ -124,15 +166,15 @@ func ParseCommand(line []byte) (Command, error) {
 			c.Op = OpGets
 		}
 		if len(f) < 2 {
-			return Command{}, clientErr("get requires at least one key")
+			return clientErr("get requires at least one key")
 		}
 		for _, k := range f[1:] {
 			if err := checkKey(k); err != nil {
-				return Command{}, err
+				return err
 			}
 			c.Keys = append(c.Keys, k)
 		}
-		return c, nil
+		return nil
 
 	case bytes.Equal(f[0], []byte("set")), bytes.Equal(f[0], []byte("add")), bytes.Equal(f[0], []byte("replace")):
 		switch f[0][0] {
@@ -143,22 +185,22 @@ func ParseCommand(line []byte) (Command, error) {
 		default:
 			c.Op = OpReplace
 		}
-		return parseStorage(&c, f, false)
+		return parseStorage(c, f, false)
 
 	case bytes.Equal(f[0], []byte("cas")):
 		c.Op = OpCas
-		return parseStorage(&c, f, true)
+		return parseStorage(c, f, true)
 
 	case bytes.Equal(f[0], []byte("delete")):
 		c.Op = OpDelete
 		if len(f) < 2 || len(f) > 3 {
-			return Command{}, clientErr("delete <key> [noreply]")
+			return clientErr("delete <key> [noreply]")
 		}
 		if err := checkKey(f[1]); err != nil {
-			return Command{}, err
+			return err
 		}
 		c.Key = f[1]
-		return parseNoReply(&c, f[2:])
+		return parseNoReply(c, f[2:])
 
 	case bytes.Equal(f[0], []byte("incr")), bytes.Equal(f[0], []byte("decr")):
 		c.Op = OpIncr
@@ -166,75 +208,75 @@ func ParseCommand(line []byte) (Command, error) {
 			c.Op = OpDecr
 		}
 		if len(f) < 3 || len(f) > 4 {
-			return Command{}, clientErr("%s <key> <value> [noreply]", f[0])
+			return clientErr("%s <key> <value> [noreply]", f[0])
 		}
 		if err := checkKey(f[1]); err != nil {
-			return Command{}, err
+			return err
 		}
 		c.Key = f[1]
 		d, ok := parseUint(f[2], 64)
 		if !ok {
-			return Command{}, clientErr("invalid numeric delta argument")
+			return clientErr("invalid numeric delta argument")
 		}
 		c.Delta = d
-		return parseNoReply(&c, f[3:])
+		return parseNoReply(c, f[3:])
 
 	case bytes.Equal(f[0], []byte("stats")):
 		if len(f) > 1 {
-			return Command{}, clientErr("stats sub-commands are not supported")
+			return clientErr("stats sub-commands are not supported")
 		}
 		c.Op = OpStats
-		return c, nil
+		return nil
 
 	case bytes.Equal(f[0], []byte("version")):
 		if len(f) > 1 {
-			return Command{}, ErrBadCommand
+			return ErrBadCommand
 		}
 		c.Op = OpVersion
-		return c, nil
+		return nil
 
 	case bytes.Equal(f[0], []byte("quit")):
 		c.Op = OpQuit
-		return c, nil
+		return nil
 
 	default:
-		return Command{}, ErrBadCommand
+		return ErrBadCommand
 	}
 }
 
 // parseStorage handles "<verb> <key> <flags> <exptime> <bytes> [cas] [noreply]".
-func parseStorage(c *Command, f [][]byte, withCas bool) (Command, error) {
+func parseStorage(c *Command, f [][]byte, withCas bool) error {
 	need := 5
 	if withCas {
 		need = 6
 	}
 	if len(f) < need || len(f) > need+1 {
-		return Command{}, clientErr("%s requires %d arguments", f[0], need-1)
+		return clientErr("%s requires %d arguments", f[0], need-1)
 	}
 	if err := checkKey(f[1]); err != nil {
-		return Command{}, err
+		return err
 	}
 	c.Key = f[1]
 	flags, ok := parseUint(f[2], 32)
 	if !ok {
-		return Command{}, clientErr("bad flags")
+		return clientErr("bad flags")
 	}
 	c.Flags = uint32(flags)
 	exp, ok := parseInt(f[3])
 	if !ok {
-		return Command{}, clientErr("bad exptime")
+		return clientErr("bad exptime")
 	}
 	c.Exptime = exp
 	n, ok := parseUint(f[4], 31)
 	if !ok || n > maxDataLen {
-		return Command{}, clientErr("bad data chunk length")
+		return clientErr("bad data chunk length")
 	}
 	c.Bytes = int(n)
 	rest := f[5:]
 	if withCas {
 		cas, ok := parseUint(f[5], 64)
 		if !ok {
-			return Command{}, clientErr("bad cas value")
+			return clientErr("bad cas value")
 		}
 		c.Cas = cas
 		rest = f[6:]
@@ -242,18 +284,18 @@ func parseStorage(c *Command, f [][]byte, withCas bool) (Command, error) {
 	return parseNoReply(c, rest)
 }
 
-func parseNoReply(c *Command, rest [][]byte) (Command, error) {
+func parseNoReply(c *Command, rest [][]byte) error {
 	switch len(rest) {
 	case 0:
-		return *c, nil
+		return nil
 	case 1:
 		if !bytes.Equal(rest[0], []byte("noreply")) {
-			return Command{}, clientErr("bad trailing argument %q", rest[0])
+			return clientErr("bad trailing argument %q", rest[0])
 		}
 		c.NoReply = true
-		return *c, nil
+		return nil
 	default:
-		return Command{}, clientErr("trailing arguments")
+		return clientErr("trailing arguments")
 	}
 }
 

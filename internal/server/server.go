@@ -107,6 +107,12 @@ type Server struct {
 	protoErrs  atomic.Uint64
 	cmdGet     atomic.Uint64
 	cmdSet     atomic.Uint64
+
+	// Batch-fusion counters: fusedBatches counts multi-op transactions,
+	// fusedOps the mutations they carried (fusedOps/fusedBatches = mean
+	// fusion width).
+	fusedBatches atomic.Uint64
+	fusedOps     atomic.Uint64
 }
 
 // New builds a server over store. Call Listen then Serve (or Start).
@@ -235,21 +241,54 @@ func (s *Server) Shutdown(timeout time.Duration) {
 
 // op is one pipelined request: parsed by the decoder, resolved by the
 // executor (or pre-resolved when shed or malformed), written by the
-// writer in arrival order.
+// writer in arrival order and then recycled into the connection's pool —
+// in steady state an op's buffers are allocated once and reused for the
+// life of the connection.
 type op struct {
 	cmd  Command
-	data []byte
-	resp []byte
-	done chan struct{}
+	data []byte // value block (aliases dataB)
+	resp []byte // wire response (static, or aliases respB)
+	done chan struct{} // cap-1 signal, reused across recycles
 	quit bool
+
+	// Durability handles, waited by the writer strictly after the
+	// executor has moved on: tk for a solo mutation, batch for a fused
+	// run (shared by every op in the run).
+	tk    wal.Ticket
+	batch *batchAck
+
+	// Op-owned storage, grown on demand and kept across recycling.
+	lineB []byte // request line; cmd.Key/cmd.Keys alias it
+	dataB []byte
+	respB []byte
+	valB  []byte // get-path value scratch
 }
 
 func (o *op) resolve(resp []byte) {
 	if !o.cmd.NoReply {
 		o.resp = resp
 	}
-	close(o.done)
+	o.done <- struct{}{}
 }
+
+// batchAck is the shared durability handle of one fused batch: one WAL
+// ticket per touched shard. The writer waits the tickets when it reaches
+// the batch's first op and recycles the handle when the last op passes.
+// Only the writer touches err/waited/pending (the done signal orders the
+// executor's ticket writes before them).
+type batchAck struct {
+	tickets []wal.Ticket
+	free    chan *batchAck
+	err     error
+	waited  bool
+	pending int
+}
+
+// maxFuse caps how many queued mutations fuse into one transaction. Wider
+// batches amortize more commit/quiescence overhead but hold shard locks
+// longer and inflate HTM footprints; 32 keeps a fused transaction well
+// inside the simulated write-set budget at default value sizes.
+const maxFuse = 32
 
 var (
 	respError    = []byte("ERROR\r\n")
@@ -274,39 +313,105 @@ func (s *Server) handleConn(c net.Conn) {
 
 	execQ := make(chan *op, s.cfg.QueueDepth)
 	respQ := make(chan *op, 2*s.cfg.QueueDepth)
+	// Op pool. Every live op is in respQ or in one goroutine's hands, so
+	// respQ's capacity plus slack bounds the population: the decoder
+	// blocks on the pool only when it would block on respQ anyway, and
+	// the writer's recycle can never overflow it.
+	free := make(chan *op, cap(respQ)+4)
+	for i := 0; i < cap(free); i++ {
+		free <- &op{done: make(chan struct{}, 1)}
+	}
 
-	// Executor: one tm.Thread per connection, critical sections in
-	// arrival order.
+	// Executor: one tm.Thread per connection. It drains whatever the
+	// decoder has queued (up to maxFuse) and fuses adjacent mutations
+	// into single transactions; order within the queue is preserved.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		th := s.r.NewThread()
 		defer th.Release()
-		for o := range execQ {
-			o.resolve(s.execute(th, o))
-			s.queued.Add(-1)
+		var (
+			run     [maxFuse]*op
+			bops    [maxFuse]kvstore.BatchOp
+			bres    [maxFuse]kvstore.BatchResult
+			sc      kvstore.BatchScratch
+			ackFree = make(chan *batchAck, 4)
+		)
+		closed := false
+		for !closed {
+			o, ok := <-execQ
+			if !ok {
+				return
+			}
+			n := 1
+			run[0] = o
+		drain:
+			for n < maxFuse {
+				select {
+				case o2, ok2 := <-execQ:
+					if !ok2 {
+						closed = true
+						break drain
+					}
+					run[n] = o2
+					n++
+				default:
+					break drain
+				}
+			}
+			s.executeBatch(th, run[:n], bops[:0], bres[:], &sc, ackFree)
+			s.queued.Add(-int64(n))
 		}
 	}()
 
 	// Writer: responses strictly in request order; owns the socket close.
+	// The durability gate lives here, not in the executor: waiting out a
+	// group-commit fsync must overlap the execution of later ops, or the
+	// fsync window would serialize the whole pipeline.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer c.Close()
 		bw := bufio.NewWriter(c)
+		broken := false
 		for o := range respQ {
 			<-o.done
-			if o.resp != nil {
-				if _, err := bw.Write(o.resp); err != nil {
+			resp := o.resp
+			if a := o.batch; a != nil {
+				if !a.waited {
+					a.waited = true
+					for _, tk := range a.tickets {
+						if a.err = tk.Wait(); a.err != nil {
+							break
+						}
+					}
+				}
+				if a.err != nil && resp != nil {
+					// Applied in memory but not durable: refuse the ack.
+					resp = serverError(a.err)
+				}
+				if a.pending--; a.pending == 0 {
+					select {
+					case a.free <- a:
+					default:
+					}
+				}
+			} else if err := o.tk.Wait(); err != nil && resp != nil {
+				resp = serverError(err)
+			}
+			if resp != nil && !broken {
+				if _, err := bw.Write(resp); err != nil {
 					// Client gone: keep draining respQ so the decoder
 					// and executor never block on a dead writer.
-					continue
+					broken = true
 				}
 			}
-			if len(respQ) == 0 {
+			if len(respQ) == 0 && !broken {
 				bw.Flush()
 			}
-			if o.quit {
+			quit := o.quit
+			recycle(o, free)
+			if quit {
 				break
 			}
 		}
@@ -317,30 +422,192 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 	}()
 
-	s.decodeLoop(c, execQ, respQ)
+	s.decodeLoop(c, execQ, respQ, free)
 	close(execQ)
 	close(respQ)
 }
 
-// decodeLoop reads commands until EOF, error, quit, or drain.
-func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op) {
+// recycle returns a written op to the connection's pool with its
+// per-request state cleared and its grown buffers kept.
+func recycle(o *op, free chan *op) {
+	o.data = nil
+	o.resp = nil
+	o.quit = false
+	o.tk = wal.Ticket{}
+	o.batch = nil
+	select {
+	case free <- o:
+	default:
+	}
+}
+
+// executeBatch runs a drained slice of queued ops in order, fusing each
+// maximal run of adjacent mutations into one MutateBatch transaction and
+// executing everything else (gets, stats, oversized values) solo. A run
+// of one still goes through the batch entry — it degenerates to that
+// shard's own critical section, but reuses the scratch's bound closures,
+// keeping solo mutations allocation-free too.
+func (s *Server) executeBatch(th *tm.Thread, ops []*op, bops []kvstore.BatchOp, bres []kvstore.BatchResult, sc *kvstore.BatchScratch, ackFree chan *batchAck) {
+	i := 0
+	for i < len(ops) {
+		if !fusible(ops[i]) {
+			s.execute(th, ops[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && fusible(ops[j]) {
+			j++
+		}
+		s.executeFused(th, ops[i:j], bops, bres, sc, ackFree)
+		i = j
+	}
+}
+
+// fusible reports whether an op may join a fused mutation run. Oversized
+// values stay solo so the "object too large" reply comes from the
+// existing path without entering a transaction.
+func fusible(o *op) bool {
+	switch o.cmd.Op {
+	case OpSet, OpAdd, OpReplace, OpCas:
+		return len(o.data) <= kvstore.MaxValLen
+	case OpDelete, OpIncr, OpDecr:
+		return true
+	}
+	return false
+}
+
+// executeFused runs one run of adjacent mutations as a single fused
+// transaction. On ErrUnfusable (mixed mechanisms or a lock-based policy)
+// or any engine error it falls back to per-op execution, which handles
+// every case the fused path does.
+func (s *Server) executeFused(th *tm.Thread, run []*op, bops []kvstore.BatchOp, bres []kvstore.BatchResult, sc *kvstore.BatchScratch, ackFree chan *batchAck) {
+	stores := uint64(0)
+	for _, o := range run {
+		cmd := &o.cmd
+		b := kvstore.BatchOp{Key: cmd.Key}
+		switch cmd.Op {
+		case OpSet, OpAdd, OpReplace, OpCas:
+			stores++
+			b.Verb = kvstore.BatchVerb(cmd.Op - OpSet)
+			b.Val = o.data
+			b.Flags = cmd.Flags
+			b.Cas = cmd.Cas
+		case OpDelete:
+			b.Verb = kvstore.BatchDelete
+		case OpIncr:
+			b.Verb = kvstore.BatchIncr
+			b.Delta = cmd.Delta
+		default: // OpDecr; fusible admits nothing else
+			b.Verb = kvstore.BatchDecr
+			b.Delta = cmd.Delta
+		}
+		bops = append(bops, b)
+	}
+	res := bres[:len(bops)]
+	if err := s.store.MutateBatch(th, bops, res, sc); err != nil {
+		// ErrUnfusable or an engine fault: the solo path handles every
+		// case (and does its own counting).
+		for _, o := range run {
+			s.execute(th, o)
+		}
+		return
+	}
+	s.cmdSet.Add(stores)
+	if len(run) > 1 {
+		s.fusedBatches.Add(1)
+		s.fusedOps.Add(uint64(len(run)))
+	}
+	var ack *batchAck
+	if len(sc.Tickets) > 0 {
+		select {
+		case ack = <-ackFree:
+		default:
+			ack = &batchAck{free: ackFree}
+		}
+		ack.tickets = append(ack.tickets[:0], sc.Tickets...)
+		ack.err = nil
+		ack.waited = false
+		ack.pending = len(run)
+	}
+	for k, o := range run {
+		o.batch = ack
+		o.resolve(fusedResp(o, &res[k]))
+	}
+}
+
+// fusedResp renders one fused op's wire response from its BatchResult.
+func fusedResp(o *op, r *kvstore.BatchResult) []byte {
+	if r.Err != nil {
+		// Unreachable in practice: the protocol layer already enforced
+		// key and value bounds. Answer like the solo path would.
+		if r.Err == kvstore.ErrBadVal {
+			return respTooBig
+		}
+		return serverError(r.Err)
+	}
+	switch o.cmd.Op {
+	case OpSet, OpAdd, OpReplace, OpCas:
+		switch r.Store {
+		case kvstore.Stored:
+			return respStored
+		case kvstore.CASExists:
+			return respExists
+		case kvstore.CASNotFound:
+			return respNotFound
+		default:
+			return respNotSt
+		}
+	case OpDelete:
+		if r.Removed {
+			return respDeleted
+		}
+		return respNotFound
+	default: // OpIncr, OpDecr
+		switch r.Incr {
+		case kvstore.IncrStored:
+			o.respB = strconv.AppendUint(o.respB[:0], r.NewVal, 10)
+			o.respB = append(o.respB, '\r', '\n')
+			return o.respB
+		case kvstore.IncrNaN:
+			return respNaN
+		default:
+			return respNotFound
+		}
+	}
+}
+
+// decodeLoop reads commands until EOF, error, quit, or drain. Each op is
+// drawn from the connection pool; its line, data, and parsed command all
+// live in op-owned buffers, so a warm connection decodes without
+// allocating.
+func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op, free chan *op) {
 	br := bufio.NewReaderSize(c, 16<<10)
+	var fields [][]byte
 	for {
-		line, err := readLine(br)
+		o := <-free
+		line, err := readLineInto(br, o.lineB[:0])
 		if err != nil {
+			recycle(o, free)
 			return
 		}
-		cmd, perr := ParseCommand(line)
-		o := &op{cmd: cmd, done: make(chan struct{})}
-		if perr == nil && cmd.Op.HasData() {
-			buf := make([]byte, cmd.Bytes+2)
+		o.lineB = line
+		fields = splitFields(line, fields[:0])
+		perr := parseCommandFields(fields, &o.cmd)
+		if perr == nil && o.cmd.Op.HasData() {
+			need := o.cmd.Bytes + 2
+			if cap(o.dataB) < need {
+				o.dataB = make([]byte, need)
+			}
+			buf := o.dataB[:need]
 			if _, err := io.ReadFull(br, buf); err != nil {
+				recycle(o, free)
 				return
 			}
-			if buf[cmd.Bytes] != '\r' || buf[cmd.Bytes+1] != '\n' {
+			if buf[o.cmd.Bytes] != '\r' || buf[o.cmd.Bytes+1] != '\n' {
 				perr = clientErr("bad data chunk")
 			}
-			o.data = buf[:cmd.Bytes]
+			o.data = buf[:o.cmd.Bytes]
 		}
 		if perr != nil {
 			s.protoErrs.Add(1)
@@ -350,13 +617,14 @@ func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op) {
 			} else {
 				o.resp = respError
 			}
-			close(o.done)
+			o.cmd.NoReply = false
+			o.done <- struct{}{}
 			respQ <- o
 			continue
 		}
-		if cmd.Op == OpQuit {
+		if o.cmd.Op == OpQuit {
 			o.quit = true
-			close(o.done)
+			o.done <- struct{}{}
 			respQ <- o
 			return
 		}
@@ -372,9 +640,11 @@ func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op) {
 	}
 }
 
-// readLine reads one CRLF (or bare LF) terminated line, bounded by the
-// reader's buffer size; over-long lines kill the connection.
-func readLine(br *bufio.Reader) ([]byte, error) {
+// readLineInto reads one CRLF (or bare LF) terminated line into dst,
+// bounded by the reader's buffer size; over-long lines kill the
+// connection. The copy out of bufio's reused window into the op-owned
+// buffer is what lets parsed keys ride through the pipeline.
+func readLineInto(br *bufio.Reader, dst []byte) ([]byte, error) {
 	sl, err := br.ReadSlice('\n')
 	if err != nil {
 		return nil, err
@@ -383,21 +653,27 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 	if n := len(sl); n > 0 && sl[n-1] == '\r' {
 		sl = sl[:n-1]
 	}
-	// ReadSlice's buffer is reused by the next read, but parsed commands
-	// (keys, deltas) outlive it in the pipeline: copy.
-	return append([]byte(nil), sl...), nil
+	return append(dst, sl...), nil
 }
 
 // execute runs one op's critical sections on the connection's thread and
-// returns the wire response.
-func (s *Server) execute(th *tm.Thread, o *op) []byte {
+// resolves it. Mutations leave their durability ticket in o.tk for the
+// writer; responses are static slices or land in op-owned buffers.
+func (s *Server) execute(th *tm.Thread, o *op) {
+	o.resolve(s.run(th, o))
+}
+
+func (s *Server) run(th *tm.Thread, o *op) []byte {
 	cmd := &o.cmd
 	switch cmd.Op {
 	case OpGet, OpGets:
 		s.cmdGet.Add(uint64(len(cmd.Keys)))
-		var out []byte
+		out := o.respB[:0]
 		for _, k := range cmd.Keys {
-			it, ok, err := s.store.GetItem(th, k)
+			var it kvstore.Item
+			var ok bool
+			var err error
+			o.valB, it, ok, err = s.store.GetItemAppend(th, k, o.valB[:0])
 			if err != nil {
 				return serverError(err)
 			}
@@ -418,7 +694,9 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 			out = append(out, it.Value...)
 			out = append(out, '\r', '\n')
 		}
-		return append(out, respEnd...)
+		out = append(out, respEnd...)
+		o.respB = out
+		return out
 
 	case OpSet, OpAdd, OpReplace, OpCas:
 		s.cmdSet.Add(1)
@@ -431,13 +709,14 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 			if err != nil {
 				return serverError(err)
 			}
-			return durable(respStored, tk)
+			o.tk = tk
+			return respStored
 		case OpAdd:
 			ok, tk, err := s.store.AddD(th, cmd.Key, o.data, cmd.Flags)
-			return durableStoredOr(ok, tk, err, respNotSt)
+			return storedOr(o, ok, tk, err, respNotSt)
 		case OpReplace:
 			ok, tk, err := s.store.ReplaceD(th, cmd.Key, o.data, cmd.Flags)
-			return durableStoredOr(ok, tk, err, respNotSt)
+			return storedOr(o, ok, tk, err, respNotSt)
 		default:
 			st, tk, err := s.store.CompareAndSwapD(th, cmd.Key, o.data, cmd.Flags, cmd.Cas)
 			if err != nil {
@@ -445,7 +724,8 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 			}
 			switch st {
 			case kvstore.Stored:
-				return durable(respStored, tk)
+				o.tk = tk
+				return respStored
 			case kvstore.CASExists:
 				return respExists
 			case kvstore.CASNotFound:
@@ -461,7 +741,8 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 			return serverError(err)
 		}
 		if ok {
-			return durable(respDeleted, tk)
+			o.tk = tk
+			return respDeleted
 		}
 		return respNotFound
 
@@ -472,7 +753,10 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 		}
 		switch st {
 		case kvstore.IncrStored:
-			return durable(append(strconv.AppendUint(nil, v, 10), '\r', '\n'), tk)
+			o.tk = tk
+			o.respB = strconv.AppendUint(o.respB[:0], v, 10)
+			o.respB = append(o.respB, '\r', '\n')
+			return o.respB
 		case kvstore.IncrNaN:
 			return respNaN
 		default:
@@ -483,33 +767,27 @@ func (s *Server) execute(th *tm.Thread, o *op) []byte {
 		return s.statsResponse(th)
 
 	case OpVersion:
-		return []byte("VERSION " + s.cfg.Version + "\r\n")
+		o.respB = append(o.respB[:0], "VERSION "...)
+		o.respB = append(o.respB, s.cfg.Version...)
+		o.respB = append(o.respB, '\r', '\n')
+		return o.respB
 
 	default:
 		return respError
 	}
 }
 
-// durable gates resp on the mutation's durability ticket: the executor
-// calls it strictly after the critical section returns, so the group-
-// commit fsync wait never runs inside a transaction or under the serial
-// lock. With no WAL attached the ticket is zero and Wait is free.
-func durable(resp []byte, tk wal.Ticket) []byte {
-	if err := tk.Wait(); err != nil {
-		// The mutation is applied in memory but not durable (log write or
-		// fsync failed, or the log is closing). Refuse the ack: an acked
-		// response must always survive a crash.
-		return serverError(err)
-	}
-	return resp
-}
-
-func durableStoredOr(ok bool, tk wal.Ticket, err error, miss []byte) []byte {
+// storedOr sets the durability ticket and answers STORED on success,
+// miss otherwise. The writer waits the ticket before acking (an acked
+// response must always survive a crash); with no WAL the ticket is zero
+// and the wait is free.
+func storedOr(o *op, ok bool, tk wal.Ticket, err error, miss []byte) []byte {
 	if err != nil {
 		return serverError(err)
 	}
 	if ok {
-		return durable(respStored, tk)
+		o.tk = tk
+		return respStored
 	}
 	return miss
 }
@@ -549,6 +827,13 @@ func (s *Server) statsResponse(th *tm.Thread) []byte {
 	u("shed_ops", s.shedOps.Load())
 	u("shed_connections", s.shedConns.Load())
 	u("protocol_errors", s.protoErrs.Load())
+	u("fused_batches", s.fusedBatches.Load())
+	u("fused_ops", s.fusedOps.Load())
+
+	es := s.r.Engine().Snapshot()
+	u("quiesces", es.Quiesces)
+	u("shared_grace", es.SharedGrace)
+	u("scans_avoided", es.ScansAvoided)
 
 	if l := s.cfg.WAL; l != nil {
 		ws := l.Stats()

@@ -148,6 +148,16 @@ func (t *Thread) SharedGrace(scanAvoided bool) {
 	}
 }
 
+// SharedGraceBatch records n quiesce obligations retired together by a
+// single grace period (deferred reclamation): each counts as shared, and
+// as an avoided scan — the contributing commits never touched a slot.
+func (t *Thread) SharedGraceBatch(n uint64) {
+	if n > 0 {
+		t.c.sharedGrace.Add(n)
+		t.c.scansAvoided.Add(n)
+	}
+}
+
 // ReadsDeduped records n duplicate read-set entries suppressed by the STM's
 // read-set deduplication.
 func (t *Thread) ReadsDeduped(n uint64) {

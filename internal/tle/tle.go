@@ -19,6 +19,7 @@
 package tle
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -119,6 +120,12 @@ type Config struct {
 	// controller samples. Off by default: per-operation atomic adds on a
 	// shared counter line are measurable on hot uncontended paths.
 	Observe bool
+	// DeferredReclaim enables the engine's batched background reclamation
+	// of transactionally freed blocks (tm.Config.DeferredReclaim): freeing
+	// commits that skip policy quiescence hand their blocks to a reclaimer
+	// that retires an accumulation window's worth under one shared grace
+	// period. Call Runtime.Close when done to stop the reclaimer.
+	DeferredReclaim bool
 }
 
 // Tracer observes critical-section structure for analysis tools.
@@ -146,12 +153,13 @@ type Runtime struct {
 // runtime via Mutex.SetPolicy).
 func New(policy Policy, cfg Config) *Runtime {
 	ecfg := tm.Config{
-		MemWords:     cfg.MemWords,
-		MaxRetries:   cfg.MaxRetries,
-		OrecSizeLog2: cfg.OrecSizeLog2,
-		StripeShift:  cfg.StripeShift,
-		HTM:          cfg.HTM,
-		Injector:     cfg.FaultInjector,
+		MemWords:        cfg.MemWords,
+		MaxRetries:      cfg.MaxRetries,
+		OrecSizeLog2:    cfg.OrecSizeLog2,
+		StripeShift:     cfg.StripeShift,
+		HTM:             cfg.HTM,
+		Injector:        cfg.FaultInjector,
+		DeferredReclaim: cfg.DeferredReclaim,
 	}
 	switch policy {
 	case PolicyPthread:
@@ -204,6 +212,10 @@ func (r *Runtime) Supports(p Policy) bool {
 // Engine exposes the underlying TM engine (heap access, stats).
 func (r *Runtime) Engine() *tm.Engine { return r.engine }
 
+// Close stops the engine's background work (the deferred reclaimer),
+// retiring any parked blocks first. No-op without Config.DeferredReclaim.
+func (r *Runtime) Close() { r.engine.Close() }
+
 // NewThread registers a worker thread.
 func (r *Runtime) NewThread() *tm.Thread { return r.engine.NewThread() }
 
@@ -233,7 +245,10 @@ type Mutex struct {
 	// Section VII.A ("for queues that are expected to be un-contended,
 	// more retries before serialization might be appropriate").
 	retries int
-	pad     [4]uint64 //nolint:unused // keep mutexes off each other's lines
+	// resolveFn is the bound method value of resolve, created once:
+	// building it inline in Do would allocate on every critical section.
+	resolveFn func() (tm.Mech, bool, bool)
+	pad       [4]uint64 //nolint:unused // keep mutexes off each other's lines
 }
 
 // LockNamer is an optional extension of Tracer. When the configured
@@ -253,6 +268,7 @@ func (r *Runtime) NewMutex(name string) *Mutex {
 	mid := int(r.nextMID)
 	r.midMu.Unlock()
 	m := &Mutex{r: r, mid: mid, name: name}
+	m.resolveFn = m.resolve
 	m.policy.Store(int32(r.policy))
 	if r.observe {
 		m.obs = &stats.Observer{}
@@ -331,7 +347,7 @@ func (m *Mutex) Do(th *tm.Thread, body func(tx tm.Tx) error) error {
 		}
 		err := m.r.engine.AtomicOpts(th, tm.CallOpts{
 			Retries: m.retries,
-			Resolve: m.resolve,
+			Resolve: m.resolveFn,
 			Obs:     m.obs,
 		}, body)
 		if err == tm.ErrStale {
@@ -368,6 +384,109 @@ func (m *Mutex) resolve() (tm.Mech, bool, bool) {
 // transactional contract.
 func (m *Mutex) Coalesce(th *tm.Thread, body func(tx tm.Tx) error) error {
 	return m.Do(th, body)
+}
+
+// ErrUnfusable is returned by DoAll when the mutexes cannot execute as one
+// transaction right now (a mutex is lock-based, or two mutexes resolve to
+// different TM mechanisms). The caller should fall back to per-mutex Do
+// calls; the condition is usually transient (the adaptive controller is
+// mid-ladder) and DoAll may succeed again later.
+var ErrUnfusable = errors.New("tle: mutexes cannot fuse into one transaction")
+
+// DoAll executes body as ONE critical section spanning every mutex in ms —
+// transaction coarsening across locks (Yoo et al., Section II.C). It is
+// the fusion entry for batched servers: N adjacent operations, each its
+// own critical section under per-shard locks, amortize begin/commit/
+// quiescence costs by running as a single transaction.
+//
+// Soundness: all of ms must elide onto the SAME TM mechanism, so one
+// conflict-detection scheme covers every word the fused body touches.
+// The combined resolve runs under the engine's serial read lock, where
+// SetPolicy's drain (write side) cannot overlap — the answer is stable
+// for the whole attempt. If any mutex is lock-based or the mechanisms
+// diverge, DoAll returns ErrUnfusable without running body.
+//
+// Tx.NoQuiesce is honored only if every mutex's policy honors it.
+// Commit/abort events are attributed to ms[0]'s observer; callers with
+// rotating batch membership spread the attribution statistically.
+func (r *Runtime) DoAll(th *tm.Thread, ms []*Mutex, body func(tx tm.Tx) error) error {
+	f := Fuse{r: r, Ms: ms}
+	f.resolve = f.resolveAll
+	return f.Do(th, body)
+}
+
+// Fuse is a reusable handle for fused critical sections: the combined
+// resolver is bound once, so a caller that fuses on every request (the
+// server's batch executor) pays no allocation per call. Set Ms before
+// each Do; the handle owns no other state.
+type Fuse struct {
+	r *Runtime
+	// Ms is the mutex set the next Do spans. The caller may rewrite it
+	// (or re-slice a scratch buffer) between calls.
+	Ms      []*Mutex
+	resolve func() (tm.Mech, bool, bool)
+}
+
+// NewFuse returns a fused-call handle on the runtime.
+func (r *Runtime) NewFuse() *Fuse {
+	f := &Fuse{r: r}
+	f.resolve = f.resolveAll
+	return f
+}
+
+// resolveAll maps the whole mutex set onto one TM mechanism, or reports
+// unfusable. It runs under the engine's serial read lock, where
+// SetPolicy's drain cannot overlap, so the answer is stable for the
+// attempt that asked.
+func (f *Fuse) resolveAll() (tm.Mech, bool, bool) {
+	ms := f.Ms
+	mech, honorNoQ, ok := ms[0].resolve()
+	if !ok || mech == tm.MechDefault {
+		// Default mech means pthread (not elidable): unfusable.
+		return tm.MechDefault, false, false
+	}
+	for _, m := range ms[1:] {
+		me, h, ok := m.resolve()
+		if !ok || me != mech {
+			return tm.MechDefault, false, false
+		}
+		honorNoQ = honorNoQ && h
+	}
+	return mech, honorNoQ, true
+}
+
+// Do executes body as one critical section spanning every mutex in f.Ms,
+// with DoAll's contract (ErrUnfusable on mixed or lock-based policies; a
+// single-mutex set degenerates to that mutex's own Do, which never
+// fuses and so never fails to).
+func (f *Fuse) Do(th *tm.Thread, body func(tx tm.Tx) error) error {
+	ms := f.Ms
+	if len(ms) == 0 {
+		return nil
+	}
+	if len(ms) == 1 {
+		return ms[0].Do(th, body)
+	}
+	if tr := f.r.tracer; tr != nil {
+		for _, m := range ms {
+			tr.Acquire(th.ID(), m.mid)
+		}
+		defer func() {
+			for i := len(ms) - 1; i >= 0; i-- {
+				f.r.tracer.Release(th.ID(), ms[i].mid)
+			}
+		}()
+	}
+	err := f.r.engine.AtomicOpts(th, tm.CallOpts{
+		Resolve: f.resolve,
+		Obs:     ms[0].obs,
+	}, body)
+	if err == tm.ErrStale {
+		// Unfusable right now (or a policy moved mid-call): the caller
+		// decides whether to retry fused or fall back to per-mutex Do.
+		return ErrUnfusable
+	}
+	return err
 }
 
 // doLocked is the pthread baseline path. The caller holds m.mu (Do
@@ -439,6 +558,7 @@ type directTx struct {
 	e        *tm.Engine
 	wrote    bool
 	deferred []func()
+	rbuf     []uint64 // Tx.RangeBuf backing store
 }
 
 var _ tm.Tx = (*directTx)(nil)
@@ -447,6 +567,23 @@ func (d *directTx) Load(a memseg.Addr) uint64 { return d.e.Memory().Load(a) }
 func (d *directTx) Store(a memseg.Addr, v uint64) {
 	d.wrote = true
 	d.e.Memory().Store(a, v)
+}
+func (d *directTx) LoadRange(a memseg.Addr, dst []uint64) {
+	for i := range dst {
+		dst[i] = d.e.Memory().Load(a + memseg.Addr(i))
+	}
+}
+func (d *directTx) StoreRange(a memseg.Addr, src []uint64) {
+	d.wrote = true
+	for i, v := range src {
+		d.e.Memory().Store(a+memseg.Addr(i), v)
+	}
+}
+func (d *directTx) RangeBuf(n int) []uint64 {
+	if cap(d.rbuf) < n {
+		d.rbuf = make([]uint64, n)
+	}
+	return d.rbuf[:n]
 }
 func (d *directTx) Alloc(n int) memseg.Addr {
 	a, ok := d.e.Memory().Alloc(n)

@@ -284,6 +284,19 @@ func (e *Engine) postCommit(th *Thread, readOnly bool) {
 			th.st.NoQuiesce()
 		}
 	}
+	if mustQuiesce && !wantQuiesce && e.reclaim != nil {
+		// Deferred reclamation: the policy layer did not ask for a wait,
+		// only the allocator did — and the allocator's rule binds the
+		// *blocks*, not this thread. Hand the frees to the reclaimer
+		// (which batches one grace period over many commits) and return
+		// without waiting. th.frees is recycled by the caller, so the
+		// handoff copies.
+		e.reclaim.handOff(th.frees)
+		for _, fn := range th.deferred {
+			fn()
+		}
+		return
+	}
 	if mustQuiesce || wantQuiesce {
 		res := e.epochs.QuiesceWith(th.slot, &th.qs)
 		th.st.Quiesce(res.Wait)

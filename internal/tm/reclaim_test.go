@@ -1,0 +1,115 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDeferredReclaimSharesGrace drives freeing NoQuiesce commits through a
+// DeferredReclaim engine and checks the two observable promises: freed
+// memory is returned to the allocator (eventually — here, by Close at the
+// latest), and batched commits share grace periods instead of each running
+// their own.
+func TestDeferredReclaimSharesGrace(t *testing.T) {
+	e := New(Config{
+		Mode:            ModeSTM,
+		MemWords:        1 << 18,
+		Quiesce:         QuiesceAll,
+		HonorNoQuiesce:  true,
+		DeferredReclaim: true,
+	})
+	defer e.Close()
+	if e.reclaim == nil {
+		t.Fatal("DeferredReclaim engine has no reclaimer")
+	}
+
+	const workers = 4
+	const opsPerWorker = 500
+	baseline := e.Memory().LiveWords()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := e.NewThread()
+			defer th.Release()
+			for i := 0; i < opsPerWorker; i++ {
+				if err := e.Atomic(th, func(tx Tx) error {
+					tx.NoQuiesce()
+					a := tx.Alloc(8)
+					tx.Store(a, uint64(i))
+					tx.Free(a)
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Close retires any still-parked batch, so after it every freed block
+	// is back on the allocator's free list.
+	e.Close()
+	if live := e.Memory().LiveWords(); live != baseline {
+		t.Fatalf("LiveWords = %d after Close, want baseline %d", live, baseline)
+	}
+
+	s := e.Snapshot()
+	total := uint64(workers * opsPerWorker)
+	if s.Commits != total {
+		t.Fatalf("commits = %d, want %d", s.Commits, total)
+	}
+	// Every commit freed memory, yet the reclaimer batched them: far
+	// fewer grace periods than commits, and the batched majority counted
+	// as shared. A tight loop against a 500µs window makes batches of
+	// hundreds, so >= total/2 shared is a loose bound.
+	if s.Quiesces >= total {
+		t.Fatalf("quiesces = %d, want far fewer than %d commits", s.Quiesces, total)
+	}
+	if s.SharedGrace < total/2 {
+		t.Fatalf("sharedGrace = %d, want >= %d", s.SharedGrace, total/2)
+	}
+	if s.ScansAvoided < s.SharedGrace-s.Quiesces {
+		t.Fatalf("scansAvoided = %d, sharedGrace = %d, quiesces = %d", s.ScansAvoided, s.SharedGrace, s.Quiesces)
+	}
+}
+
+// TestDeferredReclaimBackpressure checks the parked-blocks cap: a burst of
+// frees larger than reclaimMaxPending must not accumulate unboundedly
+// while the accumulation window sleeps.
+func TestDeferredReclaimBackpressure(t *testing.T) {
+	e := New(Config{
+		Mode:            ModeSTM,
+		MemWords:        1 << 18,
+		Quiesce:         QuiesceNone,
+		DeferredReclaim: true,
+	})
+	defer e.Close()
+	th := e.NewThread()
+	defer th.Release()
+
+	// Each commit frees 64 blocks; reclaimMaxPending/64 commits fill a
+	// batch, so the loop crosses the cap many times. The heap holds only
+	// ~2.9x reclaimMaxPending blocks of this size: without backpressure
+	// the parked frees would exhaust it.
+	const blocksPerOp = 64
+	const ops = 3 * reclaimMaxPending / blocksPerOp
+	for i := 0; i < ops; i++ {
+		if err := e.Atomic(th, func(tx Tx) error {
+			for j := 0; j < blocksPerOp; j++ {
+				a := tx.Alloc(16)
+				tx.Store(a, uint64(j))
+				tx.Free(a)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	e.Close()
+	if live := e.Memory().LiveWords(); live != 0 {
+		t.Fatalf("LiveWords = %d after Close, want 0", live)
+	}
+}

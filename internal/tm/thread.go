@@ -19,6 +19,7 @@ type Thread struct {
 	qs   epoch.Scratch // reusable quiesce snapshot buffer (allocation-free commits)
 	stx  *stm.Tx
 	htx  *htm.Tx
+	rbuf []uint64 // Tx.RangeBuf backing store (allocation-free range staging)
 
 	// Per-transaction state, reset at each top-level attempt.
 	depth     int
@@ -116,6 +117,22 @@ type Tx interface {
 	Load(a memseg.Addr) uint64
 	// Store writes a word transactionally.
 	Store(a memseg.Addr, v uint64)
+	// LoadRange reads the len(dst) consecutive words starting at a, as if
+	// by Load(a+i) for each i, but letting the TM validate each covering
+	// stripe (STM) or cache line (HTM) once instead of once per word —
+	// the fast path for word-packed byte payloads.
+	LoadRange(a memseg.Addr, dst []uint64)
+	// StoreRange writes the words of src to consecutive addresses starting
+	// at a, as if by Store(a+i, src[i]), acquiring each covering stripe or
+	// line once.
+	StoreRange(a memseg.Addr, src []uint64)
+	// RangeBuf returns a transaction-owned scratch slice of n words for
+	// staging LoadRange/StoreRange transfers. Using it instead of a local
+	// buffer keeps callers allocation-free: a stack buffer sliced into an
+	// interface call escapes to the heap, this one is reused for the
+	// thread's lifetime. Contents are unspecified; the slice is only valid
+	// until the next RangeBuf call on the same transaction.
+	RangeBuf(n int) []uint64
 	// Alloc allocates a zeroed block of n words inside the transaction.
 	// The allocation is undone if the transaction aborts.
 	Alloc(n int) memseg.Addr
@@ -147,8 +164,11 @@ type Tx interface {
 
 type stmTx struct{ th *Thread }
 
-func (w stmTx) Load(a memseg.Addr) uint64     { return w.th.stx.Load(a) }
-func (w stmTx) Store(a memseg.Addr, v uint64) { w.th.stx.Store(a, v) }
+func (w stmTx) Load(a memseg.Addr) uint64            { return w.th.stx.Load(a) }
+func (w stmTx) Store(a memseg.Addr, v uint64)        { w.th.stx.Store(a, v) }
+func (w stmTx) LoadRange(a memseg.Addr, d []uint64)  { w.th.stx.LoadRange(a, d) }
+func (w stmTx) StoreRange(a memseg.Addr, s []uint64) { w.th.stx.StoreRange(a, s) }
+func (w stmTx) RangeBuf(n int) []uint64              { return w.th.rangeBuf(n) }
 func (w stmTx) Alloc(n int) memseg.Addr       { return w.th.txAlloc(n) }
 func (w stmTx) Free(a memseg.Addr)            { w.th.txFree(a) }
 func (w stmTx) NoQuiesce()                    { w.th.requestNoQuiesce() }
@@ -160,8 +180,11 @@ func (w stmTx) Irrevocable() bool             { return false }
 
 type htmTx struct{ th *Thread }
 
-func (w htmTx) Load(a memseg.Addr) uint64     { return w.th.htx.Load(a) }
-func (w htmTx) Store(a memseg.Addr, v uint64) { w.th.htx.Store(a, v) }
+func (w htmTx) Load(a memseg.Addr) uint64            { return w.th.htx.Load(a) }
+func (w htmTx) Store(a memseg.Addr, v uint64)        { w.th.htx.Store(a, v) }
+func (w htmTx) LoadRange(a memseg.Addr, d []uint64)  { w.th.htx.LoadRange(a, d) }
+func (w htmTx) StoreRange(a memseg.Addr, s []uint64) { w.th.htx.StoreRange(a, s) }
+func (w htmTx) RangeBuf(n int) []uint64              { return w.th.rangeBuf(n) }
 func (w htmTx) Alloc(n int) memseg.Addr       { return w.th.txAlloc(n) }
 func (w htmTx) Free(a memseg.Addr)            { w.th.txFree(a) }
 func (w htmTx) NoQuiesce()                    {} // meaningless under strong isolation
@@ -181,6 +204,18 @@ func (w *serialTx) Store(a memseg.Addr, v uint64) {
 	w.wrote = true
 	w.th.e.mem.Store(a, v)
 }
+func (w *serialTx) LoadRange(a memseg.Addr, dst []uint64) {
+	for i := range dst {
+		dst[i] = w.th.e.mem.Load(a + memseg.Addr(i))
+	}
+}
+func (w *serialTx) StoreRange(a memseg.Addr, src []uint64) {
+	w.wrote = true
+	for i, v := range src {
+		w.th.e.mem.Store(a+memseg.Addr(i), v)
+	}
+}
+func (w *serialTx) RangeBuf(n int) []uint64 { return w.th.rangeBuf(n) }
 func (w *serialTx) Alloc(n int) memseg.Addr { return w.th.txAlloc(n) }
 func (w *serialTx) Free(a memseg.Addr)      { w.th.txFree(a) }
 func (w *serialTx) NoQuiesce()              {}
@@ -224,4 +259,13 @@ func (th *Thread) txAlloc(n int) memseg.Addr {
 // txFree defers the release to commit time.
 func (th *Thread) txFree(a memseg.Addr) {
 	th.frees = append(th.frees, a)
+}
+
+// rangeBuf backs Tx.RangeBuf: a word slice reused across the thread's
+// transactions so range staging never allocates on the hot path.
+func (th *Thread) rangeBuf(n int) []uint64 {
+	if cap(th.rbuf) < n {
+		th.rbuf = make([]uint64, n)
+	}
+	return th.rbuf[:n]
 }

@@ -117,6 +117,11 @@ func InterleavedSlot(s uint32, sizeLog2 int) uint32 {
 // Len reports the number of orecs.
 func (t *Table) Len() int { return len(t.recs) }
 
+// StripeShift reports the configured stripe shift: 1<<StripeShift
+// consecutive words share an orec. Range operations use it to walk a span
+// one stripe at a time.
+func (t *Table) StripeShift() uint32 { return t.stripeShift }
+
 // Index returns the orec slot for an address (exported for tests and for
 // the HTM simulator's line mapping comparisons).
 func (t *Table) Index(a memseg.Addr) uint32 {

@@ -1,33 +1,34 @@
-// Package wal is the durability layer: a per-shard redo write-ahead log
-// fed by a tap on the TM commit pipeline.
+// Package wal is the durability layer: a redo write-ahead log fed by a tap
+// on the TM commit pipeline. Every shard keeps its own sequence space, but
+// all shards append into ONE shared file series with one group-commit
+// fsync stream — an fsync is the disk's grace period, and like the TM's
+// shared grace, it amortizes only if everyone shares it. (The first cut of
+// this package ran one file and one syncer per shard; each shard then saw
+// 1/8th of the mutation rate, and no fsync window could batch records
+// without adding milliseconds of ack latency.)
 //
-// The STM commit path already materializes each critical section's write
-// set; this package flips the *logical* outcome of the kvstore's mutating
-// critical sections (set / delete, with incr folded into set) into an
-// append-only redo log, one file sequence per shard. Three properties make
-// the log trustworthy:
+// Three properties make the log trustworthy:
 //
 //   - Commit order. Every mutating transaction draws a per-shard sequence
 //     number inside the transaction itself, so the log order is exactly the
 //     shard's serialization order — durability rides the same optimistic
 //     commit order the TM establishes, rather than a second synchronization
 //     layer bolted on outside it. Records may be *published* out of order
-//     (post-commit deferred actions interleave across threads); the shard
-//     log holds a reorder buffer and writes only the contiguous prefix.
+//     (post-commit deferred actions interleave across threads); the log
+//     holds a per-shard reorder buffer and writes only contiguous prefixes.
 //
-//   - Group commit. One background syncer per shard batches every record
-//     published since the previous fsync into a single write+fsync — the
-//     PR-2 shared-grace idea applied at the disk layer: concurrent
-//     committers share one quiescence-like wait instead of paying one
-//     each. Append returns a Ticket; Ticket.Wait blocks until the record's
+//   - Group commit. One background syncer batches every record published
+//     since the previous fsync — across all shards — into a single
+//     write+fsync: the PR-2 shared-grace idea applied at the disk layer.
+//     Append returns a Ticket; Ticket.Wait blocks until the record's
 //     sequence number is covered by an fsync. A response acked to a client
 //     after Wait is therefore durable.
 //
 //   - Torn-tail discipline. Records are length-prefixed and CRC-framed.
-//     Recovery replays each shard's segments in order and stops cleanly at
+//     Recovery replays the segments in file order and stops cleanly at
 //     the first incomplete or corrupt frame: a crash mid-write loses only
 //     the un-acked suffix, never an acked record (acked implies fsynced,
-//     and file order is sequence order).
+//     and file order is, per shard, sequence order).
 package wal
 
 import (
@@ -64,6 +65,10 @@ type Record struct {
 	// drawn inside the mutating transaction, so it matches the shard's
 	// serialization order exactly).
 	Seq uint64
+	// Shard routes the record back to its shard's sequence space on
+	// recovery — all shards interleave in one shared file series.
+	// Log.Append stamps it; callers never set it.
+	Shard uint16
 	// Op selects set or delete.
 	Op Op
 	// Flags is the client-opaque memcached flags word (sets only).
@@ -76,12 +81,12 @@ type Record struct {
 // Frame layout:
 //
 //	u32 payloadLen | u32 crc32(payload) | payload
-//	payload: u8 op | u64 seq | u32 flags | u32 keyLen | key | val
+//	payload: u8 op | u16 shard | u64 seq | u32 flags | u32 keyLen | key | val
 //
 // all little-endian. valLen is implied by payloadLen.
 const (
-	frameHeader = 8             // len + crc
-	payloadMin  = 1 + 8 + 4 + 4 // op + seq + flags + keyLen
+	frameHeader = 8                 // len + crc
+	payloadMin  = 1 + 2 + 8 + 4 + 4 // op + shard + seq + flags + keyLen
 	// MaxPayload bounds one record's payload; length prefixes beyond it
 	// are treated as corruption rather than allocated.
 	MaxPayload = 1 << 20
@@ -105,11 +110,12 @@ func AppendRecord(buf []byte, r Record) []byte {
 	binary.LittleEndian.PutUint32(p[0:4], uint32(payloadLen))
 	pay := p[frameHeader:]
 	pay[0] = byte(r.Op)
-	binary.LittleEndian.PutUint64(pay[1:9], r.Seq)
-	binary.LittleEndian.PutUint32(pay[9:13], r.Flags)
-	binary.LittleEndian.PutUint32(pay[13:17], uint32(len(r.Key)))
-	copy(pay[17:], r.Key)
-	copy(pay[17+len(r.Key):], r.Val)
+	binary.LittleEndian.PutUint16(pay[1:3], r.Shard)
+	binary.LittleEndian.PutUint64(pay[3:11], r.Seq)
+	binary.LittleEndian.PutUint32(pay[11:15], r.Flags)
+	binary.LittleEndian.PutUint32(pay[15:19], uint32(len(r.Key)))
+	copy(pay[19:], r.Key)
+	copy(pay[19+len(r.Key):], r.Val)
 	binary.LittleEndian.PutUint32(p[4:8], crc32.ChecksumIEEE(pay))
 	return buf
 }
@@ -137,17 +143,18 @@ func DecodeRecord(b []byte) (Record, int, error) {
 	}
 	r := Record{
 		Op:    Op(pay[0]),
-		Seq:   binary.LittleEndian.Uint64(pay[1:9]),
-		Flags: binary.LittleEndian.Uint32(pay[9:13]),
+		Shard: binary.LittleEndian.Uint16(pay[1:3]),
+		Seq:   binary.LittleEndian.Uint64(pay[3:11]),
+		Flags: binary.LittleEndian.Uint32(pay[11:15]),
 	}
-	keyLen := int(binary.LittleEndian.Uint32(pay[13:17]))
+	keyLen := int(binary.LittleEndian.Uint32(pay[15:19]))
 	if keyLen > payloadLen-payloadMin {
 		return Record{}, 0, ErrCorrupt
 	}
 	if r.Op != OpSet && r.Op != OpDelete {
 		return Record{}, 0, ErrCorrupt
 	}
-	r.Key = pay[17 : 17+keyLen]
-	r.Val = pay[17+keyLen:]
+	r.Key = pay[19 : 19+keyLen]
+	r.Val = pay[19+keyLen:]
 	return r, frameHeader + payloadLen, nil
 }

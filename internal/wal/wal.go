@@ -7,19 +7,39 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// DefaultFsyncWindow is the group-commit accumulation window applied when
+// Options.FsyncWindow is zero. With every shard feeding one shared fsync
+// stream, half a millisecond folds the appends of dozens of concurrent
+// committers into each fsync while adding less ack latency than the fsync
+// itself costs; measured against eager fsync (no window) on the serving
+// bench it is both faster and ~2x better batched, because the window also
+// keeps the syncer from burning the disk on near-empty flushes.
+const DefaultFsyncWindow = 500 * time.Microsecond
 
 // Options parameterises a Log.
 type Options struct {
-	// SegmentBytes rotates a shard's segment once it exceeds this size
+	// SegmentBytes rotates the active segment once it exceeds this size
 	// (default 8 MiB). Rotation happens between fsync batches, so a
 	// record never spans segments.
 	SegmentBytes int64
+	// FsyncWindow is how long the syncer waits after the first append of
+	// a batch before fsyncing, letting concurrent committers pile onto
+	// the same flush (group commit). Zero means DefaultFsyncWindow;
+	// negative disables the wait — the syncer then runs write+fsync
+	// back to back, and batching comes only from appends that land while
+	// the previous fsync is in flight.
+	FsyncWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.FsyncWindow == 0 {
+		o.FsyncWindow = DefaultFsyncWindow
 	}
 	return o
 }
@@ -39,14 +59,14 @@ type Stats struct {
 	Segments uint64
 }
 
-// Log is a per-shard redo write-ahead log rooted at one directory.
+// Log is a redo write-ahead log rooted at one directory: per-shard
+// sequence spaces, one shared file series, one group-commit fsync stream.
 //
 // Lifecycle: Open → Recover (exactly once; replays existing segments and
 // arms the appenders) → Append/Wait traffic → Close.
 type Log struct {
-	dir    string
-	opts   Options
-	shards []shardLog
+	dir  string
+	opts Options
 
 	appends   atomic.Uint64
 	fsyncs    atomic.Uint64
@@ -54,36 +74,39 @@ type Log struct {
 	recovered atomic.Uint64
 	segments  atomic.Uint64
 
-	wg     sync.WaitGroup
-	opened bool
-}
-
-// shardLog is one shard's append pipeline. Appends land in a seq-ordered
-// reorder buffer and drain contiguously into buf; the syncer goroutine
-// writes buf and fsyncs in batches.
-type shardLog struct {
-	l     *Log
-	shard int
-
+	// mu guards everything below: the per-shard reorder buffers, the
+	// shared batch buffer, the active segment, and the durability
+	// watermarks the cond broadcasts over.
 	mu      sync.Mutex
 	cond    *sync.Cond
+	shards  []shardSeq
+	buf     []byte   // encoded contiguous records, not yet written
+	spare   []byte   // recycled batch buffer (keeps appends alloc-free)
+	bufTops []uint64 // per shard: highest seq encoded into buf/file
+	durable []uint64 // per shard: highest seq covered by an fsync
+	tops    []uint64 // scratch: bufTops snapshot cut with each batch
 	f       *os.File
 	segIdx  int
 	segSize int64
-	nextSeq uint64            // next contiguous sequence number expected
-	pending map[uint64]Record // committed out of publish order, waiting
-	buf     []byte            // encoded contiguous records, not yet written
-	bufTop  uint64            // highest seq encoded into buf/file
-	durable uint64            // highest seq covered by an fsync
-	err     error             // sticky I/O error; fails all waiters
+	err     error // sticky I/O error; fails all waiters
 	closed  bool
+	opened  bool
 
 	dirty chan struct{} // capacity 1: wake the syncer
+	wg    sync.WaitGroup
 }
 
-// Manifest pins the shard count: records are routed by key hash, so a
-// reopen with a different shard count would replay records into the wrong
-// shards' sequence spaces.
+// shardSeq is one shard's sequence space: records committed out of publish
+// order park in pending until their predecessors arrive, so the shared
+// file's order is, per shard, exactly sequence order.
+type shardSeq struct {
+	nextSeq uint64            // next contiguous sequence number expected
+	pending map[uint64]Record // committed out of publish order, waiting
+}
+
+// Manifest pins the layout version and shard count: records are routed by
+// key hash, so a reopen with a different shard count would replay records
+// into the wrong shards' sequence spaces.
 const manifestName = "MANIFEST"
 
 // Open creates or reopens a log directory for the given shard count. No
@@ -98,22 +121,26 @@ func Open(dir string, shards int, opts Options) (*Log, error) {
 	if err := checkManifest(dir, shards); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts.withDefaults(), shards: make([]shardLog, shards)}
+	l := &Log{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		shards:  make([]shardSeq, shards),
+		bufTops: make([]uint64, shards),
+		durable: make([]uint64, shards),
+		tops:    make([]uint64, shards),
+		dirty:   make(chan struct{}, 1),
+	}
+	l.cond = sync.NewCond(&l.mu)
 	for i := range l.shards {
-		s := &l.shards[i]
-		s.l = l
-		s.shard = i
-		s.cond = sync.NewCond(&s.mu)
-		s.nextSeq = 1
-		s.pending = make(map[uint64]Record)
-		s.dirty = make(chan struct{}, 1)
+		l.shards[i].nextSeq = 1
+		l.shards[i].pending = make(map[uint64]Record)
 	}
 	return l, nil
 }
 
 func checkManifest(dir string, shards int) error {
 	path := filepath.Join(dir, manifestName)
-	want := fmt.Sprintf("gotle-wal v1\nshards %d\n", shards)
+	want := fmt.Sprintf("gotle-wal v2\nshards %d\n", shards)
 	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return os.WriteFile(path, []byte(want), 0o644)
@@ -122,7 +149,7 @@ func checkManifest(dir string, shards int) error {
 		return err
 	}
 	if string(b) != want {
-		return fmt.Errorf("wal: manifest mismatch: dir has %q, this run wants %q (shard count must match the recorded log)", string(b), want)
+		return fmt.Errorf("wal: manifest mismatch: dir has %q, this run wants %q (layout version and shard count must match the recorded log)", string(b), want)
 	}
 	return nil
 }
@@ -133,19 +160,19 @@ func (l *Log) Shards() int { return len(l.shards) }
 // Dir reports the log's root directory.
 func (l *Log) Dir() string { return l.dir }
 
-// segName names shard sh's segment idx.
-func segName(sh, idx int) string { return fmt.Sprintf("s%03d-%08d.wal", sh, idx) }
+// segName names segment idx of the shared series.
+func segName(idx int) string { return fmt.Sprintf("w-%08d.wal", idx) }
 
-// segmentsOf lists shard sh's existing segment indices in order.
-func (l *Log) segmentsOf(sh int) ([]int, error) {
+// segmentsList lists the existing segment indices in order.
+func (l *Log) segmentsList() ([]int, error) {
 	ents, err := os.ReadDir(l.dir)
 	if err != nil {
 		return nil, err
 	}
 	var idxs []int
 	for _, e := range ents {
-		var gotSh, idx int
-		if n, _ := fmt.Sscanf(e.Name(), "s%03d-%08d.wal", &gotSh, &idx); n == 2 && gotSh == sh {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "w-%08d.wal", &idx); n == 1 {
 			idxs = append(idxs, idx)
 		}
 	}
@@ -153,15 +180,16 @@ func (l *Log) segmentsOf(sh int) ([]int, error) {
 	return idxs, nil
 }
 
-// Recover replays every shard's segments in order, calling apply for each
-// intact record, and then arms the log for appends: each shard resumes its
-// sequence numbering after the last recovered record and appends to a
-// fresh segment (the torn tail, if any, is left behind untouched for
-// forensics — recovery never rewrites history).
+// Recover replays the segments in file order, calling apply for each
+// intact record with the shard it belongs to, and then arms the log for
+// appends: each shard resumes its sequence numbering after its last
+// recovered record, and appends go to a fresh segment (the torn tail, if
+// any, is left behind untouched for forensics — recovery never rewrites
+// history).
 //
-// Recovery stops a shard at the first torn or corrupt frame: everything
-// before it replays, everything after is dropped. That is the contract
-// group commit establishes — an acked record is fsynced, file order is
+// Recovery stops at the first torn or corrupt frame: everything before it
+// replays, everything after is dropped. That is the contract group commit
+// establishes — an acked record is fsynced, and file order is, per shard,
 // sequence order, so acked records are always in the replayed prefix.
 //
 // apply may be nil (scan only). Recover returns the records replayed.
@@ -169,70 +197,69 @@ func (l *Log) Recover(apply func(shard int, r Record) error) (int, error) {
 	if l.opened {
 		return 0, fmt.Errorf("wal: Recover called twice")
 	}
+	idxs, err := l.segmentsList()
+	if err != nil {
+		return 0, err
+	}
 	total := 0
-	for i := range l.shards {
-		s := &l.shards[i]
-		idxs, err := l.segmentsOf(i)
+	last := make([]uint64, len(l.shards))
+	stopped := false
+	for _, idx := range idxs {
+		if stopped {
+			// A later segment after a torn/corrupt one cannot be
+			// trusted: its records would leave sequence gaps.
+			break
+		}
+		b, err := os.ReadFile(filepath.Join(l.dir, segName(idx)))
 		if err != nil {
 			return total, err
 		}
-		lastSeq := uint64(0)
-		stopped := false
-		for _, idx := range idxs {
-			if stopped {
-				// A later segment after a torn/corrupt one cannot be
-				// trusted: its records would leave a sequence gap.
+		off := 0
+		for off < len(b) {
+			rec, n, err := DecodeRecord(b[off:])
+			if err != nil {
+				// Torn or corrupt: drop the tail, stop replaying.
+				stopped = true
 				break
 			}
-			b, err := os.ReadFile(filepath.Join(l.dir, segName(i, idx)))
-			if err != nil {
-				return total, err
+			sh := int(rec.Shard)
+			if sh >= len(l.shards) || rec.Seq != last[sh]+1 {
+				// An impossible shard or a sequence gap inside intact
+				// frames means the file set is inconsistent; stop
+				// conservatively.
+				stopped = true
+				break
 			}
-			off := 0
-			for off < len(b) {
-				rec, n, err := DecodeRecord(b[off:])
-				if err != nil {
-					// Torn or corrupt: drop the tail, stop this shard.
-					stopped = true
-					break
+			if apply != nil {
+				if err := apply(sh, rec); err != nil {
+					return total, fmt.Errorf("wal: replay shard %d seq %d: %w", sh, rec.Seq, err)
 				}
-				if rec.Seq != lastSeq+1 {
-					// A sequence gap inside intact frames means the file
-					// set is inconsistent; stop conservatively.
-					stopped = true
-					break
-				}
-				if apply != nil {
-					if err := apply(i, rec); err != nil {
-						return total, fmt.Errorf("wal: replay shard %d seq %d: %w", i, rec.Seq, err)
-					}
-				}
-				lastSeq = rec.Seq
-				total++
-				off += n
 			}
+			last[sh] = rec.Seq
+			total++
+			off += n
 		}
-		nextIdx := 0
-		if n := len(idxs); n > 0 {
-			nextIdx = idxs[n-1] + 1
-		}
-		f, err := os.OpenFile(filepath.Join(l.dir, segName(i, nextIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
-		if err != nil {
-			return total, err
-		}
-		s.f = f
-		s.segIdx = nextIdx
-		s.nextSeq = lastSeq + 1
-		s.durable = lastSeq
-		s.bufTop = lastSeq
-		l.segments.Add(1)
 	}
+	nextIdx := 0
+	if n := len(idxs); n > 0 {
+		nextIdx = idxs[n-1] + 1
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(nextIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return total, err
+	}
+	l.f = f
+	l.segIdx = nextIdx
+	for i := range l.shards {
+		l.shards[i].nextSeq = last[i] + 1
+	}
+	copy(l.bufTops, last)
+	copy(l.durable, last)
+	l.segments.Add(1)
 	l.recovered.Store(uint64(total))
 	l.opened = true
-	for i := range l.shards {
-		l.wg.Add(1)
-		go l.shards[i].syncLoop()
-	}
+	l.wg.Add(1)
+	go l.syncLoop()
 	return total, nil
 }
 
@@ -240,109 +267,152 @@ func (l *Log) Recover(apply func(shard int, r Record) error) (int, error) {
 // shard's log was empty). Valid after Recover; the store seeds its
 // in-transaction sequence words from this.
 func (l *Log) LastSeq(sh int) uint64 {
-	s := &l.shards[sh]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.nextSeq - 1
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shards[sh].nextSeq - 1
 }
 
 // Ticket is a durability handle for one appended record. The zero Ticket
 // is valid and already durable (Wait returns nil immediately) — callers on
 // non-logging paths can wait unconditionally.
 type Ticket struct {
-	s   *shardLog
-	seq uint64
+	l     *Log
+	shard int
+	seq   uint64
 }
 
 // Wait blocks until the record is covered by an fsync (or the log failed
 // or closed first, in which case it returns the error).
 func (t Ticket) Wait() error {
-	if t.s == nil {
+	if t.l == nil {
 		return nil
 	}
-	s := t.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.durable < t.seq && s.err == nil {
-		s.cond.Wait()
+	l := t.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable[t.shard] < t.seq && l.err == nil {
+		l.cond.Wait()
 	}
-	if s.durable >= t.seq {
+	if l.durable[t.shard] >= t.seq {
 		return nil
 	}
-	return s.err
+	return l.err
 }
 
 // Append accepts one record for shard sh. The record's key and value are
-// copied out before Append returns, so callers may reuse their buffers.
+// consumed before Append returns, so callers may reuse their buffers.
 //
 // Records may arrive out of sequence order (deferred post-commit actions
 // interleave across threads); Append parks early arrivals and encodes only
-// the contiguous prefix, so file order is always sequence order. The
-// returned Ticket's Wait blocks until the record is durable.
+// the contiguous prefix, so file order is, per shard, always sequence
+// order. The returned Ticket's Wait blocks until the record is durable.
 func (l *Log) Append(sh int, r Record) Ticket {
+	return l.AppendBatch(sh, []Record{r})
+}
+
+// AppendBatch accepts a fused batch of records for shard sh — the commit
+// tap of one multi-op transaction, with contiguous sequence numbers drawn
+// inside it. The whole batch shares one durability handle: the returned
+// Ticket waits for the batch's highest sequence number, and because the
+// syncer makes a shard's records durable strictly in sequence order, that
+// wait covers every record in the batch with a single fsync rendezvous.
+//
+// Key and value bytes are consumed before AppendBatch returns (encoded
+// into the write buffer, or copied when parked out of order), so callers
+// may reuse their buffers immediately.
+func (l *Log) AppendBatch(sh int, recs []Record) Ticket {
+	if len(recs) == 0 {
+		return Ticket{}
+	}
 	s := &l.shards[sh]
-	r.Key = append([]byte(nil), r.Key...)
-	r.Val = append([]byte(nil), r.Val...)
-	s.mu.Lock()
-	if !l.opened || s.closed || s.err != nil {
-		if s.err == nil {
-			s.err = fmt.Errorf("wal: append to closed log")
+	last := recs[len(recs)-1].Seq
+	l.mu.Lock()
+	if !l.opened || l.closed || l.err != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: append to closed log")
 		}
-		s.mu.Unlock()
-		return Ticket{s: s, seq: r.Seq}
+		l.mu.Unlock()
+		return Ticket{l: l, shard: sh, seq: last}
 	}
-	s.pending[r.Seq] = r
 	drained := false
-	for {
-		rec, ok := s.pending[s.nextSeq]
-		if !ok {
-			break
+	for _, r := range recs {
+		r.Shard = uint16(sh)
+		if r.Seq == s.nextSeq {
+			// In-order arrival: encode straight into the batch buffer —
+			// no copy of key/val beyond the encoding itself.
+			l.buf = AppendRecord(l.buf, r)
+			l.bufTops[sh] = r.Seq
+			s.nextSeq++
+			drained = true
+			// A parked successor may now be contiguous.
+			for {
+				rec, ok := s.pending[s.nextSeq]
+				if !ok {
+					break
+				}
+				delete(s.pending, s.nextSeq)
+				l.buf = AppendRecord(l.buf, rec)
+				l.bufTops[sh] = rec.Seq
+				s.nextSeq++
+			}
+		} else {
+			// Out of order: an earlier sequence number from another
+			// thread has not been published yet. Park an owned copy.
+			r.Key = append([]byte(nil), r.Key...)
+			r.Val = append([]byte(nil), r.Val...)
+			s.pending[r.Seq] = r
 		}
-		delete(s.pending, s.nextSeq)
-		s.buf = AppendRecord(s.buf, rec)
-		s.bufTop = s.nextSeq
-		s.nextSeq++
-		drained = true
 	}
-	s.mu.Unlock()
-	l.appends.Add(1)
+	l.mu.Unlock()
+	l.appends.Add(uint64(len(recs)))
 	if drained {
-		s.wake()
+		l.wake()
 	}
-	return Ticket{s: s, seq: r.Seq}
+	return Ticket{l: l, shard: sh, seq: last}
 }
 
 // wake nudges the syncer without blocking (the channel has capacity 1; a
 // pending wakeup already covers this batch).
-func (s *shardLog) wake() {
+func (l *Log) wake() {
 	select {
-	case s.dirty <- struct{}{}:
+	case l.dirty <- struct{}{}:
 	default:
 	}
 }
 
-// syncLoop is the shard's group-commit loop: each iteration takes whatever
-// contiguous records accumulated since the last fsync, writes them with
-// one write, makes them durable with one fsync, then releases every waiter
-// they cover — the amortization that lets N concurrent committers share
-// one disk flush.
-func (s *shardLog) syncLoop() {
-	defer s.l.wg.Done()
-	for range s.dirty {
-		s.mu.Lock()
-		if len(s.buf) == 0 {
-			closed := s.closed
-			s.mu.Unlock()
+// syncLoop is the group-commit loop: each iteration waits out the fsync
+// window (so concurrent committers — from every shard — pile onto the same
+// flush), then takes whatever contiguous records accumulated, writes them
+// with one write, makes them durable with one fsync, and releases every
+// waiter they cover. One stream for all shards is what lets the window
+// stay short: the whole server's mutation rate feeds each batch.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	for range l.dirty {
+		if w := l.opts.FsyncWindow; w > 0 {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if !closed {
+				// Accumulate: appends keep landing in buf while we sleep;
+				// they all ride this iteration's fsync.
+				time.Sleep(w)
+			}
+		}
+		l.mu.Lock()
+		if len(l.buf) == 0 {
+			closed := l.closed
+			l.mu.Unlock()
 			if closed {
 				return
 			}
 			continue
 		}
-		chunk := s.buf
-		top := s.bufTop
-		f := s.f
-		s.buf = nil
-		s.mu.Unlock()
+		chunk := l.buf
+		l.tops = append(l.tops[:0], l.bufTops...)
+		f := l.f
+		l.buf = l.spare[:0]
+		l.mu.Unlock()
 
 		// Write and fsync outside the lock: appends keep accumulating the
 		// next batch while this one hits the disk.
@@ -351,28 +421,29 @@ func (s *shardLog) syncLoop() {
 			werr = f.Sync()
 		}
 
-		s.mu.Lock()
+		l.mu.Lock()
+		l.spare = chunk[:0] // recycle the written batch buffer
 		if werr != nil {
-			s.err = fmt.Errorf("wal: shard %d segment %d: %w", s.shard, s.segIdx, werr)
-			s.cond.Broadcast()
-			s.mu.Unlock()
+			l.err = fmt.Errorf("wal: segment %d: %w", l.segIdx, werr)
+			l.cond.Broadcast()
+			l.mu.Unlock()
 			return
 		}
-		s.durable = top
-		s.segSize += int64(len(chunk))
-		s.l.fsyncs.Add(1)
-		s.l.bytes.Add(uint64(len(chunk)))
-		if s.segSize >= s.l.opts.SegmentBytes {
-			if err := s.rotateLocked(); err != nil {
-				s.err = err
-				s.cond.Broadcast()
-				s.mu.Unlock()
+		copy(l.durable, l.tops)
+		l.segSize += int64(len(chunk))
+		l.fsyncs.Add(1)
+		l.bytes.Add(uint64(len(chunk)))
+		if l.segSize >= l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				l.err = err
+				l.cond.Broadcast()
+				l.mu.Unlock()
 				return
 			}
 		}
-		closed := s.closed && len(s.buf) == 0
-		s.cond.Broadcast()
-		s.mu.Unlock()
+		closed := l.closed && len(l.buf) == 0
+		l.cond.Broadcast()
+		l.mu.Unlock()
 		if closed {
 			return
 		}
@@ -380,20 +451,20 @@ func (s *shardLog) syncLoop() {
 }
 
 // rotateLocked closes the current (fully synced) segment and opens the
-// next. Called with s.mu held, between fsync batches, so no record ever
+// next. Called with l.mu held, between fsync batches, so no record ever
 // spans segments and a closed segment is always internally consistent.
-func (s *shardLog) rotateLocked() error {
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("wal: rotate shard %d: %w", s.shard, err)
+func (l *Log) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate segment %d: %w", l.segIdx, err)
 	}
-	s.segIdx++
-	f, err := os.OpenFile(filepath.Join(s.l.dir, segName(s.shard, s.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	l.segIdx++
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: rotate shard %d: %w", s.shard, err)
+		return fmt.Errorf("wal: rotate segment %d: %w", l.segIdx, err)
 	}
-	s.f = f
-	s.segSize = 0
-	s.l.segments.Add(1)
+	l.f = f
+	l.segSize = 0
+	l.segments.Add(1)
 	return nil
 }
 
@@ -408,38 +479,29 @@ func (l *Log) Stats() Stats {
 	}
 }
 
-// Close flushes every contiguous record, fsyncs, and stops the syncers.
+// Close flushes every contiguous record, fsyncs, and stops the syncer.
 // Records still parked out-of-order (their predecessor never committed —
 // only possible if the process is dying anyway) are dropped.
 func (l *Log) Close() error {
 	if !l.opened {
 		return nil
 	}
-	var firstErr error
-	for i := range l.shards {
-		s := &l.shards[i]
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		s.wake()
-	}
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.wake()
 	l.wg.Wait()
-	for i := range l.shards {
-		s := &l.shards[i]
-		s.mu.Lock()
-		if s.err != nil && firstErr == nil {
-			firstErr = s.err
-		}
-		if s.f != nil {
-			s.f.Close()
-			s.f = nil
-		}
-		// Wake any waiter that raced Close.
-		if s.err == nil {
-			s.err = fmt.Errorf("wal: log closed")
-		}
-		s.cond.Broadcast()
-		s.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	firstErr := l.err
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
 	}
+	// Wake any waiter that raced Close.
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log closed")
+	}
+	l.cond.Broadcast()
 	return firstErr
 }

@@ -200,7 +200,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := (&Log{dir: dir}).segmentsOf(0)
+	segs, err := (&Log{dir: dir}).segmentsList()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func writeTestLog(t *testing.T, dir string, n int) ([]Record, string) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return recs, filepath.Join(dir, segName(0, 0))
+	return recs, filepath.Join(dir, segName(0))
 }
 
 // TestTornTailEveryOffset truncates a recorded segment at every byte
@@ -277,10 +277,10 @@ func TestTornTailEveryOffset(t *testing.T) {
 	}
 	for cut := last; cut <= len(seg); cut++ {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("gotle-wal v1\nshards 1\n"), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("gotle-wal v2\nshards 1\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, segName(0, 0)), seg[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), seg[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		var got []Record
@@ -334,10 +334,10 @@ func TestCorruptMidFileStopsAtPrefix(t *testing.T) {
 	mut[off+frameHeader+2] ^= 0xff
 
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("gotle-wal v1\nshards 1\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("gotle-wal v2\nshards 1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, segName(0, 0)), mut, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	l, cnt := openLog(t, dir, 1, Options{}, nil)
