@@ -30,10 +30,15 @@ import (
 	"strings"
 
 	"gotle/internal/analysis"
+	"gotle/internal/analysis/ackorder"
 	"gotle/internal/analysis/capest"
 	"gotle/internal/analysis/cvlast"
+	"gotle/internal/analysis/falseshare"
+	"gotle/internal/analysis/hotalloc"
 	"gotle/internal/analysis/lockorder"
 	"gotle/internal/analysis/noqpriv"
+	"gotle/internal/analysis/tmflow"
+	"gotle/internal/analysis/txblock"
 	"gotle/internal/analysis/txescape"
 	"gotle/internal/analysis/txpure"
 	"gotle/internal/analysis/txsafe"
@@ -48,6 +53,10 @@ var analyzers = []*analysis.Analyzer{
 	noqpriv.Analyzer,
 	lockorder.Analyzer,
 	capest.Analyzer,
+	txblock.Analyzer,
+	ackorder.Analyzer,
+	hotalloc.Analyzer,
+	falseshare.Analyzer,
 }
 
 func main() {
@@ -59,6 +68,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline file: report only findings not listed in it")
 	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	rank := flag.Bool("capest-rank", false, "print atomic bodies ranked by HTM capacity pressure and exit")
+	effStats := flag.Bool("effect-stats", false, "print effect-summary cache hit/miss counters to stderr after the run")
 	flag.Parse()
 
 	if *list {
@@ -103,6 +113,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
 		os.Exit(2)
+	}
+	if *effStats {
+		hits, misses := tmflow.EffectCacheStats()
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(hits) / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "tmvet: effect-summary cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, rate)
 	}
 
 	if *writeBaseline != "" {

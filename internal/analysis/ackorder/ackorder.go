@@ -1,0 +1,273 @@
+// Package ackorder implements the durability-ordering analyzer for the
+// serving path: a response for a mutating op must not reach the client
+// before the op's WAL ticket has been waited.
+//
+// The PR-6/7 pipeline splits each connection into decode → execute →
+// respond stages. Execution stages a redo record and receives a
+// wal.Ticket; the writer goroutine calls Ticket.Wait — the group-commit
+// fsync rendezvous — before writing the "STORED" line. If any path
+// reorders that (write first, wait after, or never wait), a crash after
+// the ack but before the fsync silently forgets an acknowledged write:
+// the write-ahead protocol holds for the store but not for the client.
+//
+// ackorder runs a forward must-analysis over each function body's CFG.
+// The state is a single boolean — "every ticket taken on this path has
+// been waited" — ANDed over predecessors so a write is flagged if ANY
+// path reaches it with an outstanding ticket:
+//
+//   - receiving a ticket-carrying value from a channel (the writer's
+//     `for o := range writeq` loop head) clears the state;
+//   - wal.Ticket.Wait — or a call whose effect summary carries
+//     EffWaitsTicket — sets it;
+//   - a response write (bufio.Writer/net.Conn writes, io.WriteString, or
+//     a callee summarized EffWritesResponse) while the state is false is
+//     a finding.
+//
+// Only bodies that contain both a ticket event and a response write are
+// analyzed, so unrelated I/O code stays quiet. For a callee that both
+// writes and waits, the write is checked against the state before the
+// callee's wait is applied — the internal order is the callee's own
+// analysis problem; the call site must already be safe.
+//
+// A site whose protocol is correct for a reason the must-analysis cannot
+// see (the writer's batch-ack memoization waits each ticket exactly once
+// and reuses the verdict) carries //gotle:allow ackorder with the
+// justification.
+package ackorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+// Analyzer is the ackorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ackorder",
+	Doc:  "flag response writes that can precede the op's WAL ticket wait",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var bodies []*ast.BlockStmt
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+	}
+	for _, body := range bodies {
+		checkBody(pass, body)
+	}
+	return nil
+}
+
+// eventKind orders the three facts the analysis tracks.
+type eventKind int
+
+const (
+	evRecv  eventKind = iota // ticket-carrying value received: ticket outstanding
+	evWait                   // ticket waited: durability resolved
+	evWrite                  // response bytes written toward the client
+)
+
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	what string
+	via  *types.Func // callee whose summary carries the effect, nil = direct
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+	f := tmflow.Of(pkg, body)
+	blocks := f.G.Blocks
+
+	events := make([][]event, len(blocks))
+	var haveTicket, haveWrite bool
+	for i, b := range blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			evs := eventsOf(pass, n)
+			for _, ev := range evs {
+				switch ev.kind {
+				case evRecv, evWait:
+					haveTicket = true
+				case evWrite:
+					haveWrite = true
+				}
+			}
+			events[i] = append(events[i], evs...)
+		}
+	}
+	// Gate: durability ordering is only meaningful where both sides of the
+	// protocol appear. Pure I/O code (stats rendering, error replies) and
+	// pure WAL code never enter the dataflow.
+	if !haveTicket || !haveWrite {
+		return
+	}
+
+	// Forward must-analysis: in[b] = AND over preds of out[p], optimistic
+	// initialization so loops converge to the greatest fixpoint.
+	in := make([]bool, len(blocks))
+	for i := range in {
+		in[i] = true
+	}
+	out := func(i int) bool {
+		state := in[i]
+		for _, ev := range events[i] {
+			switch ev.kind {
+			case evRecv:
+				state = false
+			case evWait:
+				state = true
+			}
+		}
+		return state
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, b := range blocks {
+			if !b.Live || len(b.Preds) == 0 {
+				continue
+			}
+			state := true
+			for _, p := range b.Preds {
+				state = state && out(p.Index)
+			}
+			if state != in[i] {
+				in[i] = state
+				changed = true
+			}
+		}
+	}
+
+	for i, b := range blocks {
+		if !b.Live {
+			continue
+		}
+		state := in[i]
+		for _, ev := range events[i] {
+			switch ev.kind {
+			case evRecv:
+				state = false
+			case evWait:
+				state = true
+			case evWrite:
+				if !state {
+					via := ""
+					if ev.via != nil {
+						via = " (via " + ev.via.FullName() + ")"
+					}
+					pass.Reportf(ev.pos, "%s%s can run before the op's WAL ticket is waited: a crash after this ack but before the group-commit fsync forgets an acknowledged write — call Ticket.Wait first", ev.what, via)
+				}
+			}
+		}
+	}
+}
+
+// eventsOf extracts the ordered ticket/write events within one CFG block
+// node. Range statements sit in their loop's head block and are treated
+// shallowly (the ranged expression only); nested function literals run as
+// their own bodies and contribute nothing here.
+func eventsOf(pass *analysis.Pass, root ast.Node) []event {
+	pkg := pass.Pkg
+	if rs, ok := root.(*ast.RangeStmt); ok {
+		if t := pkg.Info.Types[rs.X].Type; t != nil {
+			if ch, ok := types.Unalias(t.Underlying()).(*types.Chan); ok && carriesTicket(ch.Elem()) {
+				return []event{{kind: evRecv, pos: rs.Pos(), what: "range receive of a ticket-carrying op"}}
+			}
+		}
+		return nil
+	}
+	var evs []event
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if t := pkg.Info.Types[n].Type; t != nil && carriesTicket(t) {
+					evs = append(evs, event{kind: evRecv, pos: n.Pos(), what: "receive of a ticket-carrying op"})
+				}
+			}
+		case *ast.CallExpr:
+			fn := pkg.FuncOf(n)
+			if fn == nil {
+				return true
+			}
+			if analysis.IsTicketWait(fn) {
+				evs = append(evs, event{kind: evWait, pos: n.Pos()})
+				return true
+			}
+			if desc := tmflow.RespWriteDesc(pkg, n); desc != "" {
+				evs = append(evs, event{kind: evWrite, pos: n.Pos(), what: desc})
+				return true
+			}
+			if analysis.IsRuntimeFn(fn) {
+				return true
+			}
+			if _, decl := pass.Prog.DeclOf(fn); decl != nil && decl.Body != nil {
+				sum := tmflow.EffectOf(pass.Prog, fn)
+				// Write checked before the callee's wait is applied: the
+				// call site must be safe regardless of the callee's
+				// internal order.
+				if sum.Has(tmflow.EffWritesResponse) {
+					evs = append(evs, event{kind: evWrite, pos: n.Pos(), what: "response write", via: fn})
+				}
+				if sum.Has(tmflow.EffWaitsTicket) {
+					evs = append(evs, event{kind: evWait, pos: n.Pos(), via: fn})
+				}
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// carriesTicket reports whether t contains a wal.Ticket anywhere in its
+// value graph (struct fields, pointers, slices, arrays, channels), to a
+// small depth. Receiving such a value hands this goroutine responsibility
+// for the ticket's durability rendezvous.
+func carriesTicket(t types.Type) bool {
+	return ticketIn(t, make(map[types.Type]bool), 6)
+}
+
+func ticketIn(t types.Type, seen map[types.Type]bool, depth int) bool {
+	if depth == 0 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if analysis.IsNamed(t, analysis.PkgWAL, "Ticket") {
+		return true
+	}
+	switch u := types.Unalias(t.Underlying()).(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if ticketIn(u.Field(i).Type(), seen, depth-1) {
+				return true
+			}
+		}
+	case *types.Pointer:
+		return ticketIn(u.Elem(), seen, depth-1)
+	case *types.Slice:
+		return ticketIn(u.Elem(), seen, depth-1)
+	case *types.Array:
+		return ticketIn(u.Elem(), seen, depth-1)
+	case *types.Chan:
+		return ticketIn(u.Elem(), seen, depth-1)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/ackorder"
+	"gotle/internal/analysis/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ackorder", ackorder.Analyzer)
+}

@@ -1,0 +1,96 @@
+// Fixture for the ackorder analyzer: the writer-goroutine protocol —
+// receive a ticket-carrying op, wait its WAL ticket, then ack. The
+// must-analysis flags any path that writes the response while a ticket
+// is outstanding; bodies without both sides of the protocol stay quiet.
+package fixture
+
+import (
+	"bufio"
+
+	"gotle/internal/wal"
+)
+
+type op struct {
+	tk   wal.Ticket
+	resp []byte
+}
+
+// writeBeforeWait acks before the group-commit rendezvous: a crash
+// after the write but before the fsync forgets the acknowledged op.
+func writeBeforeWait(q chan *op, bw *bufio.Writer) {
+	for o := range q {
+		bw.Write(o.resp) // want ackorder:"bufio.Writer.Write can run before the op's WAL ticket is waited"
+		o.tk.Wait()
+	}
+}
+
+// waitThenWrite is the correct protocol: quiet.
+func waitThenWrite(q chan *op, bw *bufio.Writer) {
+	for o := range q {
+		o.tk.Wait()
+		bw.Write(o.resp)
+	}
+}
+
+// branchMiss waits on only one path; the analysis ANDs over
+// predecessors, so the merged write is flagged.
+func branchMiss(q chan *op, bw *bufio.Writer, fast bool) {
+	for o := range q {
+		if !fast {
+			o.tk.Wait()
+		}
+		bw.Write(o.resp) // want ackorder:"can run before the op's WAL ticket is waited"
+	}
+}
+
+// soloRecv exercises the unary-receive event form.
+func soloRecv(q chan *op, bw *bufio.Writer) {
+	o := <-q
+	bw.Write(o.resp) // want ackorder:"bufio.Writer.Write can run before the op's WAL ticket is waited"
+	o.tk.Wait()
+}
+
+// emit writes on behalf of its caller; its own body has no ticket event,
+// so the gate keeps it quiet — the call site carries the obligation.
+func emit(bw *bufio.Writer, b []byte) {
+	bw.Write(b)
+}
+
+// writeViaCallee: the write hides behind a summarized callee; the effect
+// summary surfaces it at the call site.
+func writeViaCallee(q chan *op, bw *bufio.Writer) {
+	for o := range q {
+		emit(bw, o.resp) // want ackorder:"response write \\(via fixture/ackorder.emit\\) can run before the op's WAL ticket is waited"
+		o.tk.Wait()
+	}
+}
+
+// settle both waits and writes; at its call site the write is checked
+// against the caller's state before the wait is applied, so calling it
+// with an outstanding ticket is still a finding.
+func settle(o *op, bw *bufio.Writer) {
+	o.tk.Wait()
+	bw.Write(o.resp)
+}
+
+// callSettleEarly hands an unwaited ticket to a callee that writes.
+func callSettleEarly(q chan *op, bw *bufio.Writer) {
+	for o := range q {
+		settle(o, bw) // want ackorder:"response write \\(via fixture/ackorder.settle\\) can run before the op's WAL ticket is waited"
+	}
+}
+
+// statsDump has writes but no ticket traffic: gated out, quiet.
+func statsDump(bw *bufio.Writer) {
+	bw.Write([]byte("STAT uptime 1\r\n"))
+	bw.Write([]byte("END\r\n"))
+}
+
+// allowedSite exercises the suppression hatch for protocols the
+// must-analysis cannot see.
+func allowedSite(q chan *op, bw *bufio.Writer) {
+	for o := range q {
+		bw.Write(o.resp) //gotle:allow ackorder fixture: justified by an out-of-band memoization, suppressed
+		o.tk.Wait()
+	}
+}

@@ -8,12 +8,13 @@
 // transaction-safe code, condition-variable waits must be a transaction's
 // last operation, and TM.NoQuiesce is only sound for transactions that do
 // not privatize. Go has no such compiler support, so this package supplies
-// it as a vet-style suite. The five analyzers live in subpackages
-// (txsafe, txpure, txescape, cvlast, noqpriv) and are driven together by
-// cmd/tmvet; see DESIGN.md for the mapping from each analyzer to the
-// compiler check it substitutes for.
+// it as a vet-style suite. The analyzers live in subpackages
+// (txsafe, txpure, txescape, cvlast, noqpriv, lockorder, capest, and the
+// serving-path four: txblock, ackorder, hotalloc, falseshare) and are
+// driven together by cmd/tmvet; see DESIGN.md for the mapping from each
+// analyzer to the compiler check it substitutes for.
 //
-// Two source directives interact with the suite:
+// Four source directives interact with the suite:
 //
 //	//gotle:allow rule[,rule...] [reason]
 //
@@ -28,6 +29,18 @@
 // performs irrevocable actions and is only reached from irrevocable
 // contexts (Engine.Synchronized bodies, Tx.Defer actions, or the pthread
 // baseline); txsafe treats calls to it as opaque instead of walking in.
+//
+//	//gotle:hotpath [reason]
+//
+// in a function's doc comment marks it a root of the allocation-free
+// serving path: hotalloc verifies the function and everything it can
+// statically reach allocate nothing, making the runtime AllocsPerRun
+// gate (make serve-smoke) explainable per site.
+//
+//	//gotle:coldpath [reason]
+//
+// in a function's doc comment marks a deliberately unoptimized path
+// (error replies, stats rendering) that hotalloc treats as opaque.
 package analysis
 
 import (

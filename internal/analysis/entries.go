@@ -72,6 +72,21 @@ func AtomicEntries(pkg *Package) []*Entry {
 	return out
 }
 
+// AllEntries returns every critical-section body in the program whose
+// syntax lives in pkg — atomic AND synchronized. Synchronized bodies run
+// serially and irrevocably, so most analyzers exempt them, but blocking
+// there stalls every policy behind the global serial lock; txblock audits
+// both kinds.
+func AllEntries(pkg *Package) []*Entry {
+	var out []*Entry
+	for _, e := range pkg.Prog.entries() {
+		if e.BodyPkg == pkg {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // entries scans the whole program once and caches the result.
 func (prog *Program) entryList() []*Entry {
 	var list []*Entry

@@ -1,0 +1,239 @@
+// Package falseshare implements the cache-line layout auditor: struct
+// types in which two or more atomically-updated words share a 64-byte
+// cache line are flagged, because concurrent writers to the two words
+// ping-pong the line between cores exactly as if they contended on one
+// word (PAPER.md Section V's cache-geometry sensitivity, applied to the
+// serving path's counter structs rather than the orec table).
+//
+// Two rules:
+//
+//   - intra-struct: using the real gc layout (types.Sizes.Offsetsof),
+//     ≥2 sync/atomic-typed fields whose offsets fall in the same 64-byte
+//     line produce one diagnostic per struct. The suggested fix (applied
+//     by `tmvet -fix`) inserts `_ [N]byte` pad fields so each flagged
+//     atomic word starts its own line — the mechanical transform the
+//     tmclock padding experiments validated.
+//
+//   - element: a field of slice/array type whose element contains an
+//     atomic word and whose element size is not a multiple of 64 puts
+//     neighboring elements on shared lines. No automatic fix: whether to
+//     pad elements, interleave stripes, or accept the sharing is a
+//     measured trade-off (see internal/tmclock's layout audit, which
+//     rejected padding for the orec table with numbers), so the finding
+//     demands either a layout change or a //gotle:allow falseshare
+//     citing the measurement.
+//
+// Per-thread or single-writer counter blocks (internal/stats) share lines
+// harmlessly — no concurrent writer exists — and carry allows saying so.
+package falseshare
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"runtime"
+
+	"gotle/internal/analysis"
+)
+
+// Analyzer is the falseshare pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "falseshare",
+	Doc:  "flag atomic words sharing a cache line in struct and element layouts",
+	Run:  run,
+}
+
+// lineSize is the coherence granule the audit assumes. 64 bytes covers
+// every amd64/arm64 part the repo targets.
+const lineSize = 64
+
+var sizes = types.SizesFor("gc", runtime.GOARCH)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	tstruct, ok := types.Unalias(obj.Type().Underlying()).(*types.Struct)
+	if !ok || tstruct.NumFields() == 0 {
+		return
+	}
+	fields := make([]*types.Var, tstruct.NumFields())
+	for i := range fields {
+		fields[i] = tstruct.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+
+	// Intra-struct rule: collect the atomic fields per 64-byte line.
+	type hotWord struct {
+		f   *types.Var
+		off int64
+	}
+	byLine := map[int64][]hotWord{}
+	var shared int
+	for i, f := range fields {
+		if !isAtomicType(f.Type()) {
+			continue
+		}
+		line := offsets[i] / lineSize
+		byLine[line] = append(byLine[line], hotWord{f, offsets[i]})
+		if len(byLine[line]) == 2 {
+			shared++
+		}
+	}
+	if shared > 0 {
+		var ex []hotWord
+		var exLine int64 = -1
+		for line, ws := range byLine {
+			if len(ws) >= 2 && (exLine < 0 || line < exLine) {
+				exLine, ex = line, ws
+			}
+		}
+		d := analysis.Diagnostic{
+			Pos: ts.Pos(),
+			Message: fmt.Sprintf("struct %s: atomic fields share a cache line (%s at offset %d and %s at offset %d are both in bytes %d-%d): concurrent writers ping-pong the line; pad each hot word to its own line or group fields by writer",
+				ts.Name.Name, ex[0].f.Name(), ex[0].off, ex[1].f.Name(), ex[1].off,
+				exLine*lineSize, exLine*lineSize+lineSize-1),
+		}
+		if fix, ok := padFix(pass, ts, st, tstruct); ok {
+			d.Fixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(d)
+	}
+
+	// Element rule: neighbor elements of a dense atomic-bearing
+	// slice/array share lines.
+	for _, af := range st.Fields.List {
+		var name string
+		if len(af.Names) > 0 {
+			name = af.Names[0].Name
+		}
+		t := pass.Pkg.Info.Types[af.Type].Type
+		if t == nil {
+			continue
+		}
+		var elem types.Type
+		switch u := types.Unalias(t.Underlying()).(type) {
+		case *types.Slice:
+			elem = u.Elem()
+		case *types.Array:
+			elem = u.Elem()
+		default:
+			continue
+		}
+		if !containsAtomic(elem, 4) {
+			continue
+		}
+		if es := sizes.Sizeof(elem); es%lineSize != 0 {
+			pass.Reportf(af.Pos(), "field %s: elements of %s are %d bytes, so neighboring elements' atomic words share cache lines: pad the element to %d bytes, interleave stripes, or justify the density with a measurement (//gotle:allow falseshare)",
+				name, elem.String(), es, lineSize)
+		}
+	}
+}
+
+// padFix builds the `_ [N]byte` insertions that give each line-sharing
+// atomic field its own cache line, simulating the relayout field by
+// field so successive pads account for earlier ones. Declined when an
+// offending field shares an *ast.Field with other names (padding cannot
+// be inserted between names of one field).
+func padFix(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType, tstruct *types.Struct) (analysis.SuggestedFix, bool) {
+	var edits []analysis.TextEdit
+	var off int64
+	lastAtomicLine := int64(-1)
+	idx := 0
+	for _, af := range st.Fields.List {
+		n := len(af.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n; j++ {
+			if idx >= tstruct.NumFields() {
+				return analysis.SuggestedFix{}, false
+			}
+			f := tstruct.Field(idx)
+			idx++
+			al := sizes.Alignof(f.Type())
+			if al > 0 && off%al != 0 {
+				off += al - off%al
+			}
+			if isAtomicType(f.Type()) {
+				if off/lineSize == lastAtomicLine {
+					if n > 1 {
+						return analysis.SuggestedFix{}, false
+					}
+					pad := lineSize - off%lineSize
+					edits = append(edits, analysis.TextEdit{
+						Pos: af.Pos(), End: af.Pos(),
+						NewText: fmt.Sprintf("_ [%d]byte // pad: keep the next hot word on its own cache line\n\t", pad),
+					})
+					off += pad
+				}
+				lastAtomicLine = off / lineSize
+			}
+			off += sizes.Sizeof(f.Type())
+		}
+	}
+	if len(edits) == 0 {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message: fmt.Sprintf("pad struct %s so each atomic word owns its cache line", ts.Name.Name),
+		Edits:   edits,
+	}, true
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed words
+// (Uint64, Int64, Uint32, Int32, Bool, Uintptr, Pointer[T], Value).
+func isAtomicType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether t holds an atomic word anywhere in its
+// direct value layout (struct fields, arrays), to a small depth.
+func containsAtomic(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	if isAtomicType(t) {
+		return true
+	}
+	switch u := types.Unalias(t.Underlying()).(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), depth-1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), depth-1)
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package falseshare_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/falseshare"
+)
+
+func TestFalseshare(t *testing.T) {
+	analysistest.Run(t, "testdata/src/falseshare", falseshare.Analyzer)
+}
+
+func TestFalseshareFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata/src/falsesharefix", falseshare.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Fixture for the falseshare analyzer: atomic words sharing a 64-byte
+// cache line, in struct layouts (intra-struct rule, with the pad fix)
+// and in dense slice/array element layouts (element rule, fix-free by
+// design — the right mitigation is a measured trade-off).
+package fixture
+
+import "sync/atomic"
+
+// hotPair: two concurrently-written words on one line ping-pong it.
+type hotPair struct { // want falseshare:"struct hotPair: atomic fields share a cache line"
+	a atomic.Uint64
+	b atomic.Uint64
+}
+
+// padded is clean: each hot word owns its line.
+type padded struct {
+	a atomic.Uint64
+	_ [56]byte
+	b atomic.Uint64
+	_ [56]byte
+}
+
+// mixed is clean: one atomic word per line even with cold fields around
+// it (the rule counts atomic words per line, not fields).
+type mixed struct {
+	name string
+	hits atomic.Uint64
+	cold []byte
+}
+
+// denseSlice: 8-byte elements put eight atomic words on every line.
+type denseSlice struct {
+	recs []atomic.Uint64 // want falseshare:"field recs: elements of sync/atomic.Uint64 are 8 bytes"
+}
+
+// padElem is a 64-byte element: stripes of these never share.
+type padElem struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripedSlice is clean: element size is a line multiple.
+type stripedSlice struct {
+	recs []padElem
+}
+
+// denseArray: arrays get the same element rule as slices.
+type denseArray struct {
+	slots [8]atomic.Uint32 // want falseshare:"field slots: elements of sync/atomic.Uint32 are 4 bytes"
+}
+
+// allowedDense carries the justification the element rule demands.
+type allowedDense struct {
+	//gotle:allow falseshare fixture: density measured and accepted
+	recs []atomic.Uint64
+}

@@ -1,0 +1,17 @@
+// Fixture for the falseshare pad autofix: `tmvet -fix` inserts `_ [N]byte`
+// pads so each flagged atomic word starts its own cache line, simulating
+// the relayout field by field so successive pads account for earlier ones.
+package fixture
+
+import "sync/atomic"
+
+type scoreboard struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type triple struct {
+	a atomic.Uint64
+	b atomic.Uint64
+	c atomic.Uint64
+}

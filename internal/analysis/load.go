@@ -31,6 +31,8 @@ type Program struct {
 	gc       types.Importer
 	fnDecls  map[*types.Func]funcDecl
 	irrev    map[*types.Func]bool
+	hot      map[*types.Func]bool
+	cold     map[*types.Func]bool
 	suppress map[string]map[int][]string // filename -> line -> allowed rules
 
 	entryCache []*Entry // lazy; invalidated when packages are added
@@ -129,6 +131,8 @@ func newProgram() *Program {
 		std:      importer.ForCompiler(fset, "source", nil),
 		fnDecls:  make(map[*types.Func]funcDecl),
 		irrev:    make(map[*types.Func]bool),
+		hot:      make(map[*types.Func]bool),
+		cold:     make(map[*types.Func]bool),
 		suppress: make(map[string]map[int][]string),
 	}
 	prog.gc = importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
@@ -236,6 +240,12 @@ func (prog *Program) indexPackage(pkg *Package) {
 			if hasDirective(fd.Doc, "gotle:irrevocable") {
 				prog.irrev[fn] = true
 			}
+			if hasDirective(fd.Doc, "gotle:hotpath") {
+				prog.hot[fn] = true
+			}
+			if hasDirective(fd.Doc, "gotle:coldpath") {
+				prog.cold[fn] = true
+			}
 		}
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -267,6 +277,17 @@ func (prog *Program) DeclOf(fn *types.Func) (*Package, *ast.FuncDecl) {
 
 // Irrevocable reports whether fn carries a //gotle:irrevocable annotation.
 func (prog *Program) Irrevocable(fn *types.Func) bool { return prog.irrev[fn] }
+
+// Hotpath reports whether fn's doc comment carries //gotle:hotpath: the
+// function is a root of the allocation-free serving path and hotalloc
+// verifies it (and everything it can statically reach) allocation-free.
+func (prog *Program) Hotpath(fn *types.Func) bool { return prog.hot[fn] }
+
+// Coldpath reports whether fn's doc comment carries //gotle:coldpath: a
+// deliberately unoptimized path (error replies, stats rendering) that
+// hotalloc treats as opaque instead of walking into, with a written
+// justification expected alongside the directive.
+func (prog *Program) Coldpath(fn *types.Func) bool { return prog.cold[fn] }
 
 // Lookup returns the loaded package with the given import path, or nil.
 func (prog *Program) Lookup(path string) *Package { return prog.byPath[path] }

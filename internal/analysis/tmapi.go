@@ -13,6 +13,10 @@ const (
 	PkgTLE     = "gotle/internal/tle"
 	PkgCondvar = "gotle/internal/condvar"
 	PkgMemseg  = "gotle/internal/memseg"
+	// PkgWAL is the redo log. It is deliberately NOT in RuntimePkgs: the
+	// serving-path analyzers (txblock, ackorder) track its Ticket.Wait
+	// durability rendezvous, and hotalloc audits its hot append path.
+	PkgWAL = "gotle/internal/wal"
 )
 
 // EntryKind distinguishes the two critical-section entry forms of the
@@ -104,6 +108,14 @@ func IsFreeCall(fn *types.Func) bool {
 	return IsTxMethod(fn, "Free") ||
 		IsMethod(fn, PkgTM, "Engine", "Free") ||
 		IsMethod(fn, PkgTM, "Engine", "FreeTM")
+}
+
+// IsTicketWait reports whether fn is wal.Ticket.Wait, the durability
+// rendezvous that blocks until a record is covered by a group-commit
+// fsync. txblock flags it inside critical sections; ackorder requires it
+// before the op's response write.
+func IsTicketWait(fn *types.Func) bool {
+	return IsMethod(fn, PkgWAL, "Ticket", "Wait")
 }
 
 // IsCondMethod reports whether fn is the condvar.Cond method with the

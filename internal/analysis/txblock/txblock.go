@@ -1,0 +1,131 @@
+// Package txblock implements the blocking-operation analyzer for critical
+// sections: the whole-program complement to txsafe built on tmflow's
+// interprocedural effect summaries.
+//
+// txsafe asks "is this operation revocable?"; txblock asks "can this
+// operation make progress while the section holds the lock?" — the
+// paper's Listing 3 failure mode generalized to the serving path. Two
+// classes of blocking are flagged:
+//
+//   - wait-class: channel operations, time.Sleep/After/Tick, native sync
+//     waits (Mutex.Lock, WaitGroup.Wait, Cond.Wait), and wal.Ticket.Wait.
+//     Inside an atomic body such a wait can never succeed under elision —
+//     the transaction cannot observe the concurrent update that would
+//     satisfy it — and inside a Synchronized body it stalls every policy
+//     behind the global serial lock. Flagged in BOTH entry kinds.
+//
+//   - io-class: file, network, and buffered I/O (os, net, syscall, bufio,
+//     io). Synchronized bodies are the sanctioned home for irrevocable
+//     I/O, so this class is flagged only inside atomic bodies, where the
+//     syscall both blocks and re-fires on retry.
+//
+// The walk descends only into module-local callees whose effect summary
+// carries EffBlocks — the summaries turn the transitive check into a
+// near-constant-cost prefilter — and reports the blocking site itself
+// with the call chain that reaches it.
+//
+// Escape hatches: move the wait outside the section (the writer
+// goroutine owns Ticket.Wait in the PR-7 pipeline), defer I/O with
+// Tx.Defer, or suppress a justified site with //gotle:allow txblock.
+package txblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+// Analyzer is the txblock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "txblock",
+	Doc:  "flag blocking operations reachable from atomic or serial critical sections",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range analysis.AllEntries(pass.Pkg) {
+		e := e
+		v := &tmflow.Visitor{
+			Prog:            pass.Prog,
+			SkipIrrevocable: true,
+			Opaque: func(fn *types.Func) bool {
+				if analysis.IsRuntimeFn(fn) {
+					return true
+				}
+				if _, decl := pass.Prog.DeclOf(fn); decl == nil {
+					return true // external: classified at the call node
+				}
+				// Summary prefilter: don't walk callees that cannot block.
+				return !tmflow.EffectOf(pass.Prog, fn).Has(tmflow.EffBlocks)
+			},
+			Visit: func(pkg *analysis.Package, n ast.Node, trail []*types.Func) bool {
+				check(pass, e, pkg, n, trail)
+				return true
+			},
+		}
+		v.Walk(e.BodyPkg, e.Body())
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, e *analysis.Entry, pkg *analysis.Package, n ast.Node, trail []*types.Func) {
+	via := analysis.TrailString(trail)
+	if desc := tmflow.ChanOpDesc(pkg, n); desc != "" {
+		pass.Reportf(n.Pos(), "%s %s: %s%s", desc, inKind(e), waitWhy(e), via)
+		return
+	}
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := pkg.FuncOf(call)
+	if fn == nil || analysis.IsRuntimeFn(fn) {
+		return
+	}
+	desc := tmflow.BlockingCallDesc(fn)
+	if desc == "" {
+		return
+	}
+	if waitClass(fn) {
+		pass.Reportf(n.Pos(), "%s %s: %s%s", desc, inKind(e), waitWhy(e), via)
+		return
+	}
+	// io-class: Synchronized bodies are the sanctioned home for I/O.
+	if e.Kind == analysis.EntryAtomic {
+		pass.Reportf(n.Pos(), "%s inside an atomic block: the syscall blocks the transaction and re-fires on every retry (move it after commit via Tx.Defer)%s", desc, via)
+	}
+}
+
+// waitClass reports whether fn waits for a concurrent event (as opposed
+// to performing I/O): these can never be satisfied from inside an elided
+// section and stall the serial lock in a Synchronized one.
+func waitClass(fn *types.Func) bool {
+	if analysis.IsTicketWait(fn) {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "time", "sync":
+		return true
+	}
+	return false
+}
+
+func inKind(e *analysis.Entry) string {
+	if e.Kind == analysis.EntrySynchronized {
+		return "inside a Synchronized block"
+	}
+	return "inside an atomic block"
+}
+
+func waitWhy(e *analysis.Entry) string {
+	if e.Kind == analysis.EntrySynchronized {
+		return "the serial section holds the global lock while waiting, stalling every policy behind it (hoist the wait out of the section)"
+	}
+	return "an in-transaction wait can never be satisfied under elision — the transaction cannot observe the concurrent update it waits for (Listing 3)"
+}

@@ -1,0 +1,12 @@
+package txblock_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/txblock"
+)
+
+func TestTxblock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txblock", txblock.Analyzer)
+}

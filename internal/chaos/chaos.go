@@ -139,13 +139,16 @@ type Injector struct {
 	stallIters int
 	traceCap   int
 
+	//gotle:allow falseshare test-only fault-injection counters; never on a measured path
 	calls [numPoints]atomic.Uint64
+	//gotle:allow falseshare test-only fault-injection counters; never on a measured path
 	fired [numPoints]atomic.Uint64
 	// fingerprint accumulates the hash of every fired event. Addition is
 	// commutative, so the value is schedule-independent for deterministic
 	// per-thread workloads.
 	fingerprint atomic.Uint64
 
+	//gotle:allow falseshare test-only fault-injection counters; never on a measured path
 	streams [streamSlots][numPoints]atomic.Uint64
 
 	trace struct {

@@ -111,6 +111,11 @@ func (c Config) numSets() int {
 // lineRec tracks conflict state for one 64-byte line. readers is a bitmask
 // of thread ids with the line in their read set; writer is id+1 of the
 // transaction with the line in its write set, or 0.
+//
+// The simulator MODELS cache lines: lineRec density mirrors the modeled
+// line table, and padding it would distort what the model measures.
+//
+//gotle:allow falseshare the simulator models cache-line conflict state; density is the model, not an accident
 type lineRec struct {
 	readers atomic.Uint64
 	writer  atomic.Uint32
@@ -118,11 +123,14 @@ type lineRec struct {
 
 // HTM is the shared state of one simulated HTM instance.
 type HTM struct {
-	mem    *memseg.Memory
-	lines  []lineRec
+	mem *memseg.Memory
+	//gotle:allow falseshare the simulator models cache-line conflict state; density is the model, not an accident
+	lines []lineRec
+	//gotle:allow falseshare per-thread status words are written once per attempt, read by the owner; contention is negligible in the simulator
 	status [MaxThreads]atomic.Uint32
-	cause  [MaxThreads]atomic.Uint32 // abort cause set by the attacker
-	cfg    Config
+	//gotle:allow falseshare per-thread status words are written once per attempt, read by the owner; contention is negligible in the simulator
+	cause [MaxThreads]atomic.Uint32 // abort cause set by the attacker
+	cfg   Config
 }
 
 // New creates an HTM simulator over the given heap.

@@ -66,6 +66,9 @@ type BatchResult struct {
 var (
 	ErrBadKey = errors.New("kvstore: bad key length")
 	ErrBadVal = errors.New("kvstore: value exceeds MaxValLen")
+
+	errResLen      = errors.New("kvstore: MutateBatch len(ops) != len(res)")
+	errScratchMove = errors.New("kvstore: BatchScratch reused across stores")
 )
 
 // BatchScratch carries the reusable state of one connection's fused
@@ -92,6 +95,12 @@ type BatchScratch struct {
 	curOps []BatchOp
 	curRes []BatchResult
 	bodyFn func(tx tm.Tx) error
+
+	// numB is the digit arena for fused incr/decr results: applyIncr
+	// appends each op's decimal bytes here so a batch of counters stages
+	// WAL records without per-op allocations. Reset per attempt in
+	// batchBody; consumed by flushFn before the next batch reuses it.
+	numB []byte
 }
 
 // grow readies the per-op and per-shard slices for n ops over t touched
@@ -117,9 +126,11 @@ func (sc *BatchScratch) growOps(n int) {
 // elide onto one TM mechanism (a lock-based policy, or the adaptive
 // controller mid-transition); the caller falls back to per-op execution.
 // Any other error is an engine failure.
+//
+//gotle:hotpath per-batch mutation entry; covered by the serve-smoke AllocsPerRun gate
 func (s *Store) MutateBatch(th *tm.Thread, ops []BatchOp, res []BatchResult, sc *BatchScratch) error {
 	if len(ops) != len(res) {
-		return errors.New("kvstore: MutateBatch len(ops) != len(res)")
+		return errResLen
 	}
 	sc.Tickets = sc.Tickets[:0]
 	if len(ops) == 0 {
@@ -128,9 +139,11 @@ func (s *Store) MutateBatch(th *tm.Thread, ops []BatchOp, res []BatchResult, sc 
 	if sc.store == nil {
 		sc.store = s
 		sc.fuse = s.r.NewFuse()
+		//gotle:allow hotalloc bound once per scratch lifetime, reused by every batch
 		sc.bodyFn = func(tx tm.Tx) error { return s.batchBody(tx, sc) }
 		// One closure for the life of the scratch: tx.Defer on the hot
 		// path must not allocate a fresh func per batch.
+		//gotle:allow hotalloc bound once per scratch lifetime, reused by every batch
 		sc.flushFn = func() {
 			l := sc.store.wal
 			for j := range sc.recs {
@@ -140,7 +153,7 @@ func (s *Store) MutateBatch(th *tm.Thread, ops []BatchOp, res []BatchResult, sc 
 			}
 		}
 	} else if sc.store != s {
-		return errors.New("kvstore: BatchScratch reused across stores")
+		return errScratchMove
 	}
 
 	// Route: validate, hash, and collect the distinct shards in ascending
@@ -219,11 +232,14 @@ func (s *Store) MutateBatch(th *tm.Thread, ops []BatchOp, res []BatchResult, sc 
 }
 
 // batchBody is the fused transaction body over sc.curOps/sc.curRes.
+//
+//gotle:hotpath fused transaction body, entered via the scratch's bound closure
 func (s *Store) batchBody(tx tm.Tx, sc *BatchScratch) error {
 	ops, res := sc.curOps, sc.curRes
 	for j := range sc.recs {
 		sc.recs[j] = sc.recs[j][:0]
 	}
+	sc.numB = sc.numB[:0]
 	staged := false
 	for i := range ops {
 		si := sc.shardOf[i]
@@ -246,7 +262,19 @@ func (s *Store) batchBody(tx tm.Tx, sc *BatchScratch) error {
 				staged = s.stageWAL(tx, sh, sc, sc.pos[i], wal.OpDelete, 0, op.Key, nil) || staged
 			}
 		case BatchIncr, BatchDecr:
-			nv, nb, fl, st, _ := s.applyIncr(tx, sh, sc.hash[i], op.Key, op.Delta, op.Verb == BatchDecr)
+			base := len(sc.numB)
+			nv, full, fl, st, _ := s.applyIncr(tx, sh, sc.hash[i], op.Key, op.Delta, op.Verb == BatchDecr, sc.numB)
+			var nb []byte
+			if full != nil {
+				// Re-adopt the arena: append inside applyIncr may have
+				// grown it. Records staged by earlier ops keep aliasing
+				// the old backing array — safe, since staged bytes are
+				// immutable and the records pin that array — and growth
+				// amortizes to zero once the arena reaches the
+				// connection's steady batch shape.
+				sc.numB = full
+				nb = full[base:]
+			}
 			res[i] = BatchResult{Incr: st, NewVal: nv}
 			if st == IncrStored {
 				staged = s.stageWAL(tx, sh, sc, sc.pos[i], wal.OpSet, fl, op.Key, nb) || staged

@@ -424,9 +424,11 @@ func (s *Store) GetItem(th *tm.Thread, key []byte) (Item, bool, error) {
 // allocation-free once the buffer has warmed up. The (possibly grown)
 // buffer is always returned, truncated back to its original length on a
 // miss or error.
+//
+//gotle:hotpath per-get read path appending into the caller's reused buffer
 func (s *Store) GetItemAppend(th *tm.Thread, key, dst []byte) ([]byte, Item, bool, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return dst, Item{}, false, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return dst, Item{}, false, ErrBadKey
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
@@ -450,8 +452,8 @@ func (s *Store) GetItemAppend(th *tm.Thread, key, dst []byte) ([]byte, Item, boo
 		meta := tx.Load(item + itMeta)
 		keyWords := (int(meta>>32) + 7) / 8
 		out = unpackAppend(tx, item+itData+memseg.Addr(keyWords), int(meta&0xFFFFFFFF), out) //gotle:allow txpure append-only past base, rewound above; a committed attempt's bytes are the last attempt's
-		it.Flags = uint32(tx.Load(item + itFlags))                                          //gotle:allow txpure write-once out-param, read only after Do returns
-		it.CAS = tx.Load(item + itCas)                                                      //gotle:allow txpure write-once out-param, read only after Do returns
+		it.Flags = uint32(tx.Load(item + itFlags))                                           //gotle:allow txpure write-once out-param, read only after Do returns
+		it.CAS = tx.Load(item + itCas)                                                       //gotle:allow txpure write-once out-param, read only after Do returns
 		s.lruUnlink(tx, sh, item)
 		s.lruPushFront(tx, sh, item)
 		found = true
@@ -567,10 +569,10 @@ func (s *Store) CompareAndSwapD(th *tm.Thread, key, val []byte, flags uint32, ca
 // and free any old entry, insert the new one, evict past capacity.
 func (s *Store) mutate(th *tm.Thread, key, val []byte, flags uint32, mode storeMode, wantCas uint64) (StoreStatus, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return NotStored, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return NotStored, wal.Ticket{}, ErrBadKey
 	}
 	if len(val) > MaxValLen {
-		return NotStored, wal.Ticket{}, fmt.Errorf("kvstore: value of %d bytes exceeds MaxValLen", len(val))
+		return NotStored, wal.Ticket{}, ErrBadVal
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
@@ -699,7 +701,7 @@ func (s *Store) Incr(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64
 // itself be a replayed value.
 func (s *Store) IncrD(th *tm.Thread, key []byte, delta uint64, decr bool) (uint64, IncrStatus, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return 0, IncrNotFound, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return 0, IncrNotFound, wal.Ticket{}, ErrBadKey
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)
@@ -709,7 +711,8 @@ func (s *Store) IncrD(th *tm.Thread, key []byte, delta uint64, decr bool) (uint6
 	status := IncrStored
 	//gotle:allow capest worst-case over unknown-length loops; bounded by MaxKeyLen/MaxValLen in practice
 	err := sh.mu.Do(th, func(tx tm.Tx) error {
-		nv, newBytes, flags, st, _ := s.applyIncr(tx, sh, h, key, delta, decr)
+		var numB [20]byte
+		nv, newBytes, flags, st, _ := s.applyIncr(tx, sh, h, key, delta, decr, numB[:0])
 		newVal, status = nv, st
 		// Unconditional; see the store path for why this is always safe.
 		//gotle:allow noqpriv allocator safety is engine-enforced for freeing attempts; no post-commit non-transactional access to privatized items
@@ -730,7 +733,15 @@ func (s *Store) IncrD(th *tm.Thread, key []byte, delta uint64, decr bool) (uint6
 // record — replay must not re-run the arithmetic), the item's flags, the
 // status, and whether the op freed item memory (digit-width change
 // reallocates).
-func (s *Store) applyIncr(tx tm.Tx, sh *shard, h uint64, key []byte, delta uint64, decr bool) (newVal uint64, newBytes []byte, flags uint32, status IncrStatus, privatized bool) {
+//
+// The new value's digits are appended to dst; newBytes is the full
+// appended slice, so the digits are newBytes[len(dst):]. The batch path
+// hands in its scratch arena (and re-adopts the returned slice, since
+// append may have grown it) so a fused run of incrs stays
+// allocation-free; the solo path passes a small stack buffer. The current
+// value is read into a stack buffer too (a stored counter never exceeds
+// 20 digits), so the read side allocates nothing.
+func (s *Store) applyIncr(tx tm.Tx, sh *shard, h uint64, key []byte, delta uint64, decr bool, dst []byte) (newVal uint64, newBytes []byte, flags uint32, status IncrStatus, privatized bool) {
 	bucket := sh.base + shBuckets + memseg.Addr((h>>32)&sh.mask)
 	linkAt, item := s.findInChain(tx, sh, bucket, key)
 	if item == memseg.Nil {
@@ -739,7 +750,11 @@ func (s *Store) applyIncr(tx tm.Tx, sh *shard, h uint64, key []byte, delta uint6
 	meta := tx.Load(item + itMeta)
 	keyWords := (int(meta>>32) + 7) / 8
 	valLen := int(meta & 0xFFFFFFFF)
-	cur, ok := parseDecimal(unpackBytes(tx, item+itData+memseg.Addr(keyWords), valLen))
+	if valLen > 20 {
+		return 0, nil, 0, IncrNaN, false // a decimal uint64 never exceeds 20 digits
+	}
+	var curB [20]byte
+	cur, ok := parseDecimal(unpackAppend(tx, item+itData+memseg.Addr(keyWords), valLen, curB[:0]))
 	if !ok {
 		return 0, nil, 0, IncrNaN, false
 	}
@@ -753,30 +768,31 @@ func (s *Store) applyIncr(tx tm.Tx, sh *shard, h uint64, key []byte, delta uint6
 	} else {
 		next = cur + delta // wraps at 2^64, like memcached
 	}
-	newBytes = strconv.AppendUint(nil, next, 10)
+	full := strconv.AppendUint(dst, next, 10)
+	digits := full[len(dst):]
 	fl := tx.Load(item + itFlags)
-	if len(newBytes) == valLen {
+	if len(digits) == valLen {
 		// Same digit count: overwrite the value words in place. The
 		// value region starts on a word boundary, so packBytes'
 		// zero-padding never clobbers key bytes.
-		packBytes(tx, item+itData+memseg.Addr(keyWords), newBytes)
+		packBytes(tx, item+itData+memseg.Addr(keyWords), digits)
 		tx.Store(item+itCas, nextCas(tx, sh))
-		return next, newBytes, uint32(fl), IncrStored, false
+		return next, full, uint32(fl), IncrStored, false
 	}
 	// Digit count changed: reallocate the item (same key, new value).
 	tx.Store(linkAt, tx.Load(item+itChain))
 	s.lruUnlink(tx, sh, item)
 	tx.Free(item)
-	fresh := tx.Alloc(wordsFor(len(key), len(newBytes)))
-	tx.Store(fresh+itMeta, uint64(len(key))<<32|uint64(len(newBytes)))
+	fresh := tx.Alloc(wordsFor(len(key), len(digits)))
+	tx.Store(fresh+itMeta, uint64(len(key))<<32|uint64(len(digits)))
 	tx.Store(fresh+itCas, nextCas(tx, sh))
 	tx.Store(fresh+itFlags, fl)
 	packBytes(tx, fresh+itData, key)
-	packBytes(tx, fresh+itData+memseg.Addr(keyWords), newBytes)
+	packBytes(tx, fresh+itData+memseg.Addr(keyWords), digits)
 	tx.Store(fresh+itChain, tx.Load(bucket))
 	tx.Store(bucket, uint64(fresh))
 	s.lruPushFront(tx, sh, fresh)
-	return next, newBytes, uint32(fl), IncrStored, true
+	return next, full, uint32(fl), IncrStored, true
 }
 
 // parseDecimal parses an unsigned decimal byte string strictly (no sign,
@@ -790,9 +806,13 @@ func parseDecimal(b []byte) (uint64, bool) {
 			return 0, false
 		}
 	}
-	v, err := strconv.ParseUint(string(b), 10, 64)
-	if err != nil {
-		return 0, false
+	var v uint64
+	for _, c := range b {
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false // overflows uint64
+		}
+		v = v*10 + d
 	}
 	return v, true
 }
@@ -820,7 +840,7 @@ func (s *Store) Delete(th *tm.Thread, key []byte) (bool, error) {
 // DeleteD is Delete with a durability ticket.
 func (s *Store) DeleteD(th *tm.Thread, key []byte) (bool, wal.Ticket, error) {
 	if len(key) == 0 || len(key) > MaxKeyLen {
-		return false, wal.Ticket{}, fmt.Errorf("kvstore: bad key length %d", len(key))
+		return false, wal.Ticket{}, ErrBadKey
 	}
 	h := fnv1a(key)
 	sh := s.shardFor(h)

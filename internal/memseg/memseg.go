@@ -57,6 +57,11 @@ type Memory struct {
 	next  atomic.Uint64 // bump pointer (word index of next fresh block)
 	limit uint64
 	// freeHeads[c] packs (aba count << 32 | addr) for class c's free stack.
+	// Dense free-list heads: padding to a line per class would cost
+	// numClasses*56 bytes to speed up only the cross-class-contention
+	// case, which the size-class routing makes rare (threads in the same
+	// phase hit the same class, where sharing is inherent).
+	//gotle:allow falseshare cross-class contention is rare by construction; same-class contention is inherent to a shared free list
 	freeHeads [numClasses]atomic.Uint64
 	poison    bool
 	liveBytes atomic.Int64 // live payload words, advisory accounting

@@ -99,6 +99,7 @@ type ClientError struct{ Msg string }
 
 func (e *ClientError) Error() string { return "client error: " + e.Msg }
 
+//gotle:coldpath malformed-request replies format an error string; never on the measured path
 func clientErr(format string, args ...any) error {
 	return &ClientError{Msg: fmt.Sprintf(format, args...)}
 }
@@ -122,6 +123,8 @@ func ParseCommand(line []byte) (Command, error) {
 // splitFields is bytes.Fields restricted to the protocol's ASCII
 // separators, appending into dst — the decoder reuses one scratch slice
 // per connection so field splitting never allocates on the hot path.
+//
+//gotle:hotpath per-request field split; covered by the serve-smoke AllocsPerRun gate
 func splitFields(line []byte, dst [][]byte) [][]byte {
 	i := 0
 	for i < len(line) {
@@ -152,6 +155,8 @@ func asciiSpace(b byte) bool {
 // parseCommandFields parses a pre-split request line into c, reusing c's
 // Keys backing array across calls. Key slices alias the line buffer; the
 // caller owns that buffer for the command's lifetime.
+//
+//gotle:hotpath per-request command parse; covered by the serve-smoke AllocsPerRun gate
 func parseCommandFields(f [][]byte, c *Command) error {
 	keys := c.Keys[:0]
 	*c = Command{Keys: keys}

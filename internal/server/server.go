@@ -100,18 +100,27 @@ type Server struct {
 
 	// Gauges and counters for the stats command.
 	currConns  atomic.Int64
+	_          [48]byte // pad: keep the next hot word on its own cache line
 	totalConns atomic.Uint64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	shedOps    atomic.Uint64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	shedConns  atomic.Uint64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	queued     atomic.Int64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	protoErrs  atomic.Uint64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	cmdGet     atomic.Uint64
+	_          [56]byte // pad: keep the next hot word on its own cache line
 	cmdSet     atomic.Uint64
 
 	// Batch-fusion counters: fusedBatches counts multi-op transactions,
 	// fusedOps the mutations they carried (fusedOps/fusedBatches = mean
 	// fusion width).
+	_            [56]byte // pad: keep the next hot word on its own cache line
 	fusedBatches atomic.Uint64
+	_            [56]byte // pad: keep the next hot word on its own cache line
 	fusedOps     atomic.Uint64
 }
 
@@ -246,8 +255,8 @@ func (s *Server) Shutdown(timeout time.Duration) {
 // life of the connection.
 type op struct {
 	cmd  Command
-	data []byte // value block (aliases dataB)
-	resp []byte // wire response (static, or aliases respB)
+	data []byte        // value block (aliases dataB)
+	resp []byte        // wire response (static, or aliases respB)
 	done chan struct{} // cap-1 signal, reused across recycles
 	quit bool
 
@@ -400,6 +409,7 @@ func (s *Server) handleConn(c net.Conn) {
 				resp = serverError(err)
 			}
 			if resp != nil && !broken {
+				//gotle:allow ackorder each batch's tickets are waited exactly once above; later ops in the batch reuse the memoized verdict (a.waited)
 				if _, err := bw.Write(resp); err != nil {
 					// Client gone: keep draining respQ so the decoder
 					// and executor never block on a dead writer.
@@ -429,6 +439,8 @@ func (s *Server) handleConn(c net.Conn) {
 
 // recycle returns a written op to the connection's pool with its
 // per-request state cleared and its grown buffers kept.
+//
+//gotle:hotpath per-op recycle returns the op and its buffers to the pool
 func recycle(o *op, free chan *op) {
 	o.data = nil
 	o.resp = nil
@@ -447,6 +459,8 @@ func recycle(o *op, free chan *op) {
 // of one still goes through the batch entry — it degenerates to that
 // shard's own critical section, but reuses the scratch's bound closures,
 // keeping solo mutations allocation-free too.
+//
+//gotle:hotpath per-batch execution; the serve-smoke gate measures the solo-set shape
 func (s *Server) executeBatch(th *tm.Thread, ops []*op, bops []kvstore.BatchOp, bres []kvstore.BatchResult, sc *kvstore.BatchScratch, ackFree chan *batchAck) {
 	i := 0
 	for i < len(ops) {
@@ -467,6 +481,8 @@ func (s *Server) executeBatch(th *tm.Thread, ops []*op, bops []kvstore.BatchOp, 
 // fusible reports whether an op may join a fused mutation run. Oversized
 // values stay solo so the "object too large" reply comes from the
 // existing path without entering a transaction.
+//
+//gotle:hotpath per-op fusion predicate
 func fusible(o *op) bool {
 	switch o.cmd.Op {
 	case OpSet, OpAdd, OpReplace, OpCas:
@@ -481,6 +497,8 @@ func fusible(o *op) bool {
 // transaction. On ErrUnfusable (mixed mechanisms or a lock-based policy)
 // or any engine error it falls back to per-op execution, which handles
 // every case the fused path does.
+//
+//gotle:hotpath fused-batch execution; the serve-smoke gate measures the fused-mutate shape
 func (s *Server) executeFused(th *tm.Thread, run []*op, bops []kvstore.BatchOp, bres []kvstore.BatchResult, sc *kvstore.BatchScratch, ackFree chan *batchAck) {
 	stores := uint64(0)
 	for _, o := range run {
@@ -523,6 +541,7 @@ func (s *Server) executeFused(th *tm.Thread, run []*op, bops []kvstore.BatchOp, 
 		select {
 		case ack = <-ackFree:
 		default:
+			//gotle:allow hotalloc pool miss only; steady state recycles acks through ackFree
 			ack = &batchAck{free: ackFree}
 		}
 		ack.tickets = append(ack.tickets[:0], sc.Tickets...)
@@ -537,6 +556,8 @@ func (s *Server) executeFused(th *tm.Thread, run []*op, bops []kvstore.BatchOp, 
 }
 
 // fusedResp renders one fused op's wire response from its BatchResult.
+//
+//gotle:hotpath per-op response selection for fused batches
 func fusedResp(o *op, r *kvstore.BatchResult) []byte {
 	if r.Err != nil {
 		// Unreachable in practice: the protocol layer already enforced
@@ -581,7 +602,10 @@ func fusedResp(o *op, r *kvstore.BatchResult) []byte {
 // drawn from the connection pool; its line, data, and parsed command all
 // live in op-owned buffers, so a warm connection decodes without
 // allocating.
+//
+//gotle:hotpath per-connection decode loop; all steady-state work reuses op-owned buffers
 func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op, free chan *op) {
+	//gotle:allow hotalloc once per connection, not per op; the loop below reuses op-owned buffers
 	br := bufio.NewReaderSize(c, 16<<10)
 	var fields [][]byte
 	for {
@@ -613,7 +637,7 @@ func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op, free chan *op) {
 			s.protoErrs.Add(1)
 			var ce *ClientError
 			if errors.As(perr, &ce) {
-				o.resp = []byte("CLIENT_ERROR " + ce.Msg + "\r\n")
+				o.resp = clientErrorResp(ce.Msg)
 			} else {
 				o.resp = respError
 			}
@@ -644,6 +668,8 @@ func (s *Server) decodeLoop(c net.Conn, execQ, respQ chan *op, free chan *op) {
 // bounded by the reader's buffer size; over-long lines kill the
 // connection. The copy out of bufio's reused window into the op-owned
 // buffer is what lets parsed keys ride through the pipeline.
+//
+//gotle:hotpath per-request line read into a reused buffer
 func readLineInto(br *bufio.Reader, dst []byte) ([]byte, error) {
 	sl, err := br.ReadSlice('\n')
 	if err != nil {
@@ -659,10 +685,13 @@ func readLineInto(br *bufio.Reader, dst []byte) ([]byte, error) {
 // execute runs one op's critical sections on the connection's thread and
 // resolves it. Mutations leave their durability ticket in o.tk for the
 // writer; responses are static slices or land in op-owned buffers.
+//
+//gotle:hotpath per-op execute wrapper
 func (s *Server) execute(th *tm.Thread, o *op) {
 	o.resolve(s.run(th, o))
 }
 
+//gotle:hotpath per-op command dispatch; the serve-smoke gate measures the solo-get shape
 func (s *Server) run(th *tm.Thread, o *op) []byte {
 	cmd := &o.cmd
 	switch cmd.Op {
@@ -781,6 +810,8 @@ func (s *Server) run(th *tm.Thread, o *op) []byte {
 // miss otherwise. The writer waits the ticket before acking (an acked
 // response must always survive a crash); with no WAL the ticket is zero
 // and the wait is free.
+//
+//gotle:hotpath per-mutation response selection
 func storedOr(o *op, ok bool, tk wal.Ticket, err error, miss []byte) []byte {
 	if err != nil {
 		return serverError(err)
@@ -792,6 +823,14 @@ func storedOr(o *op, ok bool, tk wal.Ticket, err error, miss []byte) []byte {
 	return miss
 }
 
+// clientErrorResp formats a malformed-request reply.
+//
+//gotle:coldpath error replies format a string; never on the measured path
+func clientErrorResp(msg string) []byte {
+	return []byte("CLIENT_ERROR " + msg + "\r\n")
+}
+
+//gotle:coldpath failed-durability replies format an error string; never on the measured path
 func serverError(err error) []byte {
 	return []byte("SERVER_ERROR " + err.Error() + "\r\n")
 }
@@ -799,6 +838,8 @@ func serverError(err error) []byte {
 // statsResponse renders the stats command: cache counters, server gauges,
 // and — when an adaptive controller is attached — per-shard policy,
 // switch counts, abort rates and the live queue depth.
+//
+//gotle:coldpath stats rendering allocates freely by design
 func (s *Server) statsResponse(th *tm.Thread) []byte {
 	var b []byte
 	stat := func(k, v string) {

@@ -14,13 +14,22 @@ import (
 //
 // All methods are safe for concurrent use; the engine bumps an Observer on
 // the commit/abort paths of every critical section that carries one.
+//
+// Layout: an Observer belongs to one lock's adaptive controller and is
+// bumped by whichever thread commits under that lock — the words are
+// already contended by design (they are the lock's shared scoreboard), so
+// padding between them buys nothing; the trailing pad keeps NEIGHBORING
+// observers off each other's lines.
+//
+//gotle:allow falseshare one lock's scoreboard is inherently shared; the trailing pad separates adjacent observers
 type Observer struct {
 	commits      atomic.Uint64
 	serialRuns   atomic.Uint64
 	quiesces     atomic.Uint64
 	quiesceNanos atomic.Uint64
-	aborts       [numCauses]atomic.Uint64
-	_            [16]byte
+	//gotle:allow falseshare one lock's scoreboard is inherently shared; the trailing pad separates adjacent observers
+	aborts [numCauses]atomic.Uint64
+	_      [16]byte
 }
 
 // Commit records a committed critical section.

@@ -62,6 +62,12 @@ func (c AbortCause) String() string {
 
 // counters is one thread's slot. The padding keeps two threads' slots on
 // different cache lines.
+//
+// Within a slot every word has the SAME single writer (the owning
+// thread), so intra-slot sharing is free; only inter-slot sharing would
+// ping-pong, and the trailing pad prevents that.
+//
+//gotle:allow falseshare single-writer slot; the trailing pad separates threads, which is the only sharing that matters
 type counters struct {
 	abandoned    atomic.Uint64 // attempts unwound by a non-abort panic (see AbandonedStart)
 	commits      atomic.Uint64
@@ -72,9 +78,10 @@ type counters struct {
 	sharedGrace  atomic.Uint64 // quiesces satisfied by a concurrent scanner's grace period
 	scansAvoided atomic.Uint64 // shared-grace hits that skipped the slot scan entirely
 	readsDeduped atomic.Uint64 // duplicate read-set entries suppressed by dedup
-	aborts       [numCauses]atomic.Uint64
-	readOnly     atomic.Uint64 // committed read-only transactions
-	_            [24]byte
+	//gotle:allow falseshare single-writer slot; the trailing pad separates threads, which is the only sharing that matters
+	aborts   [numCauses]atomic.Uint64
+	readOnly atomic.Uint64 // committed read-only transactions
+	_        [24]byte
 }
 
 // Registry owns the per-thread counter slots for one TM engine instance.

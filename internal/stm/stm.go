@@ -64,7 +64,10 @@ type STM struct {
 	cm          CM
 	politeSpins int
 	inj         *chaos.Injector
-	prio        [prioSlots]atomic.Uint64
+	// prio slots are written only on the slow path (priority escalation
+	// after repeated aborts) and scanned read-only at commit.
+	//gotle:allow falseshare written only on the abort slow path; the common case is a read-only scan
+	prio [prioSlots]atomic.Uint64
 }
 
 // New creates an STM over the given heap.

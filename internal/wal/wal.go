@@ -64,14 +64,23 @@ type Stats struct {
 //
 // Lifecycle: Open → Recover (exactly once; replays existing segments and
 // arms the appenders) → Append/Wait traffic → Close.
+//
+//gotle:allow falseshare counters are grouped by writer with a pad between the appender and syncer groups; same-writer words share a line deliberately
 type Log struct {
 	dir  string
 	opts Options
 
+	// Stats counters, grouped by writer so each goroutine's words share a
+	// line with words only it updates: appends/bytes belong to the
+	// appenders, fsyncs/segments to the syncer goroutine, recovered to
+	// startup. One pad splits the two concurrent writers; same-writer
+	// words deliberately share their line (no ping-pong, and reading
+	// Stats is cold).
 	appends   atomic.Uint64
-	fsyncs    atomic.Uint64
 	bytes     atomic.Uint64
-	recovered atomic.Uint64
+	recovered atomic.Uint64 // startup only, never contended
+	_         [40]byte      // pad: appender group and syncer group on separate lines
+	fsyncs    atomic.Uint64
 	segments  atomic.Uint64
 
 	// mu guards everything below: the per-shard reorder buffers, the
