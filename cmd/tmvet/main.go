@@ -27,16 +27,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
+	"sort"
 	"strings"
 
 	"gotle/internal/analysis"
 	"gotle/internal/analysis/ackorder"
+	"gotle/internal/analysis/atomicmix"
 	"gotle/internal/analysis/capest"
 	"gotle/internal/analysis/cvlast"
 	"gotle/internal/analysis/falseshare"
+	"gotle/internal/analysis/gostuck"
 	"gotle/internal/analysis/hotalloc"
 	"gotle/internal/analysis/lockorder"
+	"gotle/internal/analysis/mixedaccess"
 	"gotle/internal/analysis/noqpriv"
+	"gotle/internal/analysis/protdom"
 	"gotle/internal/analysis/tmflow"
 	"gotle/internal/analysis/txblock"
 	"gotle/internal/analysis/txescape"
@@ -57,6 +63,52 @@ var analyzers = []*analysis.Analyzer{
 	ackorder.Analyzer,
 	hotalloc.Analyzer,
 	falseshare.Analyzer,
+	protdom.Analyzer,
+	mixedaccess.Analyzer,
+	atomicmix.Analyzer,
+	gostuck.Analyzer,
+}
+
+// selectAnalyzers resolves the -run flag: a comma-separated list of
+// names or path.Match globs ("tx*,ackorder"). A pattern matching no
+// analyzer is an error naming the valid set.
+func selectAnalyzers(spec string) ([]*analysis.Analyzer, error) {
+	var selected []*analysis.Analyzer
+	chosen := make(map[string]bool)
+	for _, pat := range strings.Split(spec, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matched := false
+		for _, a := range analyzers {
+			ok, err := path.Match(pat, a.Name)
+			if err != nil {
+				return nil, fmt.Errorf("bad -run pattern %q: %v", pat, err)
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			if !chosen[a.Name] {
+				chosen[a.Name] = true
+				selected = append(selected, a)
+			}
+		}
+		if !matched {
+			names := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				names[i] = a.Name
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("no analyzer matches %q; valid analyzers: %s",
+				pat, strings.Join(names, ", "))
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("-run %q selects no analyzers", spec)
+	}
+	return selected, nil
 }
 
 func main() {
@@ -69,6 +121,8 @@ func main() {
 	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	rank := flag.Bool("capest-rank", false, "print atomic bodies ranked by HTM capacity pressure and exit")
 	effStats := flag.Bool("effect-stats", false, "print effect-summary cache hit/miss counters to stderr after the run")
+	timing := flag.Bool("timing", false, "print per-analyzer wall-clock and effect-cache breakdown to stderr after the run")
+	censusDump := flag.Bool("protdom-census", false, "print the protection-domain census summary and exit")
 	flag.Parse()
 
 	if *list {
@@ -80,18 +134,11 @@ func main() {
 
 	selected := analyzers
 	if *run != "" {
-		byName := make(map[string]*analysis.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		selected = nil
-		for _, name := range strings.Split(*run, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "tmvet: unknown analyzer %q\n", name)
-				os.Exit(2)
-			}
-			selected = append(selected, a)
+		var err error
+		selected, err = selectAnalyzers(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
+			os.Exit(2)
 		}
 	}
 
@@ -108,13 +155,17 @@ func main() {
 		}
 		return
 	}
+	if *censusDump {
+		printCensus(prog)
+		return
+	}
 
-	diags, err := analysis.Run(prog, prog.Packages, selected)
+	diags, timings, err := analysis.RunTimed(prog, prog.Packages, selected)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tmvet: %v\n", err)
 		os.Exit(2)
 	}
-	if *effStats {
+	if *effStats || *timing {
 		hits, misses := tmflow.EffectCacheStats()
 		total := hits + misses
 		rate := 0.0
@@ -122,6 +173,12 @@ func main() {
 			rate = 100 * float64(hits) / float64(total)
 		}
 		fmt.Fprintf(os.Stderr, "tmvet: effect-summary cache: %d hits, %d misses (%.1f%% hit rate)\n", hits, misses, rate)
+	}
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "tmvet: %-12s %8.1fms  %d finding(s)\n",
+				t.Name, float64(t.Wall.Microseconds())/1000, t.Findings)
+		}
 	}
 
 	if *writeBaseline != "" {
@@ -198,6 +255,28 @@ func main() {
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// printCensus renders the protection-domain census summary: location and
+// goroutine-root counts plus the per-discipline histogram recorded in
+// EXPERIMENTS.md.
+func printCensus(prog *analysis.Program) {
+	stats := tmflow.CensusOf(prog).Stats()
+	fmt.Printf("protdom census: %d locations (%d shared), %d goroutine roots (%d multi-instance), %d channel ops\n",
+		stats.Locations, stats.Shared, stats.Roots, stats.MultiRoots, stats.ChanOps)
+	labels := make([]string, 0, len(stats.ByDiscipline))
+	for l := range stats.ByDiscipline {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if stats.ByDiscipline[labels[i]] != stats.ByDiscipline[labels[j]] {
+			return stats.ByDiscipline[labels[i]] > stats.ByDiscipline[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	for _, l := range labels {
+		fmt.Printf("  %-20s %d\n", l, stats.ByDiscipline[l])
 	}
 }
 

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/atomicmix"
+	"gotle/internal/analysis/mixedaccess"
+)
+
+// TestAllowCross pins the per-rule contract of //gotle:allow: a single
+// line that trips both mixedaccess and atomicmix at the same position,
+// with an allow naming only mixedaccess, must still surface the
+// atomicmix finding. This guards both the suppression key (rule name,
+// not position) and the runner's consecutive-(pos, rule) dedup.
+func TestAllowCross(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allowcross",
+		mixedaccess.Analyzer, atomicmix.Analyzer)
+}

@@ -50,6 +50,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 
 	"gotle/internal/diagfmt"
 )
@@ -117,16 +118,41 @@ func (p *Pass) Report(d Diagnostic) {
 // Position resolves a token.Pos against the program's file set.
 func (p *Pass) Position(pos token.Pos) token.Position { return p.Prog.Fset.Position(pos) }
 
+// An AnalyzerTiming is one analyzer's aggregate cost over a Run: total
+// wall-clock across all packages and the number of findings it reported
+// (pre-dedup). The driver's -timing flag prints these so the lint
+// budget stays attributable when a pass regresses.
+type AnalyzerTiming struct {
+	Name     string
+	Wall     time.Duration
+	Findings int
+}
+
 // Run applies each analyzer to each package and returns all surviving
 // diagnostics sorted by position. Packages must belong to prog.
 func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(prog, pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock accounting, in the order
+// the analyzers were given.
+func RunTimed(prog *Program, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	var diags []Diagnostic
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Name = a.Name
+	}
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
+			before := len(diags)
+			start := time.Now()
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
+			timings[i].Wall += time.Since(start)
+			timings[i].Findings += len(diags) - before
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
@@ -161,7 +187,7 @@ func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, e
 		}
 		out = append(out, d)
 	}
-	return out, nil
+	return out, timings, nil
 }
 
 // Format renders a diagnostic in the repo-wide "position: rule: message"

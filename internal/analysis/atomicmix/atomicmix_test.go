@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomicmix", atomicmix.Analyzer)
+}
+
+func TestAtomicMixFix(t *testing.T) {
+	analysistest.RunFix(t, "testdata/src/atomicmixfix", atomicmix.Analyzer)
+}

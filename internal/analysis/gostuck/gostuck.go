@@ -1,0 +1,76 @@
+// Package gostuck walks the goroutine graph the tmflow census builds —
+// spawn sites crossed with the channel operations each root can reach —
+// and reports operations that can block forever because no other live
+// goroutine can satisfy them: a send no one receives, a receive no one
+// sends or closes, a range over a channel no one closes, a select none
+// of whose cases any peer completes. Shutdown paths are the first
+// customers: a syncer draining a work channel leaks permanently if the
+// closer forgets it, and no test notices a goroutine that merely never
+// exits.
+//
+// The census only claims knowledge of channels whose flow it fully
+// resolved (an observed make site, no unresolvable aliasing), so
+// everything else is assumed satisfiable — the analyzer's findings are
+// "no goroutine in this program can ever complete this", not "might be
+// slow".
+package gostuck
+
+import (
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gostuck",
+	Doc:  "reports goroutines that can block forever on a channel no other live goroutine can satisfy",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	census := tmflow.CensusOf(pass.Prog)
+	reportedSel := map[*tmflow.SelectInfo]bool{}
+	for _, op := range census.ChanOps {
+		if op.Pkg.Path != pass.Pkg.Path {
+			continue
+		}
+		switch {
+		case op.Sel != nil:
+			// A select blocks forever only when it has no default and no
+			// case any peer can complete.
+			if op.Sel.HasDefault || reportedSel[op.Sel] {
+				continue
+			}
+			stuck := true
+			for _, o := range op.Sel.Ops {
+				if census.Satisfiable(o) {
+					stuck = false
+					break
+				}
+			}
+			if stuck && len(op.Sel.Ops) > 0 {
+				reportedSel[op.Sel] = true
+				pass.Reportf(op.Sel.Pos,
+					"this select blocks forever: no other live goroutine can complete any of its cases")
+			}
+		case op.Kind == tmflow.ChanRange:
+			if !census.Satisfiable(op) {
+				pass.Reportf(op.Pos,
+					"this range blocks forever: no goroutine sends on or closes the channel")
+			} else if !census.CloseSeen(op) {
+				pass.Reportf(op.Pos,
+					"this goroutine never exits: the channel it ranges over is never closed")
+			}
+		case op.Kind == tmflow.ChanSend:
+			if !census.Satisfiable(op) {
+				pass.Reportf(op.Pos,
+					"this send blocks forever: no other live goroutine receives from the channel")
+			}
+		case op.Kind == tmflow.ChanRecv:
+			if !census.Satisfiable(op) {
+				pass.Reportf(op.Pos,
+					"this receive blocks forever: no other live goroutine sends on or closes the channel")
+			}
+		}
+	}
+	return nil
+}

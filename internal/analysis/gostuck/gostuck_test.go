@@ -1,0 +1,12 @@
+package gostuck_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/gostuck"
+)
+
+func TestGoStuck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/gostuck", gostuck.Analyzer)
+}

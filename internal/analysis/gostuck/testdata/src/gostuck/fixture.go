@@ -1,0 +1,122 @@
+// Fixture for the gostuck analyzer: channel operations no other live
+// goroutine can ever satisfy. The census only claims channels whose flow
+// it fully resolves (a visible make, no escaping aliases), so the
+// negatives also pin the assumed-satisfiable paths: buffered sends,
+// parameter channels, selects with a default.
+package fixture
+
+// A matched send/receive pair: both satisfiable, no finding.
+func SpawnPair() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	go func() {
+		<-ch
+	}()
+}
+
+// No goroutine ever sends on or closes orphan: the receive blocks forever.
+func SpawnOrphanRecv() {
+	orphan := make(chan int)
+	go func() {
+		<-orphan // want gostuck:"no other live goroutine sends on or closes the channel"
+	}()
+}
+
+// No goroutine ever receives from deadletter: the send blocks forever.
+func SpawnOrphanSend() {
+	deadletter := make(chan int)
+	go func() {
+		deadletter <- 1 // want gostuck:"no other live goroutine receives from the channel"
+	}()
+}
+
+// A buffered send can complete with no rendezvous (the cap-1 wake /
+// put-back idiom): no blocks-forever claim.
+func SpawnBufferedSend() {
+	wake := make(chan struct{}, 1)
+	go func() {
+		wake <- struct{}{}
+	}()
+}
+
+// The range is fed but the channel is never closed: the goroutine never
+// exits.
+func SpawnLeakyRange() {
+	work := make(chan int)
+	go func() {
+		for range work { // want gostuck:"the channel it ranges over is never closed"
+		}
+	}()
+	go func() {
+		work <- 1
+	}()
+}
+
+// Same shape with a close on the producer path: clean shutdown.
+func SpawnClosedRange() {
+	work := make(chan int)
+	go func() {
+		for range work {
+		}
+	}()
+	go func() {
+		work <- 1
+		close(work)
+	}()
+}
+
+// A parameter channel has no visible make site: flow unknown, assumed
+// satisfiable, no finding.
+func Pump(ch chan int) {
+	ch <- 1
+}
+
+// Neither case of the select has a live peer: the select blocks forever.
+func SpawnStuckSelect() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select { // want gostuck:"no other live goroutine can complete any of its cases"
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// A default arm means the select never blocks: no finding.
+func SpawnDefaultSelect() {
+	a := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		default:
+		}
+	}()
+}
+
+// One satisfiable case is enough: the stop receive has a live sender.
+func SpawnHalfSelect() {
+	data := make(chan int)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-data:
+		case <-stop:
+		}
+	}()
+	go func() {
+		stop <- struct{}{}
+	}()
+}
+
+// The shutdown path justified by design: the allow directive suppresses
+// the finding.
+func SpawnAllowed() {
+	idle := make(chan int)
+	go func() {
+		//gotle:allow gostuck parked forever by design until process exit
+		<-idle
+	}()
+}

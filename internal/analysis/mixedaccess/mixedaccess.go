@@ -1,0 +1,76 @@
+// Package mixedaccess flags locations accessed both inside a transaction
+// and raw outside any quiescence or privatization barrier — the paper's
+// Listing 1/2 hazard generalized from the heap to every Go-level shared
+// location. Under a real lock such a racing plain access is often benign
+// (the lock still orders it); under an elided lock the plain access can
+// observe speculative or torn state, and `go test -race` cannot see it
+// because the transactional side does not execute on the failing
+// interleaving. The transactional suite must therefore gate it statically.
+package mixedaccess
+
+import (
+	"sort"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mixedaccess",
+	Doc:  "flags locations accessed both inside a transaction and raw outside any quiescence barrier",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	census := tmflow.CensusOf(pass.Prog)
+	for _, loc := range census.Locations {
+		if loc.DeclPath != pass.Pkg.Path || loc.ChanTransfer {
+			continue
+		}
+		tx, plain := loc.TxSites(), loc.PlainSites()
+		if len(tx) == 0 || len(plain) == 0 {
+			continue
+		}
+		// A read-only location cannot be torn: require a write on either
+		// side (construction writes don't count).
+		write := false
+		for _, a := range append(append([]*tmflow.Access{}, tx...), plain...) {
+			if a.Write {
+				write = true
+				break
+			}
+		}
+		if !write {
+			continue
+		}
+		sort.Slice(plain, func(i, j int) bool { return plain[i].Pos < plain[j].Pos })
+		sort.Slice(tx, func(i, j int) bool { return tx[i].Pos < tx[j].Pos })
+		rep := plain[0]
+		for _, a := range plain {
+			if a.Write {
+				rep = a
+				break
+			}
+		}
+		txPos := pass.Position(tx[0].Pos)
+		verb := "read"
+		if rep.Write {
+			verb = "written"
+		}
+		pass.Reportf(rep.Pos,
+			"%s is %s raw here but accessed inside a transaction under %s (%s:%d); "+
+				"a plain access racing with an elided critical section can observe speculative state — "+
+				"move it under the same lock, use sync/atomic, or separate the phases with a quiescence barrier",
+			loc.Pretty, verb, tx[0].Guard, shortFile(txPos.Filename), txPos.Line)
+	}
+	return nil
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package mixedaccess_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/mixedaccess"
+)
+
+func TestMixedAccess(t *testing.T) {
+	analysistest.Run(t, "testdata/src/mixedaccess", mixedaccess.Analyzer)
+}

@@ -1,0 +1,136 @@
+// Package protdom is the protection-domain gate: for every shared
+// location the tmflow census finds (package-level variables and struct
+// fields reachable from more than one goroutine), it requires a
+// consistent guarding discipline — transactional under one tle.Mutex,
+// one native mutex, sync/atomic, channel ownership transfer, confinement
+// to a single goroutine, or publish-before-spawn initialization. A
+// location whose access sites disagree is exactly where elision changes
+// program semantics: the "extra" unguarded access that a real lock
+// happened to order is the access a speculative critical section races
+// with. Locations in the mixedaccess/atomicmix domains (transactional or
+// atomic sites mixed with plain ones) are left to those analyzers;
+// protdom owns the remaining inconsistent space — unguarded shared
+// writes, raw reads against locked writers, and disjoint-lock guarding.
+package protdom
+
+import (
+	"strings"
+
+	"gotle/internal/analysis"
+	"gotle/internal/analysis/tmflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "protdom",
+	Doc:  "infers every shared location's guarding discipline and flags inconsistent ones",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	census := tmflow.CensusOf(pass.Prog)
+	for _, loc := range census.Locations {
+		if loc.DeclPath != pass.Pkg.Path {
+			continue
+		}
+		d := census.DisciplineOf(loc)
+		if d.Consistent {
+			continue
+		}
+		// tx+plain and atomic+plain mixes are mixedaccess's and
+		// atomicmix's findings; reporting them here too would double up.
+		if d.Label == "mixed(tx+plain)" || d.Label == "mixed(atomic+plain)" {
+			continue
+		}
+		rep, detail := representative(census, loc, d.Label)
+		if rep == nil {
+			continue
+		}
+		pass.Reportf(rep.Pos, "%s has no consistent protection domain (%s): %s",
+			loc.Pretty, d.Label, detail)
+	}
+	return nil
+}
+
+// representative picks the site to report — the first racing access —
+// and describes the inconsistency.
+func representative(census *tmflow.ProtCensus, loc *tmflow.Location, label string) (*tmflow.Access, string) {
+	switch {
+	case label == "mixed(unguarded-write)":
+		for _, a := range loc.SortedAccesses(tmflow.ClassPlain, true) {
+			if fromGoRoot(census, a) {
+				return a, "written here with no guard while also accessed from " +
+					otherRootsDesc(census, loc, a) + "; hoist it under the owning mutex or confine it to one goroutine"
+			}
+		}
+	case label == "mixed(mutex+raw-read)":
+		for _, a := range loc.SortedAccesses(tmflow.ClassPlain, false) {
+			if fromGoRoot(census, a) {
+				g := "a mutex"
+				if mu := loc.MutexSites(); len(mu) > 0 {
+					g = mu[0].Guard
+				}
+				return a, "read here raw while written under " + g +
+					" elsewhere; the lock cannot order readers that do not take it"
+			}
+		}
+	case label == "mixed(tx+mutex)":
+		if tx := loc.SortedAccesses(tmflow.ClassTx, false); len(tx) > 0 {
+			mu := loc.SortedAccesses(tmflow.ClassMutex, false)
+			if len(mu) > 0 {
+				return mu[0], "guarded here by native " + mu[0].Guard +
+					" but accessed transactionally under " + tx[0].Guard +
+					" elsewhere; a native mutex does not synchronize with an elided critical section"
+			}
+		}
+	case strings.HasPrefix(label, "mixed(disjoint-locks"):
+		mu := loc.SortedAccesses(tmflow.ClassMutex, false)
+		if len(mu) > 1 {
+			return mu[0], "guarded by " + mu[0].Guard + " here but by " +
+				lastDistinctGuard(mu) + " elsewhere; pick one owning mutex"
+		}
+	}
+	// Fallback: first plain write, then any plain site.
+	if w := loc.SortedAccesses(tmflow.ClassPlain, true); len(w) > 0 {
+		return w[0], "accesses disagree on a guard"
+	}
+	if p := loc.SortedAccesses(tmflow.ClassPlain, false); len(p) > 0 {
+		return p[0], "accesses disagree on a guard"
+	}
+	return nil, ""
+}
+
+// fromGoRoot reports whether a executes on a spawned (or multi-instance)
+// goroutine.
+func fromGoRoot(census *tmflow.ProtCensus, a *tmflow.Access) bool {
+	for r := range a.Roots {
+		if r != 0 || census.Roots[r].Multi {
+			return true
+		}
+	}
+	return false
+}
+
+// otherRootsDesc names one other goroutine that reaches the location.
+func otherRootsDesc(census *tmflow.ProtCensus, loc *tmflow.Location, rep *tmflow.Access) string {
+	for _, a := range loc.Accesses {
+		for r := range a.Roots {
+			if !rep.Roots[r] {
+				return census.RootDesc(r)
+			}
+			if census.Roots[r].Multi {
+				return "another instance of " + census.RootDesc(r)
+			}
+		}
+	}
+	return "another goroutine"
+}
+
+func lastDistinctGuard(mu []*tmflow.Access) string {
+	first := mu[0].Guard
+	for _, a := range mu[1:] {
+		if a.Guard != first && a.Guard != "" {
+			return a.Guard
+		}
+	}
+	return "a different lock"
+}

@@ -1,0 +1,12 @@
+package protdom_test
+
+import (
+	"testing"
+
+	"gotle/internal/analysis/analysistest"
+	"gotle/internal/analysis/protdom"
+)
+
+func TestProtDom(t *testing.T) {
+	analysistest.Run(t, "testdata/src/protdom", protdom.Analyzer)
+}

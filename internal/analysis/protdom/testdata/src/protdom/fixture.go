@@ -1,0 +1,217 @@
+// Fixture for the protdom analyzer: every shared location must have one
+// consistent guarding discipline. Positive cases cover the four
+// inconsistent shapes protdom owns (unguarded write against a partial
+// mutex discipline, raw read against locked writers, native mutex mixed
+// with transactional guarding, disjoint locks); negatives cover the
+// consistent disciplines (one mutex, publish-before-spawn, channel
+// transfer, confinement) and the no-evidence case left to the race
+// detector.
+package fixture
+
+import (
+	"sync"
+
+	"gotle/internal/tle"
+	"gotle/internal/tm"
+)
+
+var (
+	th *tm.Thread
+	lk *tle.Mutex
+)
+
+// gauges.hits is written under mu by one goroutine but raw by another:
+// the mutex evidence makes the unguarded write a finding.
+type gauges struct {
+	mu   sync.Mutex
+	hits int
+}
+
+var g = &gauges{}
+
+func Spawn() {
+	go func() {
+		g.mu.Lock()
+		g.hits++
+		g.mu.Unlock()
+	}()
+	go func() {
+		g.hits++ // want protdom:"written here with no guard"
+	}()
+}
+
+// regs.n is written under the lock but read raw: the lock cannot order
+// readers that do not take it.
+type regs struct {
+	mu sync.Mutex
+	n  int
+}
+
+var r = &regs{}
+
+func SpawnReader() {
+	go func() {
+		r.mu.Lock()
+		r.n++
+		r.mu.Unlock()
+	}()
+	go func() {
+		_ = r.n // want protdom:"the lock cannot order readers that do not take it"
+	}()
+}
+
+// dual.v is guarded transactionally on one path and by a native mutex on
+// the other: a native mutex does not synchronize with an elided critical
+// section.
+type dual struct {
+	mu sync.Mutex
+	v  int
+}
+
+var d = &dual{}
+
+func TxSide() {
+	lk.Do(th, func(tx tm.Tx) error {
+		d.v++
+		return nil
+	})
+}
+
+func MuSide() {
+	d.mu.Lock()
+	d.v++ // want protdom:"does not synchronize with an elided critical section"
+	d.mu.Unlock()
+}
+
+func SpawnDual() {
+	go TxSide()
+	go MuSide()
+}
+
+// twoLocks.n is guarded by a different mutex on each path.
+type twoLocks struct {
+	mu1, mu2 sync.Mutex
+	n        int
+}
+
+var t2 = &twoLocks{}
+
+func Lock1Side() {
+	t2.mu1.Lock()
+	t2.n++ // want protdom:"pick one owning mutex"
+	t2.mu1.Unlock()
+}
+
+func Lock2Side() {
+	t2.mu2.Lock()
+	t2.n++
+	t2.mu2.Unlock()
+}
+
+func SpawnTwo() {
+	go Lock1Side()
+	go Lock2Side()
+}
+
+// A package-level variable written raw from several goroutines is one
+// instance by construction: no aliasing doubt, so no guard evidence is
+// needed to flag it.
+var total int
+
+func SpawnCounter() {
+	go func() {
+		total++ // want protdom:"written here with no guard"
+	}()
+	go func() {
+		total++
+	}()
+}
+
+// safe.n is always accessed under the same mutex: consistent, no finding.
+type safe struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sf = &safe{}
+
+func SpawnSafe() {
+	go func() {
+		sf.mu.Lock()
+		sf.n++
+		sf.mu.Unlock()
+	}()
+	go func() {
+		sf.mu.Lock()
+		_ = sf.n
+		sf.mu.Unlock()
+	}()
+}
+
+// config is written only on the entry path before the readers spawn:
+// publish-before-spawn, no finding.
+var config int
+
+func Setup(v int) {
+	config = v
+	go func() {
+		_ = config
+	}()
+}
+
+// conn.buf is written raw from spawned goroutines, but each goroutine
+// has its own instance and no access site anywhere takes a guard: the
+// field-granular census cannot tell the instances apart, and a genuine
+// plain/plain race on one instance is the race detector's to catch — no
+// finding without guard evidence.
+type conn struct {
+	buf int
+}
+
+func SpawnConns() {
+	for i := 0; i < 2; i++ {
+		c := &conn{}
+		go func() {
+			c.buf++
+		}()
+	}
+}
+
+// msg rides a channel: ownership transfer is its discipline, no finding.
+type msg struct {
+	id int
+}
+
+func SpawnPipe() {
+	ch := make(chan *msg)
+	go func() {
+		m := <-ch
+		m.id++
+	}()
+	go func() {
+		m := <-ch
+		m.id--
+	}()
+	ch <- &msg{}
+}
+
+// metered.fast deliberately trades staleness for speed: the allow
+// directive suppresses the finding.
+type metered struct {
+	mu   sync.Mutex
+	fast int
+}
+
+var mt = &metered{}
+
+func SpawnMetered() {
+	go func() {
+		mt.mu.Lock()
+		mt.fast++
+		mt.mu.Unlock()
+	}()
+	go func() {
+		//gotle:allow protdom monotonic hint; stale reads acceptable
+		mt.fast++
+	}()
+}

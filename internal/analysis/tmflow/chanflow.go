@@ -1,0 +1,521 @@
+package tmflow
+
+// The channel census: a union-find over channel-valued variables (locals,
+// fields, package vars, parameters) unified through assignments, call
+// argument bindings, and composite-literal field values, plus every
+// channel operation the root walks encounter, tagged with its goroutine
+// root and enclosing select. gostuck consumes it to find operations no
+// other live goroutine can satisfy.
+//
+// Soundness posture: a channel class with no observed make-site origin,
+// or one unified with an unresolvable expression, is "unknown" and every
+// operation on it is assumed satisfiable — the analyzer only reports on
+// channels whose full flow the census resolved.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"gotle/internal/analysis"
+)
+
+// ChanOpKind is the operation kind.
+type ChanOpKind uint8
+
+const (
+	ChanSend ChanOpKind = iota
+	ChanRecv
+	ChanRange
+	ChanClose
+)
+
+func (k ChanOpKind) String() string {
+	switch k {
+	case ChanSend:
+		return "send"
+	case ChanRecv:
+		return "receive"
+	case ChanRange:
+		return "range"
+	case ChanClose:
+		return "close"
+	}
+	return "?"
+}
+
+// A ChanOp is one channel operation observed during the root walks.
+type ChanOp struct {
+	Kind ChanOpKind
+	Pos  token.Pos
+	Pkg  *analysis.Package
+	// Var is the channel-valued variable operated on; nil when the
+	// operand did not resolve (the op is then unknown/satisfiable).
+	Var *types.Var
+	// Roots is the set of goroutine roots whose walks reach this op.
+	Roots map[int]bool
+	// Sel is the enclosing select, nil for standalone ops.
+	Sel *SelectInfo
+}
+
+// A SelectInfo groups the comm clauses of one select statement.
+type SelectInfo struct {
+	Pos        token.Pos
+	HasDefault bool
+	Ops        []*ChanOp
+}
+
+type chanOpKey struct {
+	pos  token.Pos
+	kind ChanOpKind
+}
+
+type chanState struct {
+	parent map[*types.Var]*types.Var
+	taint  map[*types.Var]bool // keyed by representative
+	origin map[*types.Var]bool // representative has a seen make-site
+	// buffered marks classes whose make-site has a (possibly) non-zero
+	// capacity: a send on such a channel can complete with no receiver,
+	// so gostuck makes no blocks-forever claim about it.
+	buffered map[*types.Var]bool
+
+	ops     []*ChanOp
+	byKey   map[chanOpKey]*ChanOp
+	selects []*SelectInfo
+	// commOf maps a select clause's comm statement to its select;
+	// recvSel maps receive expressions inside comm statements likewise.
+	commOf        map[ast.Stmt]*SelectInfo
+	recvSel       map[*ast.UnaryExpr]*SelectInfo
+	indexedSelect map[*ast.BlockStmt]bool
+}
+
+func newChanState() *chanState {
+	return &chanState{
+		parent:        map[*types.Var]*types.Var{},
+		taint:         map[*types.Var]bool{},
+		origin:        map[*types.Var]bool{},
+		buffered:      map[*types.Var]bool{},
+		byKey:         map[chanOpKey]*ChanOp{},
+		commOf:        map[ast.Stmt]*SelectInfo{},
+		indexedSelect: map[*ast.BlockStmt]bool{},
+	}
+}
+
+// ---- union-find ----
+
+func (s *chanState) find(v *types.Var) *types.Var {
+	p, ok := s.parent[v]
+	if !ok || p == v {
+		return v
+	}
+	r := s.find(p)
+	s.parent[v] = r
+	return r
+}
+
+func (s *chanState) union(a, b *types.Var) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	s.parent[ra] = rb
+	if s.taint[ra] {
+		s.taint[rb] = true
+	}
+	if s.origin[ra] {
+		s.origin[rb] = true
+	}
+	if s.buffered[ra] {
+		s.buffered[rb] = true
+	}
+}
+
+func (s *chanState) taintVar(v *types.Var) { s.taint[s.find(v)] = true }
+func (s *chanState) markOrigin(v *types.Var, buffered bool) {
+	s.origin[s.find(v)] = true
+	if buffered {
+		s.buffered[s.find(v)] = true
+	}
+}
+
+// chanVarOf resolves a channel-valued expression to its variable:
+// identifiers and field selections. Anything else is unresolvable.
+func chanVarOf(pkg *analysis.Package, e ast.Expr) (*types.Var, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v, true
+		}
+		if v, ok := pkg.Info.Defs[e].(*types.Var); ok {
+			return v, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, true
+			}
+		}
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t.Underlying()).(*types.Chan)
+	return ok
+}
+
+// isMakeChan recognizes a make(chan T[, cap]) site; buffered is true when
+// a capacity argument is present and is not provably zero (non-constant
+// capacities count as buffered: the claim-free direction).
+func isMakeChan(pkg *analysis.Package, e ast.Expr) (isMake, buffered bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false, false
+	}
+	if name, ok := builtinName(pkg, call); !ok || name != "make" {
+		return false, false
+	}
+	if !isChanType(pkg.Info.Types[call].Type) {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return true, false
+	}
+	if tv, ok := pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return true, false
+		}
+	}
+	return true, true
+}
+
+// ---- flow recording ----
+
+// flowInto unifies dst (a channel variable) with the value expression
+// flowing into it: another variable unifies the classes, a make-site
+// marks an origin, anything else taints the class.
+func (s *chanState) flowInto(pkg *analysis.Package, dst *types.Var, val ast.Expr) {
+	if val == nil {
+		return
+	}
+	if isMake, buffered := isMakeChan(pkg, val); isMake {
+		s.markOrigin(dst, buffered)
+		return
+	}
+	if src, ok := chanVarOf(pkg, val); ok {
+		s.union(dst, src)
+		return
+	}
+	s.taintVar(dst)
+}
+
+// recordAssign unifies channel flow through an assignment statement.
+func (s *chanState) recordAssign(pkg *analysis.Package, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, l := range n.Lhs {
+		// The lhs of := is a declaration, absent from Info.Types: resolve
+		// the variable first and judge channel-ness by its declared type.
+		dst, resolved := chanVarOf(pkg, l)
+		lhsChan := isChanType(pkg.Info.Types[l].Type) ||
+			(resolved && isChanType(dst.Type()))
+		if !lhsChan {
+			// A channel flowing into a non-channel slot (interface{},
+			// any-typed field) leaves our domain: taint the source.
+			if src, ok := chanVarOf(pkg, n.Rhs[i]); ok && isChanType(src.Type()) {
+				s.taintVar(src)
+			}
+			continue
+		}
+		if !resolved {
+			// A channel stored somewhere unresolvable: taint the source
+			// side so its class stays unknown.
+			if src, ok := chanVarOf(pkg, n.Rhs[i]); ok {
+				s.taintVar(src)
+			}
+			continue
+		}
+		s.flowInto(pkg, dst, n.Rhs[i])
+	}
+}
+
+// recordDecl unifies channel flow through `var c = make(chan T)` declarations.
+func (s *chanState) recordDecl(pkg *analysis.Package, vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		v, ok := pkg.Info.Defs[name].(*types.Var)
+		if !ok || !isChanType(v.Type()) {
+			continue
+		}
+		s.flowInto(pkg, v, vs.Values[i])
+	}
+}
+
+// recordComposite unifies channel-typed field values in a struct
+// composite literal with the field objects they initialize.
+func (s *chanState) recordComposite(pkg *analysis.Package, lit *ast.CompositeLit) {
+	t := pkg.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	under := t
+	if ptr, ok := types.Unalias(under).(*types.Pointer); ok {
+		under = ptr.Elem()
+	}
+	st, ok := types.Unalias(under.Underlying()).(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		var field *types.Var
+		var val ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if fv, ok := pkg.Info.Uses[key].(*types.Var); ok && fv.IsField() {
+				field, val = fv, kv.Value
+			}
+		} else if i < st.NumFields() {
+			field, val = st.Field(i), el
+		}
+		if field == nil || !isChanType(field.Type()) {
+			continue
+		}
+		s.flowInto(pkg, field, val)
+	}
+}
+
+// recordCallArgs unifies channel-typed arguments with the callee's
+// parameter objects, so a channel handed to a helper (or a spawned
+// goroutine body) joins the caller's class.
+func (s *chanState) recordCallArgs(pkg *analysis.Package, call *ast.CallExpr, fn *types.Func) {
+	external := fn == nil
+	if fn != nil {
+		// A callee with no walkable body (stdlib, runtime) can satisfy the
+		// channel on its own — signal.Notify is the canonical case — so
+		// its channel arguments leave our domain.
+		if _, decl := pkg.Prog.DeclOf(fn); decl == nil || decl.Body == nil {
+			external = true
+		}
+	}
+	if external {
+		for _, a := range call.Args {
+			if src, ok := chanVarOf(pkg, a); ok && isChanType(src.Type()) {
+				s.taintVar(src)
+			}
+		}
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		p := params.At(i)
+		if !isChanType(p.Type()) {
+			continue
+		}
+		if src, ok := chanVarOf(pkg, a); ok {
+			s.union(p, src)
+		} else if isMake, buffered := isMakeChan(pkg, a); isMake {
+			s.markOrigin(p, buffered)
+		} else {
+			s.taintVar(p)
+		}
+	}
+}
+
+// ---- operation recording ----
+
+func (s *chanState) record(pkg *analysis.Package, kind ChanOpKind, pos token.Pos, chanExpr ast.Expr, root int, sel *SelectInfo) *ChanOp {
+	key := chanOpKey{pos, kind}
+	if op, ok := s.byKey[key]; ok {
+		op.Roots[root] = true
+		return op
+	}
+	op := &ChanOp{Kind: kind, Pos: pos, Pkg: pkg, Roots: map[int]bool{root: true}, Sel: sel}
+	if v, ok := chanVarOf(pkg, chanExpr); ok {
+		op.Var = v
+	}
+	s.ops = append(s.ops, op)
+	s.byKey[key] = op
+	if sel != nil {
+		sel.Ops = append(sel.Ops, op)
+	}
+	return op
+}
+
+func (s *chanState) recordSend(pkg *analysis.Package, n *ast.SendStmt, root int) {
+	s.record(pkg, ChanSend, n.Pos(), n.Chan, root, s.commOf[n])
+}
+
+func (s *chanState) recordRecv(pkg *analysis.Package, e *ast.UnaryExpr, root int) {
+	// A receive inside a select's comm statement belongs to that select;
+	// the comm statement itself (assign or expr stmt) is the map key, so
+	// look the receive's select up through the selects index.
+	s.record(pkg, ChanRecv, e.Pos(), e.X, root, s.selOfRecv(e))
+}
+
+func (s *chanState) recordRange(pkg *analysis.Package, n *ast.RangeStmt, root int) {
+	if !isChanType(pkg.Info.Types[n.X].Type) {
+		return
+	}
+	s.record(pkg, ChanRange, n.Pos(), n.X, root, nil)
+}
+
+func (s *chanState) recordClose(pkg *analysis.Package, call *ast.CallExpr, root int) {
+	s.record(pkg, ChanClose, call.Pos(), call.Args[0], root, nil)
+}
+
+func (s *chanState) selOfRecv(e *ast.UnaryExpr) *SelectInfo {
+	if sel, ok := s.recvSel[e]; ok {
+		return sel
+	}
+	return nil
+}
+
+// indexSelects records, once per body, every select statement's shape:
+// which comm statements (and receive expressions) belong to it and
+// whether it has a default clause.
+func (s *chanState) indexSelects(pkg *analysis.Package, body *ast.BlockStmt) {
+	if s.indexedSelect[body] {
+		return
+	}
+	s.indexedSelect[body] = true
+	if s.recvSel == nil {
+		s.recvSel = map[*ast.UnaryExpr]*SelectInfo{}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		info := &SelectInfo{Pos: sel.Pos()}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				info.HasDefault = true
+				continue
+			}
+			s.commOf[cc.Comm] = info
+			// Receives hide inside assign/expr statements.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					s.recvSel[u] = info
+				}
+				return true
+			})
+		}
+		s.selects = append(s.selects, info)
+		return true
+	})
+}
+
+// ---- satisfiability ----
+
+// known reports whether op's channel class is fully resolved: a variable
+// with an observed make-site and no taint.
+func (s *chanState) known(op *ChanOp) bool {
+	if op.Var == nil {
+		return false
+	}
+	rep := s.find(op.Var)
+	return s.origin[rep] && !s.taint[rep]
+}
+
+// Satisfiable reports whether some other live goroutine can complete op:
+// a complementary operation (send↔receive/range; close satisfies
+// receives and ranges) on the same channel class, reachable from a root
+// other than op's own — or from op's own root when that root is
+// multi-instance. Unknown channel classes are always satisfiable.
+func (c *ProtCensus) Satisfiable(op *ChanOp) bool {
+	s := c.chanState
+	if s == nil || !s.known(op) {
+		return true
+	}
+	rep := s.find(op.Var)
+	if op.Kind == ChanSend && s.buffered[rep] {
+		// A buffered send can complete with no rendezvous (the cap-1
+		// wake/put-back idiom); no blocks-forever claim.
+		return true
+	}
+	for _, other := range s.ops {
+		if other == op || other.Var == nil || s.find(other.Var) != rep {
+			continue
+		}
+		ok := false
+		switch op.Kind {
+		case ChanSend:
+			ok = other.Kind == ChanRecv || other.Kind == ChanRange
+		case ChanRecv, ChanRange:
+			ok = other.Kind == ChanSend || other.Kind == ChanClose
+		default:
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.otherGoroutine(op, other) {
+			return true
+		}
+	}
+	return false
+}
+
+// otherGoroutine reports whether other can execute on a goroutine
+// different from the one blocked at op: a root outside op's root set, or
+// any multi-instance root (another instance of the same code).
+func (c *ProtCensus) otherGoroutine(op, other *ChanOp) bool {
+	for r := range other.Roots {
+		if c.Roots[r].Multi {
+			return true
+		}
+		if !op.Roots[r] {
+			return true
+		}
+		if len(op.Roots) > 1 {
+			// op also runs elsewhere; the r-instance of other can pair
+			// with an op instance on a different root.
+			return true
+		}
+	}
+	return false
+}
+
+// CloseSeen reports whether op's channel class is ever closed. Unknown
+// classes report true (no claim).
+func (c *ProtCensus) CloseSeen(op *ChanOp) bool {
+	s := c.chanState
+	if s == nil || !s.known(op) {
+		return true
+	}
+	rep := s.find(op.Var)
+	for _, other := range s.ops {
+		if other.Kind == ChanClose && other.Var != nil && s.find(other.Var) == rep {
+			return true
+		}
+	}
+	return false
+}

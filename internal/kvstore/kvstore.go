@@ -176,6 +176,11 @@ func (s *Store) AttachWAL(l *wal.Log) error {
 	for i := range s.shards {
 		e.Store(s.shards[i].base+shWalSeq, l.LastSeq(i))
 	}
+	// Attach-before-serving contract: AttachWAL runs during startup,
+	// before any goroutine executes transactions against the store, so
+	// this raw store cannot race the transactional s.wal readers on the
+	// commit path (walPublish and friends only exist once serving starts).
+	//gotle:allow mixedaccess attach-before-serving; no concurrent transactions yet
 	s.wal = l
 	return nil
 }

@@ -170,6 +170,10 @@ func (m *Memory) Alloc(n int) (Addr, bool) {
 }
 
 func (m *Memory) zero(a Addr, n int) {
+	// The bulk store races no transaction: zero runs on freshly popped
+	// (Alloc) or freshly privatized (Free) blocks the caller owns
+	// exclusively, and bulkSet swaps to atomic stores under -race.
+	//gotle:allow atomicmix exclusive owner; bulkSet is atomic under -race
 	bulkSet(m.words[int(a):int(a)+n], 0)
 }
 

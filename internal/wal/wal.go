@@ -333,9 +333,9 @@ func (l *Log) AppendBatch(sh int, recs []Record) Ticket {
 	if len(recs) == 0 {
 		return Ticket{}
 	}
-	s := &l.shards[sh]
 	last := recs[len(recs)-1].Seq
 	l.mu.Lock()
+	s := &l.shards[sh]
 	if !l.opened || l.closed || l.err != nil {
 		if l.err == nil {
 			l.err = fmt.Errorf("wal: append to closed log")
@@ -397,6 +397,11 @@ func (l *Log) wake() {
 // stay short: the whole server's mutation rate feeds each batch.
 func (l *Log) syncLoop() {
 	defer l.wg.Done()
+	// The dirty channel is deliberately never closed: the loop exits via
+	// the closed-flag returns below after Close's final wake(), and a late
+	// stray wake on the cap-1 channel is harmless. Closing it instead
+	// would race Append's wake() send.
+	//gotle:allow gostuck exits via closed flag after Close's wake()
 	for range l.dirty {
 		if w := l.opts.FsyncWindow; w > 0 {
 			l.mu.Lock()

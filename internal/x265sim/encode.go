@@ -182,6 +182,12 @@ func (en *encoder) scheduler() {
 			en.fail(fmt.Errorf("scheduler output node: %w", err))
 			return
 		}
+		// Raw by design (the Listing 4 hand-off): the scheduler writes
+		// outNodes[f] strictly before publishing f into lookQ inside the
+		// laMu transaction below, and the frame thread reads outNodes[fIdx]
+		// only after drawing fIdx from lookQ — the transactional queue
+		// hand-off is the happens-before edge, not a shared lock.
+		//gotle:allow mixedaccess ordered by the lookQ hand-off transaction
 		en.outNodes[f] = node
 		err = en.laMu.Await(th, en.laCv, en.cfg.WaitTimeout, func(tx tm.Tx) error {
 			if en.failed.Load() {
