@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 CHAOS_RUNS ?= 5
 CHAOS_SEED ?= 1
 
-.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench serve-smoke serve-bench crash-smoke crash-chaos clean
+.PHONY: all build test lint race race-tm fuzz-short chaos chaos-teeth bench serve-smoke serve-bench crash-smoke crash-chaos repl-smoke repl-chaos clean
 
 CRASH_SEED ?= 1
 
@@ -68,6 +68,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/bzlike
 	$(GO) test -run '^$$' -fuzz FuzzCompressRoundTrip -fuzztime $(FUZZTIME) ./internal/bzlike
 	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzReplFrame -fuzztime $(FUZZTIME) ./internal/repl
 
 # Chaos sweep: every policy x fault mix under seeded fault injection, with
 # linearizability checking. A failure prints the seed to replay.
@@ -152,6 +153,26 @@ crash-smoke:
 crash-chaos:
 	$(GO) run ./cmd/crashtest -runs 12 -seed $(CRASH_SEED) \
 		-kill-min 150ms -kill-max 1500ms -conns 12 -depth 8
+
+# Replication convergence (cmd/repltest): one primary streams its
+# per-shard commit log to two followers through seeded faulty links
+# (delay/sever/corrupt); loadgen mutates the primary and stale-reads the
+# followers; the round passes only if every node's shard dumps are
+# byte-identical after quiesce AND the combined primary+follower history
+# satisfies the stale-read linearizability model. repl-smoke is the CI
+# gate and folds follower apply throughput + worst steady-state lag into
+# the BENCH json trajectory; repl-chaos sweeps more seeds and adds the
+# kill-9 follower restart (resume from the follower's own WAL cursor).
+REPL_SEED ?= 1
+repl-smoke:
+	mkdir -p $(BENCHDIR)
+	$(GO) run ./cmd/repltest -runs 1 -followers 2 -ops 20000 -seed $(REPL_SEED) \
+		> $(BENCHDIR)/repl.txt 2>&1; rc=$$?; cat $(BENCHDIR)/repl.txt; test $$rc -eq 0
+	$(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json repl=$(BENCHDIR)/repl.txt
+
+repl-chaos:
+	$(GO) run ./cmd/repltest -runs 6 -followers 2 -ops 20000 -seed $(REPL_SEED) \
+		-kill-follower
 
 clean:
 	$(GO) clean ./...

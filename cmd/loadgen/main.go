@@ -10,6 +10,13 @@
 // admission — before any TLE critical section runs — so they provably
 // did not take effect and are left un-Completed (History() drops them).
 //
+// With -replica, a share of gets (-replica-get-pct) are redirected to
+// follower replicas as synchronous reads on a dedicated connection per
+// worker. Follower reads may be stale, so -check then verifies the
+// combined history against StaleKVModel: primary ops stay strictly
+// linearizable, follower reads must be prefix-consistent (each worker's
+// view of a key only moves forward through its version history).
+//
 // Output ends with benchstat-compatible lines for cmd/benchjson:
 //
 //	BenchmarkServe/conns=16/depth=8/mix=g80s20d0 100000 10936 ns/op ...
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -48,6 +56,8 @@ type options struct {
 	historyIn    string
 	tolerateDisc bool
 	presweep     bool
+	replicas     []string
+	replGetPct   int
 }
 
 // pending is one in-flight request's bookkeeping, queued FIFO per
@@ -80,6 +90,7 @@ type workerResult struct {
 	completed    int
 	shed         int
 	protoErrs    int
+	replicaGets  int
 	disconnected bool
 	err          error
 }
@@ -103,6 +114,8 @@ func main() {
 	flag.StringVar(&o.historyIn, "history-in", "", "load a prior phase's history and check the merged whole")
 	flag.BoolVar(&o.tolerateDisc, "tolerate-disconnect", false, "treat a mid-run server death as expected: in-flight ops become pending, exit 0")
 	flag.BoolVar(&o.presweep, "presweep", false, "with -check: read every key once before the load, pinning the post-recovery state (needs -history-in — only the prior phase's history can explain recovered values)")
+	replica := flag.String("replica", "", "comma-separated follower addresses; worker w reads from replica w%%n")
+	flag.IntVar(&o.replGetPct, "replica-get-pct", 50, "percentage of gets redirected to a follower (with -replica)")
 	set := flag.Int("set", 20, "percentage of sets")
 	del := flag.Int("del", 0, "percentage of deletes")
 	incr := flag.Int("incr", 0, "percentage of incrs")
@@ -139,6 +152,16 @@ func main() {
 	}
 	if o.conns < 1 || o.depth < 1 || o.ops < 1 {
 		log.Fatal("-conns, -depth and -ops must be positive")
+	}
+	if *replica != "" {
+		for _, a := range strings.Split(*replica, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				o.replicas = append(o.replicas, a)
+			}
+		}
+	}
+	if o.replGetPct < 0 || o.replGetPct > 100 {
+		log.Fatal("-replica-get-pct must be in [0,100]")
 	}
 
 	if err := run(o); err != nil {
@@ -188,6 +211,7 @@ func run(o options) error {
 		total.completed += results[i].completed
 		total.shed += results[i].shed
 		total.protoErrs += results[i].protoErrs
+		total.replicaGets += results[i].replicaGets
 		total.disconnected = total.disconnected || results[i].disconnected
 		total.lat.Merge(&results[i].lat)
 	}
@@ -197,6 +221,16 @@ func run(o options) error {
 		o.conns, o.depth, o.mix, o.keyspace, o.skew, o.valSizes)
 	fmt.Printf("completed=%d shed=%d protocol_errors=%d elapsed=%v\n",
 		total.completed, total.shed, total.protoErrs, elapsed.Round(time.Millisecond))
+	if len(o.replicas) > 0 {
+		fmt.Printf("replica: %d follower reads across %d replicas\n",
+			total.replicaGets, len(o.replicas))
+		for _, a := range o.replicas {
+			if st, err := serverStats(a); err == nil {
+				fmt.Printf("replica %s: applied=%s lag=%s reconnects=%s\n",
+					a, st["repl_applied_records"], st["repl_lag_records"], st["repl_reconnects"])
+			}
+		}
+	}
 	fmt.Printf("throughput=%.0f ops/sec  latency p50=%v p99=%v max=%v\n",
 		thr, total.lat.Quantile(0.50), total.lat.Quantile(0.99), total.lat.Max())
 
@@ -237,7 +271,16 @@ func run(o options) error {
 				"the no-eviction KV model would report false violations "+
 				"(lower -keyspace or raise server -capacity)\n", evAfter-evBefore)
 		} else {
-			res := linearize.Check(linearize.KVModel{}, hist)
+			// Follower reads are stale-but-prefix-consistent, so a run that
+			// touched replicas needs the relaxed model; without replicas the
+			// history contains no fgets and the strict model applies.
+			var model linearize.Model = linearize.KVModel{}
+			modelName := "linearizable"
+			if len(o.replicas) > 0 {
+				model = linearize.StaleKVModel{}
+				modelName = "prefix-consistent (stale follower reads)"
+			}
+			res := linearize.Check(model, hist)
 			if !res.OK {
 				fmt.Printf("check: FAILED\n%s\n", res.Explanation)
 				for _, op := range res.Violation {
@@ -245,8 +288,8 @@ func run(o options) error {
 				}
 				return fmt.Errorf("history of %d ops is not linearizable", len(hist))
 			}
-			fmt.Printf("check: OK — %d ops linearizable per key (%d shed ops excluded)\n",
-				res.Checked, total.shed)
+			fmt.Printf("check: OK — %d ops %s per key (%d shed ops excluded)\n",
+				res.Checked, modelName, total.shed)
 		}
 	} else if total.disconnected {
 		fmt.Printf("disconnected mid-run (tolerated); completed=%d\n", total.completed)
@@ -333,6 +376,25 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 		return
 	}
 	defer c.Close()
+	// Follower reads run synchronously on a dedicated connection so their
+	// real-time order against the worker's primary ops is exactly what the
+	// recorder captures — pipelining them would blur the call/return window
+	// the stale model reasons about.
+	var rc *client.Client
+	var rrng *rand.Rand
+	if len(o.replicas) > 0 && o.replGetPct > 0 {
+		rc, err = client.Dial(o.replicas[w%len(o.replicas)])
+		if err != nil {
+			if o.tolerateDisc {
+				res.disconnected = true
+				return
+			}
+			res.err = fmt.Errorf("replica dial: %w", err)
+			return
+		}
+		defer rc.Close()
+		rrng = rand.New(rand.NewSource(o.seed<<16 ^ int64(w)))
+	}
 	gen := workload.New(workload.Config{
 		Keyspace:   o.keyspace,
 		Skew:       o.skew,
@@ -386,6 +448,33 @@ func runWorker(o options, w, quota int, rec *linearize.Recorder) (res workerResu
 	for sent < quota || len(inflight) > 0 {
 		for sent < quota && len(inflight) < o.depth {
 			p := pending{kind: gen.Op(o.mix), key: gen.Key(), id: -1, start: time.Now()}
+			if p.kind == workload.OpGet && rc != nil && rrng.Intn(100) < o.replGetPct {
+				id := -1
+				if rec != nil {
+					id = rec.Invoke(w, "fget", p.key, nil)
+				}
+				it, ok, err := rc.Get(p.key)
+				if err != nil {
+					if o.tolerateDisc {
+						res.disconnected = true
+						return
+					}
+					res.err = fmt.Errorf("replica get: %w", err)
+					return
+				}
+				res.lat.Record(time.Since(p.start))
+				res.completed++
+				res.replicaGets++
+				if id >= 0 {
+					if ok {
+						rec.Complete(id, vhash(it.Value), true)
+					} else {
+						rec.Complete(id, "", false)
+					}
+				}
+				sent++
+				continue
+			}
 			var err error
 			switch p.kind {
 			case workload.OpGet:

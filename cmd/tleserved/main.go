@@ -27,6 +27,7 @@ import (
 	"gotle/internal/adaptive"
 	"gotle/internal/htm"
 	"gotle/internal/kvstore"
+	"gotle/internal/repl"
 	"gotle/internal/server"
 	"gotle/internal/server/client"
 	"gotle/internal/tle"
@@ -52,10 +53,18 @@ func main() {
 		fsyncWin   = flag.Duration("fsync-window", wal.DefaultFsyncWindow, "group-commit window: how long the WAL syncer accumulates appends before each fsync (0 = fsync eagerly)")
 		deferRecl  = flag.Bool("deferred-reclaim", true, "retire transactionally freed item memory in batched background grace periods instead of on the commit path")
 		stripeLog  = flag.Int("stripe-shift", 3, "STM orec granularity: 1<<n consecutive words share one ownership record (3 = 64-byte cache-line stripes; 0 = per-word)")
+		replLn     = flag.String("repl-listen", "", "replication listen address: stream the per-shard commit log to follower replicas")
+		follow     = flag.String("follow", "", "follower mode: subscribe to a primary's replication stream at this address and serve read-only")
 		smoke      = flag.Bool("smoke", false, "start, run a loopback self-test, and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
 	)
 	flag.Parse()
+	if *replLn != "" && *follow != "" {
+		log.Fatal("-repl-listen and -follow are mutually exclusive (a node is a primary or a follower, not both)")
+	}
+	if *smoke && *follow != "" {
+		log.Fatal("-smoke exercises mutations, which a follower rejects; run it against a primary")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -126,6 +135,37 @@ func main() {
 		fmt.Printf("wal: recovered %d records from %s\n", recovered, *walDir)
 	}
 
+	// Replication. Cursor discipline is shared with the WAL: with one
+	// attached, both the source's retained-history base and the follower's
+	// applied cursors resume from the recovered tail, so a restarted node
+	// rejoins the stream exactly where its durable state left off.
+	walTail := func() []uint64 {
+		if wlog == nil {
+			return nil
+		}
+		t := make([]uint64, store.ShardCount())
+		for i := range t {
+			t[i] = wlog.LastSeq(i)
+		}
+		return t
+	}
+	var src *repl.Source
+	var fw *repl.Follower
+	if *replLn != "" {
+		src = repl.NewSource(store.ShardCount(), walTail())
+		store.AttachTap(src)
+		raddr, err := src.Start(*replLn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("repl: streaming on %s\n", raddr)
+	}
+	if *follow != "" {
+		fw = repl.NewFollower(r, store, *follow, walTail())
+		fw.Start()
+		fmt.Printf("repl: following %s\n", *follow)
+	}
+
 	var ctl *adaptive.Controller
 	if *adapt {
 		ctl, err = adaptive.New(r, store.ShardMutexes(), adaptive.Config{Interval: *interval})
@@ -136,13 +176,21 @@ func main() {
 		defer ctl.Stop()
 	}
 
-	srv := server.New(r, store, server.Config{
+	scfg := server.Config{
 		Addr:       a,
 		MaxConns:   *maxConns,
 		QueueDepth: *queueDepth,
 		Controller: ctl,
 		WAL:        wlog,
-	})
+		ReadOnly:   fw != nil,
+	}
+	switch {
+	case src != nil:
+		scfg.ExtraStats = src.StatLines
+	case fw != nil:
+		scfg.ExtraStats = fw.StatLines
+	}
+	srv := server.New(r, store, scfg)
 	bound, err := srv.Start()
 	if err != nil {
 		log.Fatal(err)
@@ -159,14 +207,27 @@ func main() {
 			log.Printf("wal close: %v", err)
 		}
 	}
+	// closeRepl runs after the server drains (no more publishes) and
+	// before closeWAL: the source flushes its retained tail to connected
+	// followers, a follower stops applying.
+	closeRepl := func() {
+		if src != nil {
+			src.Close(5 * time.Second)
+		}
+		if fw != nil {
+			fw.Stop()
+		}
+	}
 
 	if *smoke {
 		if err := runSmoke(bound.String()); err != nil {
 			srv.Shutdown(2 * time.Second)
+			closeRepl()
 			closeWAL()
 			log.Fatalf("SMOKE FAIL: %v", err)
 		}
 		srv.Shutdown(5 * time.Second)
+		closeRepl()
 		closeWAL()
 		fmt.Println("SMOKE OK")
 		return
@@ -177,6 +238,7 @@ func main() {
 	<-sig
 	fmt.Println("draining...")
 	srv.Shutdown(10 * time.Second)
+	closeRepl()
 	closeWAL()
 }
 

@@ -145,9 +145,17 @@ func (s *Store) MutateBatch(th *tm.Thread, ops []BatchOp, res []BatchResult, sc 
 		// path must not allocate a fresh func per batch.
 		//gotle:allow hotalloc bound once per scratch lifetime, reused by every batch
 		sc.flushFn = func() {
-			l := sc.store.wal
+			l, t := sc.store.wal, sc.store.tap
 			for j := range sc.recs {
-				if len(sc.recs[j]) > 0 {
+				if len(sc.recs[j]) == 0 {
+					continue
+				}
+				// Tap before WAL, as in walPublish: replication latency
+				// stays off the fsync path.
+				if t != nil {
+					t.PublishBatch(sc.touched[j], sc.recs[j])
+				}
+				if l != nil {
 					sc.Tickets = append(sc.Tickets, l.AppendBatch(sc.touched[j], sc.recs[j]))
 				}
 			}
@@ -302,7 +310,7 @@ func (s *Store) batchBody(tx tm.Tx, sc *BatchScratch) error {
 // batch. Key/val alias the op's buffers: AppendBatch consumes them during
 // the deferred call, before the caller recycles the batch.
 func (s *Store) stageWAL(tx tm.Tx, sh *shard, sc *BatchScratch, pos int, op wal.Op, flags uint32, key, val []byte) bool {
-	if s.wal == nil {
+	if s.wal == nil && s.tap == nil {
 		return false
 	}
 	seq := tx.Load(sh.base+shWalSeq) + 1

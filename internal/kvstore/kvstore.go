@@ -111,6 +111,9 @@ type Store struct {
 	// wal, when attached, receives a redo record for every committed
 	// mutation. Nil means no durability (the default).
 	wal *wal.Log
+	// tap, when attached, observes the same commit-sequenced record
+	// stream the WAL frames (replication). Nil means no streaming.
+	tap CommitTap
 	// notFull supports blocking Set when a shard is saturated with
 	// in-flight evictions (not used by default paths; exposed for apps).
 	notFull *condvar.Cond
@@ -185,6 +188,39 @@ func (s *Store) AttachWAL(l *wal.Log) error {
 	return nil
 }
 
+// CommitTap observes the commit-sequenced record stream — the same
+// logical records the WAL frames to disk, in the same per-shard order,
+// delivered post-commit from the same deferred actions. repl.Source
+// implements it to tee the stream to follower replicas.
+//
+// Publish and PublishBatch are called concurrently from executor
+// goroutines and may see records out of sequence order (deferred actions
+// interleave); implementations reorder by Seq, exactly like the WAL.
+// Record Key/Val alias buffers the caller recycles after the call
+// returns, so implementations must copy (or encode) before returning.
+type CommitTap interface {
+	// Publish delivers one committed record for shard.
+	Publish(shard int, rec wal.Record)
+	// PublishBatch delivers one committed fused batch's records for
+	// shard, in ascending Seq order.
+	PublishBatch(shard int, recs []wal.Record)
+}
+
+// AttachTap arms commit-stream replication: every committed mutation from
+// here on is also published to t, carrying the same per-shard sequence
+// numbers the WAL would frame. Call it during startup — after any
+// recovery replay and AttachWAL, before serving traffic. The tap does not
+// seed the per-shard sequence words; AttachWAL does (or they start at
+// zero on a WAL-less primary), and the tap's own base cursor must match
+// (repl.NewSource takes the same recovered tail).
+func (s *Store) AttachTap(t CommitTap) {
+	// Attach-before-serving contract, as for AttachWAL: no goroutine runs
+	// transactions against the store yet, so this raw store cannot race
+	// the transactional s.tap readers on the commit path.
+	//gotle:allow mixedaccess attach-before-serving; no concurrent transactions yet
+	s.tap = t
+}
+
 // walPublish is the commit-pipeline tap. It draws the shard's next commit
 // sequence number inside tx — so the number rolls back with the attempt
 // and the log order equals the shard's serialization order — and defers
@@ -193,14 +229,24 @@ func (s *Store) AttachWAL(l *wal.Log) error {
 // commits; callers wait on it AFTER the critical section, keeping the
 // fsync out of the transaction.
 func (s *Store) walPublish(tx tm.Tx, sh *shard, shardIdx int, op wal.Op, flags uint32, key, val []byte, out *wal.Ticket) {
-	if s.wal == nil {
+	if s.wal == nil && s.tap == nil {
 		return
 	}
 	seq := tx.Load(sh.base+shWalSeq) + 1
 	tx.Store(sh.base+shWalSeq, seq)
 	rec := wal.Record{Seq: seq, Op: op, Flags: flags, Key: key, Val: val}
-	l := s.wal
-	tx.Defer(func() { *out = l.Append(shardIdx, rec) })
+	l, t := s.wal, s.tap
+	tx.Defer(func() {
+		// Tap before WAL: the tap encodes (copies) rec's bytes, the WAL
+		// append may hand them to the syncer — either order is correct,
+		// but tap-first keeps replication latency off the fsync path.
+		if t != nil {
+			t.Publish(shardIdx, rec)
+		}
+		if l != nil {
+			*out = l.Append(shardIdx, rec)
+		}
+	})
 }
 
 func ceilPow2(v int) int {

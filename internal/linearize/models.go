@@ -3,6 +3,7 @@ package linearize
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // KVModel is the sequential specification of internal/kvstore: a map from
@@ -83,6 +84,133 @@ func (KVModel) Partition(ops []Op) [][]Op {
 		out = append(out, byKey[k])
 	}
 	return out
+}
+
+// StaleKVModel is KVModel extended with follower reads for replicated
+// histories. Mutations ("set", "delete") and primary reads ("get") behave
+// exactly as in KVModel against the key's latest state; a follower read
+// (Kind "fget") may observe any STALE version of the key — some earlier
+// point in the key's mutation history — subject to prefix consistency:
+// each follower client's reads move monotonically forward through that
+// history (the follower applies the replication stream in order and never
+// rolls back).
+//
+// State is the key's full version history plus a per-follower-client
+// watermark (the earliest version that client may still observe). A
+// follower read matches the SMALLEST admissible version consistent with
+// its observation — smaller watermarks admit strictly more future
+// behaviours, so the greedy choice is optimal and fgets never branch the
+// search. The per-key watermark is a sound relaxation of the follower's
+// real per-shard prefix order: any real follower execution satisfies it.
+type StaleKVModel struct{}
+
+type staleState struct {
+	// versions is the key's mutation history: versions[0] is the initial
+	// absent state, each committed set/delete appends. The slice is
+	// treated as immutable — steps append copy-on-write — because search
+	// branches share states.
+	versions []kvState
+	// marks maps a follower client to the lowest version index it may
+	// still read. Shared across branches; updates copy.
+	marks map[int]int
+}
+
+// push appends a version copy-on-write (full-cap slicing forces append to
+// reallocate, so sibling branches never see the new version).
+func (s staleState) push(v kvState) staleState {
+	vs := s.versions[:len(s.versions):len(s.versions)]
+	return staleState{versions: append(vs, v), marks: s.marks}
+}
+
+// Init returns the single-version (absent) history.
+func (StaleKVModel) Init() any { return staleState{versions: []kvState{{}}} }
+
+// Step applies one operation; see the type comment for the semantics.
+func (StaleKVModel) Step(state any, op Op) (any, bool) {
+	s := state.(staleState)
+	latest := s.versions[len(s.versions)-1]
+	switch op.Kind {
+	case "get":
+		if op.Pending {
+			return s, true
+		}
+		if !latest.present {
+			return s, !op.OK
+		}
+		out, _ := op.Output.(string)
+		return s, op.OK && out == latest.val
+	case "set":
+		in, _ := op.Input.(string)
+		return s.push(kvState{present: true, val: in}), true
+	case "delete":
+		if op.Pending {
+			return s.push(kvState{}), true
+		}
+		if latest.present != op.OK {
+			return s, false
+		}
+		if !op.OK {
+			return s, true
+		}
+		return s.push(kvState{}), true
+	case "fget":
+		// A follower read nobody observed constrains nothing.
+		if op.Pending {
+			return s, true
+		}
+		out, _ := op.Output.(string)
+		for i := s.marks[op.Client]; i < len(s.versions); i++ {
+			v := s.versions[i]
+			if v.present != op.OK || (op.OK && v.val != out) {
+				continue
+			}
+			if i == s.marks[op.Client] {
+				return s, true // watermark unchanged; no copy needed
+			}
+			marks := make(map[int]int, len(s.marks)+1)
+			for c, m := range s.marks {
+				marks[c] = m
+			}
+			marks[op.Client] = i
+			return staleState{versions: s.versions, marks: marks}, true
+		}
+		return s, false
+	default:
+		return s, false
+	}
+}
+
+// Hash fingerprints the full version history and the watermarks: two
+// states with equal linearized sets can still differ in version order, so
+// the contents must all feed the memo key.
+func (StaleKVModel) Hash(state any) string {
+	s := state.(staleState)
+	var b strings.Builder
+	for _, v := range s.versions {
+		if v.present {
+			b.WriteString("v:")
+			b.WriteString(v.val)
+		} else {
+			b.WriteByte('-')
+		}
+		b.WriteByte(';')
+	}
+	if len(s.marks) > 0 {
+		clients := make([]int, 0, len(s.marks))
+		for c := range s.marks {
+			clients = append(clients, c)
+		}
+		sort.Ints(clients)
+		for _, c := range clients {
+			fmt.Fprintf(&b, "|%d=%d", c, s.marks[c])
+		}
+	}
+	return b.String()
+}
+
+// Partition groups operations by key, exactly as KVModel does.
+func (StaleKVModel) Partition(ops []Op) [][]Op {
+	return KVModel{}.Partition(ops)
 }
 
 // RegisterModel is the sequential specification of a fetch-and-add counter

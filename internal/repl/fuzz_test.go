@@ -1,0 +1,111 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+
+	"gotle/internal/logrec"
+)
+
+// FuzzReplFrame fuzzes the replication wire decoder: record and tip
+// envelope frames must round-trip exactly, truncations must read as torn,
+// single-byte mutations must be detected (CRC or structure), and
+// DecodeFrame — the single validation path behind the streaming reader —
+// must never panic or silently mis-decode arbitrary bytes.
+func FuzzReplFrame(f *testing.F) {
+	f.Add(uint64(1), uint16(0), byte(1), uint32(0), []byte("key"), []byte("value"), uint16(3), uint64(9))
+	f.Add(uint64(1<<40), uint16(7), byte(2), uint32(5), []byte("k"), []byte{}, uint16(0), uint64(0))
+	f.Add(uint64(0), uint16(999), byte(9), uint32(1<<31), bytes.Repeat([]byte{0}, 250), bytes.Repeat([]byte("xy"), 512), uint16(4096), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, seq uint64, shard uint16, opRaw byte, flags uint32, key, val []byte, mutPos uint16, tip uint64) {
+		if len(key) > 1<<10 || len(val) > 1<<16 {
+			return
+		}
+		op := logrec.OpSet
+		if opRaw%2 == 0 {
+			op = logrec.OpDelete
+		}
+		rec := logrec.Record{Seq: seq, Shard: shard, Op: op, Flags: flags, Key: key, Val: val}
+		frame := AppendRecordFrame(nil, rec)
+		tips := []uint64{tip, tip + 1, seq}
+		frame = AppendTipFrame(frame, tips)
+
+		// Both frames decode back from the concatenated stream, exactly.
+		fr, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("decode of fresh record frame: %v", err)
+		}
+		if fr.Kind != FrameRecord || fr.Rec.Seq != seq || fr.Rec.Shard != shard ||
+			fr.Rec.Op != op || fr.Rec.Flags != flags ||
+			!bytes.Equal(fr.Rec.Key, key) || !bytes.Equal(fr.Rec.Val, val) {
+			t.Fatalf("record round trip mismatch: %+v", fr)
+		}
+		fr2, n2, err := DecodeFrame(frame[n:])
+		if err != nil {
+			t.Fatalf("decode of fresh tip frame: %v", err)
+		}
+		if fr2.Kind != FrameTip || len(fr2.Tips) != len(tips) {
+			t.Fatalf("tip round trip mismatch: %+v", fr2)
+		}
+		for i := range tips {
+			if fr2.Tips[i] != tips[i] {
+				t.Fatalf("tip %d: got %d want %d", i, fr2.Tips[i], tips[i])
+			}
+		}
+		if n+n2 != len(frame) {
+			t.Fatalf("decodes consumed %d of %d bytes", n+n2, len(frame))
+		}
+
+		// The streaming reader agrees with the slice decoder.
+		br := bufio.NewReader(bytes.NewReader(frame))
+		sfr, scratch, err := readFrame(br, nil)
+		if err != nil {
+			t.Fatalf("readFrame record: %v", err)
+		}
+		if sfr.Kind != FrameRecord || !bytes.Equal(sfr.Rec.Key, key) {
+			t.Fatalf("readFrame record mismatch: %+v", sfr)
+		}
+		if sfr, _, err = readFrame(br, scratch); err != nil || sfr.Kind != FrameTip {
+			t.Fatalf("readFrame tip = %+v, %v", sfr, err)
+		}
+
+		// Every strict prefix of a single frame is torn, never corrupt,
+		// never accepted.
+		rf := frame[:n]
+		for cut := 0; cut < len(rf); cut += 1 + cut/3 {
+			if _, _, err := DecodeFrame(rf[:cut]); !errors.Is(err, ErrTorn) {
+				t.Fatalf("decode of %d/%d prefix: %v, want ErrTorn", cut, len(rf), err)
+			}
+		}
+
+		// A single-byte mutation must be rejected or decode observably
+		// differently — never silently accepted as the original.
+		mut := bytes.Clone(rf)
+		pos := int(mutPos) % len(mut)
+		mut[pos] ^= 0x5a
+		mfr, mn, merr := DecodeFrame(mut)
+		if merr == nil {
+			same := mn == n && mfr.Kind == FrameRecord &&
+				mfr.Rec.Seq == seq && mfr.Rec.Shard == shard &&
+				mfr.Rec.Op == op && mfr.Rec.Flags == flags &&
+				bytes.Equal(mfr.Rec.Key, key) && bytes.Equal(mfr.Rec.Val, val)
+			if same {
+				t.Fatalf("mutation at byte %d decoded as the original", pos)
+			}
+		}
+
+		// Arbitrary bytes must never panic (key/val double as raw input).
+		raw := append(bytes.Clone(key), val...)
+		for len(raw) > 0 {
+			_, rn, rerr := DecodeFrame(raw)
+			if rerr != nil {
+				break
+			}
+			if rn <= 0 {
+				t.Fatal("decode accepted a frame of zero bytes")
+			}
+			raw = raw[rn:]
+		}
+	})
+}

@@ -218,6 +218,29 @@ func (c *Client) Recv() (Response, error) {
 
 // ---- synchronous conveniences ----
 
+// ShardDump fetches shard i's canonical dump blob (sorted entries; see
+// kvstore.DumpShard) for convergence checking. The reply is shaped like a
+// get response, so it reuses the get parser.
+func (c *Client) ShardDump(i int) ([]byte, error) {
+	c.bw.WriteString("sharddump")
+	c.writeUint(uint64(i))
+	if _, err := c.bw.WriteString("\r\n"); err != nil {
+		return nil, err
+	}
+	c.pending = append(c.pending, kGet)
+	r, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != "" {
+		return nil, fmt.Errorf("client: sharddump: %s", r.Err)
+	}
+	if len(r.Items) != 1 {
+		return nil, fmt.Errorf("client: sharddump: %d items in reply", len(r.Items))
+	}
+	return r.Items[0].Value, nil
+}
+
 // Get retrieves one key.
 func (c *Client) Get(key string) (Item, bool, error) {
 	if err := c.SendGet(false, key); err != nil {

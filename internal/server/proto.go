@@ -32,6 +32,7 @@ const (
 	OpStats
 	OpVersion
 	OpQuit
+	OpShardDump
 )
 
 func (o Op) String() string {
@@ -60,6 +61,8 @@ func (o Op) String() string {
 		return "version"
 	case OpQuit:
 		return "quit"
+	case OpShardDump:
+		return "sharddump"
 	default:
 		return "invalid"
 	}
@@ -242,6 +245,20 @@ func parseCommandFields(f [][]byte, c *Command) error {
 
 	case bytes.Equal(f[0], []byte("quit")):
 		c.Op = OpQuit
+		return nil
+
+	case bytes.Equal(f[0], []byte("sharddump")):
+		// Extension verb (convergence checking): dump one shard's entries
+		// as a canonical sorted byte blob. The index rides in Delta.
+		c.Op = OpShardDump
+		if len(f) != 2 {
+			return clientErr("sharddump <shard>")
+		}
+		idx, ok := parseUint(f[1], 31)
+		if !ok {
+			return clientErr("bad shard index")
+		}
+		c.Delta = idx
 		return nil
 
 	default:

@@ -67,6 +67,14 @@ type Config struct {
 	// (so a reply implies the record is fsynced) and surfaces the log's
 	// counters via stats.
 	WAL *wal.Log
+	// ReadOnly rejects every mutating verb with "SERVER_ERROR readonly".
+	// Follower replicas serve with this set: the replication stream is the
+	// only writer, so client traffic must not draw sequence or CAS tokens.
+	ReadOnly bool
+	// ExtraStats, when set, contributes extra key/value lines to the stats
+	// response (replication counters; the server itself stays
+	// replication-agnostic).
+	ExtraStats func() [][2]string
 }
 
 func (c Config) withDefaults() Config {
@@ -309,6 +317,7 @@ var (
 	respDeleted  = []byte("DELETED\r\n")
 	respEnd      = []byte("END\r\n")
 	respTooBig   = []byte("SERVER_ERROR object too large for cache\r\n")
+	respReadonly = []byte("SERVER_ERROR readonly\r\n")
 	respNaN      = []byte("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
 )
 
@@ -464,6 +473,11 @@ func recycle(o *op, free chan *op) {
 func (s *Server) executeBatch(th *tm.Thread, ops []*op, bops []kvstore.BatchOp, bres []kvstore.BatchResult, sc *kvstore.BatchScratch, ackFree chan *batchAck) {
 	i := 0
 	for i < len(ops) {
+		if s.cfg.ReadOnly && mutating(ops[i]) {
+			ops[i].resolve(respReadonly)
+			i++
+			continue
+		}
 		if !fusible(ops[i]) {
 			s.execute(th, ops[i])
 			i++
@@ -476,6 +490,16 @@ func (s *Server) executeBatch(th *tm.Thread, ops []*op, bops []kvstore.BatchOp, 
 		s.executeFused(th, ops[i:j], bops, bres, sc, ackFree)
 		i = j
 	}
+}
+
+// mutating reports whether an op would change store state; on a ReadOnly
+// server (follower replica) these are refused before reaching a shard.
+func mutating(o *op) bool {
+	switch o.cmd.Op {
+	case OpSet, OpAdd, OpReplace, OpCas, OpDelete, OpIncr, OpDecr:
+		return true
+	}
+	return false
 }
 
 // fusible reports whether an op may join a fused mutation run. Oversized
@@ -795,6 +819,30 @@ func (s *Server) run(th *tm.Thread, o *op) []byte {
 	case OpStats:
 		return s.statsResponse(th)
 
+	case OpShardDump:
+		// Convergence checking: one shard's entries as a canonical sorted
+		// blob, shaped like a get response ("VALUE shard:<i> 0 <len>") so
+		// existing clients parse it. A read, so it works on followers.
+		idx := cmd.Delta
+		if idx >= uint64(s.store.ShardCount()) {
+			return clientErrorResp("shard index out of range")
+		}
+		dump, err := s.store.DumpShard(th, int(idx))
+		if err != nil {
+			return serverError(err)
+		}
+		out := o.respB[:0]
+		out = append(out, "VALUE shard:"...)
+		out = strconv.AppendUint(out, idx, 10)
+		out = append(out, " 0 "...)
+		out = strconv.AppendInt(out, int64(len(dump)), 10)
+		out = append(out, '\r', '\n')
+		out = append(out, dump...)
+		out = append(out, '\r', '\n')
+		out = append(out, respEnd...)
+		o.respB = out
+		return out
+
 	case OpVersion:
 		o.respB = append(o.respB[:0], "VERSION "...)
 		o.respB = append(o.respB, s.cfg.Version...)
@@ -883,6 +931,12 @@ func (s *Server) statsResponse(th *tm.Thread) []byte {
 		u("wal_bytes", ws.Bytes)
 		u("wal_segments", ws.Segments)
 		u("recovered_records", ws.Recovered)
+	}
+
+	if xs := s.cfg.ExtraStats; xs != nil {
+		for _, kv := range xs() {
+			stat(kv[0], kv[1])
+		}
 	}
 
 	if ctl := s.cfg.Controller; ctl != nil {

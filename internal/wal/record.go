@@ -29,132 +29,50 @@
 //     the first incomplete or corrupt frame: a crash mid-write loses only
 //     the un-acked suffix, never an acked record (acked implies fsynced,
 //     and file order is, per shard, sequence order).
+//
+// The frame codec itself lives in internal/logrec: the replication wire
+// format (internal/repl) carries the same frames, so the encoding exists
+// exactly once. This file re-exports the codec under its historical names
+// so WAL call sites read naturally.
 package wal
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-)
+import "gotle/internal/logrec"
 
-// Op is the redo operation kind.
-type Op uint8
+// Op is the redo operation kind (alias of logrec.Op).
+type Op = logrec.Op
+
+// Record is one logical mutation (alias of logrec.Record), ordered by Seq
+// within its shard.
+type Record = logrec.Record
 
 const (
 	// OpSet stores Key=Val with Flags (covers set/add/replace/cas/incr).
-	OpSet Op = 1
+	OpSet = logrec.OpSet
 	// OpDelete removes Key.
-	OpDelete Op = 2
-)
+	OpDelete = logrec.OpDelete
+	// MaxPayload bounds one record's payload.
+	MaxPayload = logrec.MaxPayload
 
-func (o Op) String() string {
-	switch o {
-	case OpSet:
-		return "set"
-	case OpDelete:
-		return "delete"
-	default:
-		return fmt.Sprintf("op(%d)", uint8(o))
-	}
-}
-
-// Record is one logical mutation, ordered by Seq within its shard.
-type Record struct {
-	// Seq is the shard's commit sequence number (1-based, contiguous:
-	// drawn inside the mutating transaction, so it matches the shard's
-	// serialization order exactly).
-	Seq uint64
-	// Shard routes the record back to its shard's sequence space on
-	// recovery — all shards interleave in one shared file series.
-	// Log.Append stamps it; callers never set it.
-	Shard uint16
-	// Op selects set or delete.
-	Op Op
-	// Flags is the client-opaque memcached flags word (sets only).
-	Flags uint32
-	// Key and Val are the entry bytes (Val empty for deletes).
-	Key []byte
-	Val []byte
-}
-
-// Frame layout:
-//
-//	u32 payloadLen | u32 crc32(payload) | payload
-//	payload: u8 op | u16 shard | u64 seq | u32 flags | u32 keyLen | key | val
-//
-// all little-endian. valLen is implied by payloadLen.
-const (
-	frameHeader = 8                 // len + crc
-	payloadMin  = 1 + 2 + 8 + 4 + 4 // op + shard + seq + flags + keyLen
-	// MaxPayload bounds one record's payload; length prefixes beyond it
-	// are treated as corruption rather than allocated.
-	MaxPayload = 1 << 20
+	frameHeader = logrec.FrameHeader
+	payloadMin  = logrec.PayloadMin
 )
 
 var (
 	// ErrTorn marks an incomplete frame at the end of a segment: the
 	// process died mid-append. Recovery stops here silently.
-	ErrTorn = errors.New("wal: torn record (incomplete frame)")
+	ErrTorn = logrec.ErrTorn
 	// ErrCorrupt marks a complete-looking frame whose CRC or structure is
 	// invalid. Recovery also stops here, but reports it.
-	ErrCorrupt = errors.New("wal: corrupt record (bad CRC or structure)")
+	ErrCorrupt = logrec.ErrCorrupt
 )
 
 // AppendRecord appends r's framed encoding to buf and returns the result.
 func AppendRecord(buf []byte, r Record) []byte {
-	payloadLen := payloadMin + len(r.Key) + len(r.Val)
-	start := len(buf)
-	buf = append(buf, make([]byte, frameHeader+payloadLen)...)
-	p := buf[start:]
-	binary.LittleEndian.PutUint32(p[0:4], uint32(payloadLen))
-	pay := p[frameHeader:]
-	pay[0] = byte(r.Op)
-	binary.LittleEndian.PutUint16(pay[1:3], r.Shard)
-	binary.LittleEndian.PutUint64(pay[3:11], r.Seq)
-	binary.LittleEndian.PutUint32(pay[11:15], r.Flags)
-	binary.LittleEndian.PutUint32(pay[15:19], uint32(len(r.Key)))
-	copy(pay[19:], r.Key)
-	copy(pay[19+len(r.Key):], r.Val)
-	binary.LittleEndian.PutUint32(p[4:8], crc32.ChecksumIEEE(pay))
-	return buf
+	return logrec.AppendRecord(buf, r)
 }
 
-// DecodeRecord decodes the first framed record in b. It returns the record
-// and the number of bytes consumed. ErrTorn means b ends mid-frame (the
-// truncated tail of a crashed append); ErrCorrupt means the frame is
-// complete but its CRC or structure is invalid. Key and Val alias b.
+// DecodeRecord decodes the first framed record in b; see
+// logrec.DecodeRecord. Key and Val alias b.
 func DecodeRecord(b []byte) (Record, int, error) {
-	if len(b) < frameHeader {
-		return Record{}, 0, ErrTorn
-	}
-	payloadLen := int(binary.LittleEndian.Uint32(b[0:4]))
-	if payloadLen < payloadMin || payloadLen > MaxPayload {
-		// A structurally impossible length is corruption, not a tear: no
-		// amount of further bytes could complete it into a valid record.
-		return Record{}, 0, ErrCorrupt
-	}
-	if len(b) < frameHeader+payloadLen {
-		return Record{}, 0, ErrTorn
-	}
-	pay := b[frameHeader : frameHeader+payloadLen]
-	if crc32.ChecksumIEEE(pay) != binary.LittleEndian.Uint32(b[4:8]) {
-		return Record{}, 0, ErrCorrupt
-	}
-	r := Record{
-		Op:    Op(pay[0]),
-		Shard: binary.LittleEndian.Uint16(pay[1:3]),
-		Seq:   binary.LittleEndian.Uint64(pay[3:11]),
-		Flags: binary.LittleEndian.Uint32(pay[11:15]),
-	}
-	keyLen := int(binary.LittleEndian.Uint32(pay[15:19]))
-	if keyLen > payloadLen-payloadMin {
-		return Record{}, 0, ErrCorrupt
-	}
-	if r.Op != OpSet && r.Op != OpDelete {
-		return Record{}, 0, ErrCorrupt
-	}
-	r.Key = pay[19 : 19+keyLen]
-	r.Val = pay[19+keyLen:]
-	return r, frameHeader + payloadLen, nil
+	return logrec.DecodeRecord(b)
 }
